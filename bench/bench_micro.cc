@@ -1,0 +1,150 @@
+// Microbenchmarks (google-benchmark): per-component costs of the Norman
+// dataplane — overlay interpretation, filter-chain evaluation by rule
+// count, frame parsing, checksums, WFQ operations, DDIO model, RSS.
+//
+// These are *simulator implementation* speeds (host ns/op), reported so
+// regressions in the hot paths are visible; virtual-time results live in
+// the bench_* experiment binaries.
+#include <benchmark/benchmark.h>
+
+#include "src/dataplane/filter_engine.h"
+#include "src/dataplane/qdisc.h"
+#include "src/net/checksum.h"
+#include "src/net/packet_builder.h"
+#include "src/net/parsed_packet.h"
+#include "src/nic/ddio.h"
+#include "src/nic/rss.h"
+#include "src/overlay/interpreter.h"
+
+namespace {
+
+using namespace norman;  // NOLINT
+
+struct Fixture {
+  std::vector<uint8_t> frame;
+  net::ParsedPacket parsed;
+  overlay::PacketContext ctx;
+
+  Fixture() {
+    net::FrameEndpoints ep{net::MacAddress::ForHost(1),
+                           net::MacAddress::ForHost(2),
+                           net::Ipv4Address::FromOctets(10, 0, 0, 1),
+                           net::Ipv4Address::FromOctets(10, 0, 0, 2)};
+    frame = net::BuildUdpFrame(ep, 5432, 443,
+                               std::vector<uint8_t>(1000, 0xaa));
+    parsed = *net::ParseFrame(frame);
+    ctx.frame = frame;
+    ctx.parsed = &parsed;
+    ctx.conn = overlay::ConnMetadata{1, 1001, 100, 1, 7};
+    ctx.direction = net::Direction::kTx;
+  }
+};
+
+void BM_ParseFrame(benchmark::State& state) {
+  const Fixture f;
+  for (auto _ : state) {
+    auto p = net::ParseFrame(f.frame);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_ParseFrame);
+
+void BM_InternetChecksum1500(benchmark::State& state) {
+  const std::vector<uint8_t> buf(1500, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::InternetChecksum(buf));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1500);
+}
+BENCHMARK(BM_InternetChecksum1500);
+
+void BM_OverlayExecute(benchmark::State& state) {
+  const Fixture f;
+  // A representative 12-instruction match program.
+  const overlay::Program prog = dataplane::CompileFilterChain(
+      {[] {
+        dataplane::FilterRule r;
+        r.proto = net::IpProto::kUdp;
+        r.dst_port = dataplane::PortRange{443, 443};
+        r.owner_uid = 1001;
+        r.action = dataplane::FilterAction::kDrop;
+        return r;
+      }()},
+      dataplane::FilterAction::kAccept);
+  for (auto _ : state) {
+    auto r = overlay::Execute(prog, f.ctx);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_OverlayExecute);
+
+void BM_FilterChain(benchmark::State& state) {
+  const Fixture fx;
+  dataplane::FilterEngine engine;
+  for (int i = 0; i < state.range(0); ++i) {
+    dataplane::FilterRule r;
+    r.proto = net::IpProto::kTcp;  // never matches the UDP test packet
+    r.dst_port = dataplane::PortRange{static_cast<uint16_t>(i + 1),
+                                      static_cast<uint16_t>(i + 1)};
+    r.action = dataplane::FilterAction::kDrop;
+    (void)engine.AppendRule(r);
+  }
+  net::Packet packet(fx.frame);
+  for (auto _ : state) {
+    auto v = engine.Process(packet, fx.ctx);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_FilterChain)->Arg(1)->Arg(8)->Arg(32)->Arg(60);
+
+void BM_WfqEnqueueDequeue(benchmark::State& state) {
+  const Fixture fx;
+  dataplane::WfqQdisc wfq(dataplane::ClassifyByUid({{1001, 1}, {1002, 2}}));
+  wfq.SetWeight(1, 4.0);
+  wfq.SetWeight(2, 1.0);
+  for (auto _ : state) {
+    wfq.Enqueue(std::make_unique<net::Packet>(fx.frame), fx.ctx);
+    auto p = wfq.Dequeue(0);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_WfqEnqueueDequeue);
+
+void BM_DdioAccess(benchmark::State& state) {
+  nic::DdioModel ddio;
+  const uint64_t rings = static_cast<uint64_t>(state.range(0));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddio.Access(i++ % rings, 2048));
+  }
+}
+BENCHMARK(BM_DdioAccess)->Arg(256)->Arg(4096);
+
+void BM_RssSteer(benchmark::State& state) {
+  nic::RssEngine rss(16);
+  net::FiveTuple t{net::Ipv4Address::FromOctets(1, 2, 3, 4),
+                   net::Ipv4Address::FromOctets(5, 6, 7, 8), 1000, 2000,
+                   net::IpProto::kUdp};
+  for (auto _ : state) {
+    t.src_port++;
+    benchmark::DoNotOptimize(rss.Steer(t));
+  }
+}
+BENCHMARK(BM_RssSteer);
+
+void BM_BuildUdpFrame(benchmark::State& state) {
+  net::FrameEndpoints ep{net::MacAddress::ForHost(1),
+                         net::MacAddress::ForHost(2),
+                         net::Ipv4Address::FromOctets(10, 0, 0, 1),
+                         net::Ipv4Address::FromOctets(10, 0, 0, 2)};
+  const std::vector<uint8_t> payload(1000, 0xab);
+  for (auto _ : state) {
+    auto f = net::BuildUdpFrame(ep, 1, 2, payload);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_BuildUdpFrame);
+
+}  // namespace
+
+BENCHMARK_MAIN();

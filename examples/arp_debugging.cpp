@@ -1,0 +1,81 @@
+// Debugging the ARP flood — §2's "true story from our research lab".
+//
+// Several kernel-bypass applications share the NIC. One of them has a bug:
+// it floods gratuitous ARP requests with a bogus MAC. Alice notices the
+// flood on her network and — because the interposition layer runs in the
+// NIC with the kernel's process table behind it — finds the culprit with
+// two commands: norman-tcpdump (filtered to ARP, in overlay assembly) and
+// norman-arp, both of which print the owning process of every frame.
+#include <cstdio>
+
+#include "src/common/stats.h"
+#include "src/norman/socket.h"
+#include "src/tools/tools.h"
+#include "src/workload/generators.h"
+#include "src/workload/testbed.h"
+
+using namespace norman;  // NOLINT
+
+int main() {
+  workload::TestBed bed;
+  auto& k = bed.kernel();
+  k.processes().AddUser(1001, "bob");
+  k.processes().AddUser(1002, "charlie");
+
+  // Bob and Charlie's fleet of bypass applications.
+  const auto peer = net::Ipv4Address::FromOctets(10, 0, 0, 2);
+  struct App {
+    kernel::Pid pid;
+    Socket sock;
+  };
+  std::vector<App> apps;
+  const char* comms[] = {"web", "cache", "queue", "metrics", "updater"};
+  for (int i = 0; i < 5; ++i) {
+    const auto uid = i % 2 == 0 ? 1001u : 1002u;
+    const auto pid = *k.processes().Spawn(uid, comms[i]);
+    auto s = Socket::Connect(&k, pid, peer,
+                             static_cast<uint16_t>(9000 + i), {});
+    apps.push_back(App{pid, std::move(*s)});
+  }
+
+  // Normal chatter from everyone...
+  std::vector<std::unique_ptr<workload::CbrSender>> chatter;
+  for (auto& app : apps) {
+    chatter.push_back(std::make_unique<workload::CbrSender>(
+        &bed.sim(), &app.sock, 256, 250 * kMicrosecond));
+    chatter.back()->Start(0, 5 * kMillisecond);
+  }
+  // ...except "updater" (apps[4]) is buggy: raw ARP frames, bogus MAC.
+  workload::ArpFlooder flood(
+      &bed.sim(), &apps[4].sock,
+      net::MacAddress{{0xba, 0xdb, 0xad, 0xba, 0xdb, 0xad}},
+      net::Ipv4Address::FromOctets(10, 0, 0, 66), 100 * kMicrosecond);
+  flood.Start(kMillisecond, 5 * kMillisecond);
+
+  // Alice reacts at t=2ms: capture ARP only (a BPF-style overlay filter).
+  bed.sim().ScheduleAt(2 * kMillisecond, [&k] {
+    std::printf("alice# norman-tcpdump -i nic0 'arp'   (capture started)\n");
+    (void)tools::TcpdumpStart(&k, kernel::kRootUid,
+                              "ldf r1, is_arp\nret r1");
+  });
+  bed.sim().Run();
+
+  std::printf("\nalice# norman-tcpdump -r   (last 5 captured frames)\n");
+  std::printf("%s", tools::TcpdumpRender(k, 5).c_str());
+
+  std::printf("\nalice# norman-arp\n%s", tools::ArpShow(k).c_str());
+
+  // Save the capture for wireshark.
+  const std::string pcap_path = "/tmp/norman_arp_flood.pcap";
+  if (tools::TcpdumpWritePcap(k, pcap_path).ok()) {
+    std::printf("\ncapture written to %s (%llu frames, standard pcap)\n",
+                pcap_path.c_str(),
+                static_cast<unsigned long long>(k.sniffer().captured()));
+  }
+
+  std::printf(
+      "\nEvery ARP frame above is attributed to pid %u (updater) — one\n"
+      "command instead of auditing all %zu applications by hand.\n",
+      apps[4].pid, apps.size());
+  return 0;
+}

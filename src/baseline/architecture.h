@@ -1,0 +1,83 @@
+// The interposition architectures the paper compares (§1, §2, §6).
+//
+// Capability flags encode §2's core argument: every management scenario
+// needs BOTH a global view (all traffic crossing the NIC) and a process
+// view (which process/user produced it), and only OS-integrated designs
+// have both. CapabilitiesOf() is consulted by the scenario benchmarks, but
+// E3/E8/E9 also *demonstrate* each capability (or its absence) with live
+// simulation runs rather than trusting the table.
+#ifndef NORMAN_BASELINE_ARCHITECTURE_H_
+#define NORMAN_BASELINE_ARCHITECTURE_H_
+
+#include <string_view>
+
+namespace norman::baseline {
+
+enum class Architecture {
+  // Traditional in-kernel network stack: full interposition, slow (virtual
+  // data movement: syscalls + copies on every packet).
+  kKernelStack,
+  // Raw kernel bypass (DPDK-style): fast, no interposition at all.
+  kBypass,
+  // Kernel bypass with interposition inside each application's library:
+  // sees only its own traffic, and a malicious app simply skips it.
+  kBypassAppInterposition,
+  // Hypervisor/switch-level interposition (AccelNet, P4, middlebox): global
+  // view of packets, but no process table — cannot attribute traffic to
+  // processes/users and cannot signal threads.
+  kHypervisorSwitch,
+  // OS-integrated sidecar dataplane on a dedicated core (IX, Snap): full
+  // interposition, but pays physical data movement and burns a core.
+  kSidecarCore,
+  // Kernel On-Path Interposition: dataplane in the kernel-managed SmartNIC.
+  kKopi,
+};
+
+struct Capabilities {
+  bool global_view = false;    // sees traffic of all applications
+  bool process_view = false;   // knows owning pid/uid/comm/cgroup
+  bool can_enforce = false;    // policies cannot be evaded by the app
+  bool can_block_io = false;   // can wake/sleep threads on packet events
+  bool line_rate = false;      // no per-packet kernel/extra-core crossing
+};
+
+constexpr Capabilities CapabilitiesOf(Architecture arch) {
+  switch (arch) {
+    case Architecture::kKernelStack:
+      return {true, true, true, true, false};
+    case Architecture::kBypass:
+      return {false, false, false, false, true};
+    case Architecture::kBypassAppInterposition:
+      // Sees itself only; a compromised app evades it entirely.
+      return {false, true, false, false, true};
+    case Architecture::kHypervisorSwitch:
+      return {true, false, true, false, true};
+    case Architecture::kSidecarCore:
+      return {true, true, true, true, false};
+    case Architecture::kKopi:
+      return {true, true, true, true, true};
+  }
+  return {};
+}
+
+constexpr std::string_view ArchitectureName(Architecture arch) {
+  switch (arch) {
+    case Architecture::kKernelStack:
+      return "kernel-stack";
+    case Architecture::kBypass:
+      return "bypass";
+    case Architecture::kBypassAppInterposition:
+      return "bypass+app-interpose";
+    case Architecture::kHypervisorSwitch:
+      return "hypervisor/switch";
+    case Architecture::kSidecarCore:
+      return "sidecar-core";
+    case Architecture::kKopi:
+      return "KOPI";
+  }
+  return "?";
+}
+
+}  // namespace norman::baseline
+
+#endif  // NORMAN_BASELINE_ARCHITECTURE_H_

@@ -1,0 +1,130 @@
+#include "src/baseline/perf_model.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace norman::baseline {
+namespace {
+
+struct PathCosts {
+  Nanos app_core = 0;     // per-packet work on the application core
+  Nanos handoff = 0;      // cross-core descriptor handoff latency
+  Nanos extra_core = 0;   // per-packet work on the interposition core
+  Nanos mmio = 0;         // doorbell
+  Nanos dma = 0;          // host <-> NIC transfer
+  Nanos pipeline_occupancy = 0;  // NIC pipeline slot
+  Nanos pipeline_latency = 0;    // NIC stages + overlay program
+  int transfers = 0;
+};
+
+PathCosts CostsFor(Architecture arch, const sim::CostModel& cost,
+                   const PerfConfig& cfg) {
+  PathCosts c;
+  const Nanos sw_rules =
+      static_cast<Nanos>(cfg.filter_rules) * cfg.software_rule_ns;
+  switch (arch) {
+    case Architecture::kKernelStack:
+      // Virtual movement: syscall + user->kernel copy + stack traversal
+      // (which is where netfilter/qdisc run), then a normal DMA.
+      c.app_core = cost.syscall_ns + cost.CopyCost(cfg.frame_bytes) +
+                   cost.kernel_stack_per_packet_ns + sw_rules +
+                   cost.app_per_packet_ns;
+      c.dma = cost.DmaCost(cfg.frame_bytes, /*ddio_hit=*/true);
+      c.transfers = 2;  // copy + DMA
+      break;
+    case Architecture::kBypass:
+    case Architecture::kBypassAppInterposition:
+      c.app_core = cost.app_per_packet_ns +
+                   (arch == Architecture::kBypassAppInterposition ? sw_rules
+                                                                  : 0);
+      c.mmio = cost.mmio_write_ns;
+      c.dma = cost.DmaCost(cfg.frame_bytes, /*ddio_hit=*/true);
+      c.transfers = 1;  // DMA only
+      break;
+    case Architecture::kHypervisorSwitch:
+    case Architecture::kSidecarCore:
+      // Physical movement: descriptor crosses to a dedicated core that runs
+      // the interposition software, then DMAs to the NIC.
+      c.app_core = cost.app_per_packet_ns;
+      c.handoff = cost.cross_core_handoff_ns;
+      c.extra_core = cost.sidecar_per_packet_ns + sw_rules;
+      c.dma = cost.DmaCost(cfg.frame_bytes, /*ddio_hit=*/true);
+      c.transfers = 2;  // cacheline transfer between cores + DMA
+      break;
+    case Architecture::kKopi:
+      c.app_core = cost.app_per_packet_ns;
+      c.mmio = cost.mmio_write_ns;
+      c.dma = cost.DmaCost(cfg.frame_bytes, /*ddio_hit=*/true);
+      c.pipeline_occupancy = cost.NicPipelineOccupancy();
+      c.pipeline_latency =
+          4 * cost.nic_stage_latency_ns +
+          static_cast<Nanos>(cfg.filter_rules * cfg.overlay_instr_per_rule) *
+              cost.overlay_instr_ns;
+      c.transfers = 1;  // DMA only; interposition is on-path
+      break;
+  }
+  return c;
+}
+
+}  // namespace
+
+PerfResult RunPerfModel(Architecture arch, const sim::CostModel& cost,
+                        const PerfConfig& cfg) {
+  const PathCosts c = CostsFor(arch, cost, cfg);
+  const Nanos wire_cost = cost.WireCost(cfg.frame_bytes);
+
+  sim::Resource app_core("app");
+  sim::Resource extra_core("sidecar");
+  sim::Resource dma("dma");
+  sim::Resource pipeline("pipeline");
+  sim::Resource wire("wire");
+
+  PerfResult result;
+  result.arch = arch;
+  result.packets = cfg.packets;
+
+  Nanos last_completion = 0;
+  Nanos arrival = 0;
+  // Completion times of the last `window` packets (ring backpressure).
+  const uint32_t window = std::max<uint32_t>(1, cfg.window);
+  std::vector<Nanos> completions(window, 0);
+  for (uint64_t i = 0; i < cfg.packets; ++i) {
+    if (cfg.interarrival > 0) {
+      arrival = static_cast<Nanos>(i) * cfg.interarrival;
+    } else {
+      // Closed loop: the app issues the next packet as soon as its core is
+      // free AND a descriptor slot opened up.
+      arrival = std::max(app_core.next_free(), completions[i % window]);
+    }
+    Nanos t = app_core.Serve(arrival, c.app_core);
+    if (c.handoff > 0) {
+      t += c.handoff;
+      t = extra_core.Serve(t, c.extra_core);
+    }
+    t += c.mmio;
+    t = dma.Serve(t, c.dma);
+    if (c.pipeline_occupancy > 0) {
+      t = pipeline.Serve(t, c.pipeline_occupancy) + c.pipeline_latency;
+    }
+    t = wire.Serve(t, wire_cost);
+    result.latency.Add(t - arrival);
+    completions[i % window] = t;
+    last_completion = std::max(last_completion, t);
+  }
+
+  result.elapsed = last_completion;
+  if (last_completion > 0) {
+    result.throughput_pps = static_cast<double>(cfg.packets) * 1e9 /
+                            static_cast<double>(last_completion);
+    result.throughput_bps =
+        AchievedBps(cfg.packets * cfg.frame_bytes, last_completion);
+  }
+  result.app_core_utilization = app_core.Utilization(last_completion);
+  result.extra_core_utilization = extra_core.Utilization(last_completion);
+  result.transfers_per_packet = c.transfers;
+  return result;
+}
+
+}  // namespace norman::baseline

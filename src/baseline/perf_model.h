@@ -1,0 +1,70 @@
+// Per-architecture datapath performance model (experiment E1).
+//
+// All four measured architectures are simulated over the same resources —
+// application core, optional interposition core, DMA engine, NIC pipeline,
+// wire — with per-operation costs from the shared sim::CostModel. Only the
+// *sequence of operations per packet* differs:
+//
+//   kernel-stack : app core [syscall + user->kernel copy + stack + filters]
+//                  -> DMA -> wire                      (2 transfers/packet)
+//   bypass       : app core [descriptor write] -> MMIO -> DMA -> wire
+//                                                        (1 transfer/packet)
+//   sidecar-core : app core [descriptor] -> cross-core handoff ->
+//                  sidecar core [software filters] -> DMA -> wire
+//                                                        (2 transfers/packet)
+//   KOPI         : app core [descriptor] -> MMIO -> DMA ->
+//                  NIC pipeline [overlay filters] -> wire
+//                                                        (1 transfer/packet)
+//
+// The model runs an open-loop arrival process and reports sustained
+// throughput, latency percentiles, per-core utilization, and the data-
+// movement count — the quantities Figure 1 and §1/§3 argue about.
+#ifndef NORMAN_BASELINE_PERF_MODEL_H_
+#define NORMAN_BASELINE_PERF_MODEL_H_
+
+#include <cstdint>
+
+#include "src/baseline/architecture.h"
+#include "src/common/stats.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/resource.h"
+
+namespace norman::baseline {
+
+struct PerfConfig {
+  uint64_t packets = 100'000;
+  size_t frame_bytes = 1024;
+  // 0 = closed-loop saturation (next packet as soon as the app core frees
+  // AND a descriptor slot is available — see `window`).
+  Nanos interarrival = 0;
+  // Closed-loop in-flight cap, modeling the TX descriptor ring: packet i
+  // cannot be issued before packet i-window completed. Prevents unbounded
+  // queue growth at the bottleneck stage.
+  uint32_t window = 256;
+  // Active filter/policy rules the interposition layer evaluates.
+  int filter_rules = 0;
+  // Software cost per rule per packet (kernel stack / sidecar).
+  Nanos software_rule_ns = 18;
+  // Overlay instructions per rule per packet (KOPI hardware matcher).
+  int overlay_instr_per_rule = 6;
+};
+
+struct PerfResult {
+  Architecture arch{};
+  uint64_t packets = 0;
+  Nanos elapsed = 0;
+  double throughput_pps = 0;
+  double throughput_bps = 0;
+  LatencyHistogram latency;
+  double app_core_utilization = 0;
+  double extra_core_utilization = 0;  // sidecar core (0 when none exists)
+  int transfers_per_packet = 0;       // bulk data movements (copy or DMA)
+};
+
+// Runs the model for one architecture.
+PerfResult RunPerfModel(Architecture arch, const sim::CostModel& cost,
+                        const PerfConfig& config);
+
+}  // namespace norman::baseline
+
+#endif  // NORMAN_BASELINE_PERF_MODEL_H_

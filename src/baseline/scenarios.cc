@@ -1,0 +1,214 @@
+#include "src/baseline/scenarios.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/dataplane/qdisc.h"
+#include "src/overlay/packet_context.h"
+
+namespace norman::baseline {
+namespace {
+
+// A transmission attempt in the miniature world.
+struct Attempt {
+  uint32_t pid;
+  uint32_t uid;
+  std::string comm;
+  uint16_t dst_port;
+  bool is_bogus_arp = false;
+  bool malicious = false;  // will evade any in-app hook
+};
+
+// What the architecture's interposition point observes for one attempt:
+// nothing, the frame alone, or the frame plus owner metadata.
+struct Observation {
+  bool frame_visible = false;
+  std::optional<uint32_t> pid;
+  std::optional<uint32_t> uid;
+  uint16_t dst_port = 0;
+  bool is_bogus_arp = false;
+};
+
+Observation Observe(Architecture arch, const Attempt& a) {
+  Observation o;
+  const Capabilities caps = CapabilitiesOf(arch);
+  switch (arch) {
+    case Architecture::kBypass:
+      return o;  // nobody on path
+    case Architecture::kBypassAppInterposition:
+      if (a.malicious) {
+        return o;  // the app simply does not call its own hook
+      }
+      o.frame_visible = true;
+      o.pid = a.pid;  // an app knows itself...
+      o.uid = a.uid;
+      break;
+    case Architecture::kHypervisorSwitch:
+      o.frame_visible = true;  // ...but the hypervisor knows no processes
+      break;
+    case Architecture::kKernelStack:
+    case Architecture::kSidecarCore:
+    case Architecture::kKopi:
+      o.frame_visible = true;
+      o.pid = a.pid;
+      o.uid = a.uid;
+      break;
+  }
+  (void)caps;
+  o.dst_port = a.dst_port;
+  o.is_bogus_arp = a.is_bogus_arp;
+  return o;
+}
+
+// Whether the architecture can actually stop this attempt (enforcement
+// point the app cannot route around).
+bool CanBlock(Architecture arch, const Attempt& a, const Observation& o) {
+  if (!o.frame_visible) {
+    return false;
+  }
+  if (arch == Architecture::kBypassAppInterposition && a.malicious) {
+    return false;  // unreachable anyway (no observation), kept for clarity
+  }
+  return true;
+}
+
+}  // namespace
+
+ScenarioOutcome RunDebuggingScenario(Architecture arch) {
+  // Apps: pid 101 (web, bob), 102 (cache, charlie), 103 (buggy, charlie).
+  // 103 floods bogus ARP requests. Who can the admin blame?
+  const std::vector<Attempt> attempts = {
+      {101, 1001, "web", 443, false, false},
+      {102, 1002, "cache", 6379, false, false},
+      {103, 1002, "buggy", 0, /*is_bogus_arp=*/true, /*malicious=*/true},
+      {103, 1002, "buggy", 0, true, true},
+      {103, 1002, "buggy", 0, true, true},
+  };
+  int bogus_seen = 0;
+  std::map<uint32_t, int> bogus_by_pid;
+  for (const Attempt& a : attempts) {
+    const Observation o = Observe(arch, a);
+    if (o.frame_visible && o.is_bogus_arp) {
+      ++bogus_seen;
+      if (o.pid) {
+        ++bogus_by_pid[*o.pid];
+      }
+    }
+  }
+  ScenarioOutcome out;
+  if (bogus_by_pid.size() == 1 && bogus_by_pid.begin()->first == 103) {
+    out.success = true;
+    out.detail = "flood attributed to pid 103 (" +
+                 std::to_string(bogus_by_pid.begin()->second) +
+                 " bogus ARP frames observed with owner metadata)";
+  } else if (bogus_seen > 0) {
+    out.detail = "flood visible (" + std::to_string(bogus_seen) +
+                 " frames) but carries no process identity: admin must "
+                 "inspect every application by hand";
+  } else {
+    out.detail = "flood invisible: no on-path observer";
+  }
+  return out;
+}
+
+ScenarioOutcome RunPortPartitioningScenario(Architecture arch) {
+  // Policy: only uid 1001's "postgres" may send to port 5432.
+  const std::vector<Attempt> attempts = {
+      {201, 1001, "postgres", 5432, false, false},  // legitimate
+      {202, 1002, "rogue", 5432, false, true},      // violation
+      {203, 1002, "mysql", 3306, false, false},     // unrelated
+  };
+  bool legit_passed = false;
+  bool violation_blocked = false;
+  bool collateral_damage = false;
+  for (const Attempt& a : attempts) {
+    const Observation o = Observe(arch, a);
+    bool blocked = false;
+    if (CanBlock(arch, a, o) && o.dst_port == 5432) {
+      if (o.uid.has_value()) {
+        blocked = *o.uid != 1001;  // precise owner match
+      } else {
+        // No process view: the only expressible policy is port-scoped,
+        // which would block the legitimate user too. A rational admin
+        // blocks nothing (policy unenforceable) — model the attempt:
+        blocked = false;
+      }
+    }
+    if (a.pid == 201) {
+      legit_passed = !blocked;
+      collateral_damage = blocked;
+    }
+    if (a.pid == 202) {
+      violation_blocked = blocked;
+    }
+  }
+  ScenarioOutcome out;
+  out.success = legit_passed && violation_blocked && !collateral_damage;
+  if (out.success) {
+    out.detail = "rogue uid-1002 sender blocked on 5432; postgres (uid 1001) "
+                 "unaffected";
+  } else if (!violation_blocked) {
+    out.detail = "violation reached the wire: enforcement point missing or "
+                 "cannot match on uid/comm";
+  } else {
+    out.detail = "policy enforced only with collateral damage";
+  }
+  return out;
+}
+
+ScenarioOutcome RunProcessSchedulingScenario(Architecture arch) {
+  const Capabilities caps = CapabilitiesOf(arch);
+  ScenarioOutcome out;
+  // Blocking I/O needs an interposition point that (a) observes packet
+  // arrival and (b) can signal the kernel scheduler to wake the thread.
+  out.success = caps.can_block_io;
+  out.detail = out.success
+                   ? "packet arrival wakes the blocked thread (notification "
+                     "-> kernel -> scheduler); idle apps burn no cycles"
+                   : "no wake path: applications must poll, burning a full "
+                     "core regardless of traffic";
+  return out;
+}
+
+ScenarioOutcome RunQosScenario(Architecture arch) {
+  const Capabilities caps = CapabilitiesOf(arch);
+  ScenarioOutcome out;
+  if (!caps.global_view) {
+    out.detail = "no vantage point sees all competing senders: "
+                 "work-conserving fair shares are impossible";
+    return out;
+  }
+  if (!caps.process_view) {
+    out.detail = "competing traffic visible, but the game uses ephemeral "
+                 "ports each session: without user/process attribution the "
+                 "shaper cannot pick out the flows to deprioritize";
+    return out;
+  }
+  // Architecture has both views: demonstrate with the real WFQ discipline,
+  // classifying by owner uid (8:1 productive:game shares).
+  dataplane::WfqQdisc wfq(dataplane::ClassifyByUid({{1001, 1}, {1002, 2}}));
+  wfq.SetWeight(1, 8.0);
+  wfq.SetWeight(2, 1.0);
+  overlay::PacketContext productive, game;
+  productive.conn = overlay::ConnMetadata{1, 1001, 301, 1, 0};
+  game.conn = overlay::ConnMetadata{2, 1002, 302, 1, 0};
+  for (int i = 0; i < 500; ++i) {
+    wfq.Enqueue(std::make_unique<net::Packet>(std::vector<uint8_t>(1000)),
+                productive);
+    wfq.Enqueue(std::make_unique<net::Packet>(std::vector<uint8_t>(1000)),
+                game);
+  }
+  for (int i = 0; i < 500; ++i) {
+    (void)wfq.Dequeue(0);
+  }
+  const double ratio =
+      static_cast<double>(wfq.dequeued_bytes(1)) /
+      static_cast<double>(std::max<uint64_t>(1, wfq.dequeued_bytes(2)));
+  out.success = ratio > 6.0 && ratio < 10.0;
+  out.detail = "WFQ by owner uid achieved " + std::to_string(ratio) +
+               ":1 (configured 8:1)";
+  return out;
+}
+
+}  // namespace norman::baseline

@@ -1,0 +1,41 @@
+// §2's four management scenarios, run live under each interposition
+// architecture (experiment E3 — the paper's central capability matrix).
+//
+// Each scenario is a miniature simulation with concrete mechanics:
+//  * Debugging       — three apps, one floods bogus ARP; can the admin's
+//                      tooling attribute the flood to the culprit process?
+//  * PortPartitioning— policy "only bob's postgres may use port 5432"; a
+//                      rogue process tries anyway; is the violation blocked
+//                      without collateral damage to the legitimate user?
+//  * ProcessScheduling— an app wants blocking recv; does the architecture
+//                      have a wake signal path (vs forced polling)?
+//  * QoS             — weighted fair shares across two users' competing
+//                      traffic; do achieved shares track the configured
+//                      weights?
+//
+// The mechanics matter: app-level interposition fails PortPartitioning not
+// by fiat but because the malicious app *skips its own library hook*;
+// hypervisor interposition fails Debugging because its observations carry
+// no pid; and so on. KOPI's runs use the real dataplane components.
+#ifndef NORMAN_BASELINE_SCENARIOS_H_
+#define NORMAN_BASELINE_SCENARIOS_H_
+
+#include <string>
+
+#include "src/baseline/architecture.h"
+
+namespace norman::baseline {
+
+struct ScenarioOutcome {
+  bool success = false;
+  std::string detail;  // human-readable evidence from the run
+};
+
+ScenarioOutcome RunDebuggingScenario(Architecture arch);
+ScenarioOutcome RunPortPartitioningScenario(Architecture arch);
+ScenarioOutcome RunProcessSchedulingScenario(Architecture arch);
+ScenarioOutcome RunQosScenario(Architecture arch);
+
+}  // namespace norman::baseline
+
+#endif  // NORMAN_BASELINE_SCENARIOS_H_

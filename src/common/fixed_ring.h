@@ -1,0 +1,71 @@
+// Fixed-capacity power-of-two ring (SPSC-style index discipline).
+//
+// This is the generic index machinery shared by NIC descriptor rings and
+// notification queues: head/tail are free-running uint32 counters and the
+// ring is full when head - tail == capacity. The same discipline is exposed
+// to applications through MMIO in the NIC model, so keeping it here lets
+// tests exercise the wrap/overflow arithmetic in isolation.
+#ifndef NORMAN_COMMON_FIXED_RING_H_
+#define NORMAN_COMMON_FIXED_RING_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace norman {
+
+template <typename T>
+class FixedRing {
+ public:
+  // Capacity must be a power of two (mask-based wrap).
+  explicit FixedRing(uint32_t capacity)
+      : capacity_(capacity), mask_(capacity - 1), slots_(capacity) {
+    assert(capacity != 0 && (capacity & (capacity - 1)) == 0 &&
+           "capacity must be a power of two");
+  }
+
+  uint32_t capacity() const { return capacity_; }
+  uint32_t size() const { return head_ - tail_; }
+  bool empty() const { return head_ == tail_; }
+  bool full() const { return size() == capacity_; }
+
+  // Free-running producer/consumer counters (wrap naturally at 2^32).
+  uint32_t head() const { return head_; }
+  uint32_t tail() const { return tail_; }
+
+  bool TryPush(T value) {
+    if (full()) {
+      return false;
+    }
+    slots_[head_ & mask_] = std::move(value);
+    ++head_;
+    return true;
+  }
+
+  std::optional<T> TryPop() {
+    if (empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(slots_[tail_ & mask_]);
+    ++tail_;
+    return value;
+  }
+
+  // Peek at the oldest element without consuming it.
+  const T* Peek() const { return empty() ? nullptr : &slots_[tail_ & mask_]; }
+  T* Peek() { return empty() ? nullptr : &slots_[tail_ & mask_]; }
+
+  void Clear() { tail_ = head_; }
+
+ private:
+  uint32_t capacity_;
+  uint32_t mask_;
+  std::vector<T> slots_;
+  uint32_t head_ = 0;
+  uint32_t tail_ = 0;
+};
+
+}  // namespace norman
+
+#endif  // NORMAN_COMMON_FIXED_RING_H_

@@ -1,0 +1,153 @@
+// Intrusive doubly-linked list.
+//
+// Queueing disciplines and flow tables hold packets and flow state on hot
+// paths; an intrusive list avoids per-node allocation and gives O(1) unlink
+// from the middle (needed e.g. when a filter drops a queued packet).
+//
+// Usage:
+//   struct Flow { IntrusiveListNode node; ... };
+//   IntrusiveList<Flow, &Flow::node> active;
+#ifndef NORMAN_COMMON_INTRUSIVE_LIST_H_
+#define NORMAN_COMMON_INTRUSIVE_LIST_H_
+
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+
+namespace norman {
+
+struct IntrusiveListNode {
+  IntrusiveListNode* prev = nullptr;
+  IntrusiveListNode* next = nullptr;
+
+  bool linked() const { return prev != nullptr; }
+
+  // Unlink from whatever list contains this node; no-op if unlinked.
+  void Unlink() {
+    if (!linked()) {
+      return;
+    }
+    prev->next = next;
+    next->prev = prev;
+    prev = next = nullptr;
+  }
+};
+
+template <typename T, IntrusiveListNode T::* NodeMember>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    sentinel_.prev = &sentinel_;
+    sentinel_.next = &sentinel_;
+  }
+
+  // The list never owns its elements; destroying it leaves nodes linked to a
+  // dead sentinel, so require emptiness (callers must drain first).
+  ~IntrusiveList() { assert(empty()); }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return sentinel_.next == &sentinel_; }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const IntrusiveListNode* p = sentinel_.next; p != &sentinel_;
+         p = p->next) {
+      ++n;
+    }
+    return n;
+  }
+
+  void PushBack(T* item) { InsertBefore(&sentinel_, item); }
+  void PushFront(T* item) { InsertBefore(sentinel_.next, item); }
+
+  T* Front() { return empty() ? nullptr : FromNode(sentinel_.next); }
+  T* Back() { return empty() ? nullptr : FromNode(sentinel_.prev); }
+
+  T* PopFront() {
+    T* item = Front();
+    if (item != nullptr) {
+      (item->*NodeMember).Unlink();
+    }
+    return item;
+  }
+
+  T* PopBack() {
+    T* item = Back();
+    if (item != nullptr) {
+      (item->*NodeMember).Unlink();
+    }
+    return item;
+  }
+
+  static void Remove(T* item) { (item->*NodeMember).Unlink(); }
+
+  static bool IsLinked(const T* item) { return (item->*NodeMember).linked(); }
+
+  void Clear() {
+    while (!empty()) {
+      PopFront();
+    }
+  }
+
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = T*;
+    using reference = T&;
+
+    explicit Iterator(IntrusiveListNode* node) : node_(node) {}
+
+    T& operator*() const { return *FromNode(node_); }
+    T* operator->() const { return FromNode(node_); }
+
+    Iterator& operator++() {
+      node_ = node_->next;
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator old = *this;
+      node_ = node_->next;
+      return old;
+    }
+
+    friend bool operator==(const Iterator& a, const Iterator& b) {
+      return a.node_ == b.node_;
+    }
+
+   private:
+    IntrusiveListNode* node_;
+  };
+
+  Iterator begin() { return Iterator(sentinel_.next); }
+  Iterator end() { return Iterator(&sentinel_); }
+
+ private:
+  static T* FromNode(IntrusiveListNode* node) {
+    // Recover the owner from the member pointer without UB-prone offsetof on
+    // non-standard-layout types: use the member pointer on a null-ish basis.
+    // This is the classic containerof; T is required to be standard layout
+    // for strict correctness of the arithmetic below.
+    const auto offset = reinterpret_cast<size_t>(
+        &(static_cast<T*>(nullptr)->*NodeMember));
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(node) - offset);
+  }
+
+  void InsertBefore(IntrusiveListNode* pos, T* item) {
+    IntrusiveListNode* node = &(item->*NodeMember);
+    assert(!node->linked());
+    node->prev = pos->prev;
+    node->next = pos;
+    pos->prev->next = node;
+    pos->prev = node;
+  }
+
+  IntrusiveListNode sentinel_;
+};
+
+}  // namespace norman
+
+#endif  // NORMAN_COMMON_INTRUSIVE_LIST_H_

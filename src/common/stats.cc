@@ -1,0 +1,165 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace norman {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(static_cast<size_t>(kDecades) * kSubBuckets, 0) {}
+
+int LatencyHistogram::BucketIndex(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  const uint64_t v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) {
+    // First decade is exact.
+    return static_cast<int>(v);
+  }
+  const int msb = 63 - std::countl_zero(v);
+  const int decade = msb - kSubBucketBits + 1;
+  const int sub = static_cast<int>(v >> decade) & (kSubBuckets - 1);
+  return decade * kSubBuckets + sub + kSubBuckets;
+}
+
+int64_t LatencyHistogram::BucketUpperBound(int index) {
+  if (index < kSubBuckets) {
+    return index;
+  }
+  index -= kSubBuckets;
+  const int decade = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  // Bucket (decade, sub) covers [sub << decade, (sub+1) << decade).
+  return static_cast<int64_t>(
+      (static_cast<uint64_t>(sub + 1) << decade) - 1);
+}
+
+void LatencyHistogram::Add(int64_t value_ns) {
+  const int idx = BucketIndex(value_ns);
+  NORMAN_CHECK(idx >= 0 && static_cast<size_t>(idx) < buckets_.size());
+  ++buckets_[static_cast<size_t>(idx)];
+  if (count_ == 0) {
+    min_ = max_ = value_ns;
+  } else {
+    min_ = std::min(min_, value_ns);
+    max_ = std::max(max_, value_ns);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value_ns);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  NORMAN_CHECK(buckets_.size() == other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+int64_t LatencyHistogram::min() const { return count_ > 0 ? min_ : 0; }
+int64_t LatencyHistogram::max() const { return count_ > 0 ? max_ : 0; }
+
+double LatencyHistogram::mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+int64_t LatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(BucketUpperBound(static_cast<int>(i)), max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "p50=%s p90=%s p99=%s max=%s n=%llu",
+                FormatNanos(p50()).c_str(), FormatNanos(p90()).c_str(),
+                FormatNanos(p99()).c_str(), FormatNanos(max()).c_str(),
+                static_cast<unsigned long long>(count_));
+  return buf;
+}
+
+std::string FormatNanos(int64_t ns) {
+  char buf[48];
+  const double v = static_cast<double>(ns);
+  if (ns < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns));
+  } else if (ns < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", v / 1e3);
+  } else if (ns < 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", v / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", v / 1e9);
+  }
+  return buf;
+}
+
+std::string FormatBps(double bps) {
+  char buf[48];
+  if (bps >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f Gbps", bps / 1e9);
+  } else if (bps >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f Mbps", bps / 1e6);
+  } else if (bps >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f Kbps", bps / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f bps", bps);
+  }
+  return buf;
+}
+
+}  // namespace norman

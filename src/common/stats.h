@@ -1,0 +1,89 @@
+// Statistics helpers: running moments and an HdrHistogram-style
+// log-linear latency histogram with percentile queries.
+#ifndef NORMAN_COMMON_STATS_H_
+#define NORMAN_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace norman {
+
+// Single-pass mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void Reset();
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Log-linear histogram over non-negative integer samples (latency in ns).
+// Buckets: for each power-of-two decade there are `kSubBuckets` linear
+// sub-buckets, giving a bounded relative error (~1/kSubBuckets) at any scale.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Add(int64_t value_ns);
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  int64_t min() const;
+  int64_t max() const;
+  double mean() const;
+
+  // Value at quantile q in [0,1]; returns an upper bound of the containing
+  // bucket, matching HdrHistogram convention.
+  int64_t Percentile(double q) const;
+
+  int64_t p50() const { return Percentile(0.50); }
+  int64_t p90() const { return Percentile(0.90); }
+  int64_t p99() const { return Percentile(0.99); }
+  int64_t p999() const { return Percentile(0.999); }
+
+  void Reset();
+
+  // "p50=1.2us p99=8.4us max=20.1us n=1000"
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per decade
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  // Decades 0..(64 - kSubBucketBits - 1) plus the exact first-decade block.
+  static constexpr int kDecades = 64 - kSubBucketBits + 1;
+
+  static int BucketIndex(int64_t value);
+  static int64_t BucketUpperBound(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+// Pretty-print a nanosecond quantity with an adaptive unit ("1.25us").
+std::string FormatNanos(int64_t ns);
+
+// Pretty-print a bits/sec quantity ("94.3 Gbps").
+std::string FormatBps(double bps);
+
+}  // namespace norman
+
+#endif  // NORMAN_COMMON_STATS_H_

@@ -1,0 +1,49 @@
+// Strong-ish unit helpers for time, sizes and rates used across the
+// simulator. Virtual time is a plain int64 nanosecond count (Nanos); keeping
+// it integral makes event ordering exact and hashable.
+#ifndef NORMAN_COMMON_UNITS_H_
+#define NORMAN_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace norman {
+
+// Virtual simulation time in nanoseconds since simulation start.
+using Nanos = int64_t;
+
+constexpr Nanos kNanosecond = 1;
+constexpr Nanos kMicrosecond = 1000;
+constexpr Nanos kMillisecond = 1000 * kMicrosecond;
+constexpr Nanos kSecond = 1000 * kMillisecond;
+
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * kKiB;
+constexpr uint64_t kGiB = 1024 * kMiB;
+
+// Link and processing rates in bits per second.
+using BitsPerSecond = uint64_t;
+
+constexpr BitsPerSecond kGbps = 1'000'000'000ULL;
+
+// Time to serialize `bytes` at `rate` (rounded up to a whole nanosecond so a
+// non-zero payload always costs non-zero time).
+constexpr Nanos TransmissionDelay(uint64_t bytes, BitsPerSecond rate) {
+  if (rate == 0) {
+    return 0;
+  }
+  const uint64_t bits = bytes * 8;
+  return static_cast<Nanos>((bits * 1'000'000'000ULL + rate - 1) / rate);
+}
+
+// Achieved rate in bits/s given bytes moved over an interval.
+constexpr double AchievedBps(uint64_t bytes, Nanos interval) {
+  if (interval <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) * 8.0 * 1e9 /
+         static_cast<double>(interval);
+}
+
+}  // namespace norman
+
+#endif  // NORMAN_COMMON_UNITS_H_

@@ -1,0 +1,60 @@
+#include "src/dataplane/arp_service.h"
+
+#include <algorithm>
+
+namespace norman::dataplane {
+
+ArpService::ArpService(sim::Simulator* sim, net::Ipv4Address local_ip,
+                       net::MacAddress local_mac)
+    : sim_(sim), local_mac_(local_mac) {
+  local_ips_.push_back(local_ip);
+}
+
+void ArpService::AddLocalAddress(net::Ipv4Address ip) {
+  local_ips_.push_back(ip);
+}
+
+nic::StageResult ArpService::Process(net::Packet& packet,
+                                     const overlay::PacketContext& ctx) {
+  nic::StageResult result;
+  if (ctx.parsed == nullptr || !ctx.parsed->is_arp()) {
+    return result;
+  }
+  const net::ArpMessage& arp = *ctx.parsed->arp;
+  const Nanos now = packet.meta().nic_arrival != 0 ? packet.meta().nic_arrival
+                                                   : sim_->Now();
+
+  if (ctx.direction == net::Direction::kTx) {
+    // Record who emitted it — the process-view forensic log.
+    ArpTxObservation obs;
+    obs.timestamp = now;
+    obs.owner = ctx.conn;
+    obs.claimed_sender_mac = arp.sender_mac;
+    obs.claimed_sender_ip = arp.sender_ip;
+    obs.target_ip = arp.target_ip;
+    obs.is_request = arp.op == net::ArpOp::kRequest;
+    tx_observations_.push_back(obs);
+    return result;
+  }
+
+  // RX: learn the sender.
+  cache_[arp.sender_ip.addr] = ArpCacheEntry{arp.sender_ip, arp.sender_mac,
+                                             now};
+  // Answer requests for our addresses directly from the NIC.
+  if (arp.op == net::ArpOp::kRequest &&
+      std::find(local_ips_.begin(), local_ips_.end(), arp.target_ip) !=
+          local_ips_.end()) {
+    if (inject_) {
+      auto reply = std::make_unique<net::Packet>(net::BuildArpReply(
+          local_mac_, arp.target_ip, arp.sender_mac, arp.sender_ip));
+      reply->meta().created_at = now;
+      inject_(std::move(reply));
+    }
+    ++replies_generated_;
+    // The request was consumed by the NIC; no host delivery needed.
+    result.verdict = nic::Verdict::kDrop;
+  }
+  return result;
+}
+
+}  // namespace norman::dataplane

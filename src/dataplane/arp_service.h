@@ -1,0 +1,79 @@
+// ARP handling with a global + process view (§2 "Debugging").
+//
+// The service plays two roles:
+//  * RX: maintain the host's ARP cache from observed replies/requests and
+//    answer requests for locally-owned IPs directly from the NIC (so
+//    kernel-bypass apps never need to speak ARP themselves);
+//  * TX: observe ARP frames *emitted by applications* and record which
+//    connection/process sent them — this is exactly the forensic record
+//    Alice needs to trace the flood of bogus ARP requests to the buggy
+//    process, which no per-app or hypervisor-level tap could provide.
+#ifndef NORMAN_DATAPLANE_ARP_SERVICE_H_
+#define NORMAN_DATAPLANE_ARP_SERVICE_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/net/packet_builder.h"
+#include "src/net/types.h"
+#include "src/nic/pipeline.h"
+#include "src/sim/simulator.h"
+
+namespace norman::dataplane {
+
+struct ArpCacheEntry {
+  net::Ipv4Address ip;
+  net::MacAddress mac;
+  Nanos updated = 0;
+};
+
+// One observed application-originated ARP transmission.
+struct ArpTxObservation {
+  Nanos timestamp = 0;
+  overlay::ConnMetadata owner;
+  net::MacAddress claimed_sender_mac;
+  net::Ipv4Address claimed_sender_ip;
+  net::Ipv4Address target_ip;
+  bool is_request = true;
+};
+
+class ArpService : public nic::PipelineStage {
+ public:
+  // `local_ip`/`local_mac`: identity the NIC answers requests for.
+  // `inject_tx`: callback the NIC uses to put generated replies on the wire.
+  ArpService(sim::Simulator* sim, net::Ipv4Address local_ip,
+             net::MacAddress local_mac);
+
+  std::string_view name() const override { return "arp"; }
+
+  // Additional local addresses (RSS "virtual interface" partitioning gives
+  // each tenant an IP on the same NIC).
+  void AddLocalAddress(net::Ipv4Address ip);
+
+  void SetReplyInjector(std::function<void(net::PacketPtr)> inject) {
+    inject_ = std::move(inject);
+  }
+
+  nic::StageResult Process(net::Packet& packet,
+                      const overlay::PacketContext& ctx) override;
+
+  const std::map<uint32_t, ArpCacheEntry>& cache() const { return cache_; }
+  const std::vector<ArpTxObservation>& tx_observations() const {
+    return tx_observations_;
+  }
+  uint64_t replies_generated() const { return replies_generated_; }
+
+ private:
+  sim::Simulator* sim_;
+  net::MacAddress local_mac_;
+  std::vector<net::Ipv4Address> local_ips_;
+  std::map<uint32_t, ArpCacheEntry> cache_;  // keyed by IPv4 addr
+  std::vector<ArpTxObservation> tx_observations_;
+  std::function<void(net::PacketPtr)> inject_;
+  uint64_t replies_generated_ = 0;
+};
+
+}  // namespace norman::dataplane
+
+#endif  // NORMAN_DATAPLANE_ARP_SERVICE_H_

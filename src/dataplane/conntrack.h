@@ -1,0 +1,76 @@
+// Connection tracker: per-flow state observed on the NIC.
+//
+// Gives the dataplane (and netstat-style tools) the established/new
+// distinction and liveness information the kernel's conntrack provides
+// today. State lives in NIC SRAM; when full, new flows are reported as
+// untracked rather than evicting established ones (§5's "careful data
+// structure design" mitigation).
+#ifndef NORMAN_DATAPLANE_CONNTRACK_H_
+#define NORMAN_DATAPLANE_CONNTRACK_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/net/headers.h"
+#include "src/net/types.h"
+#include "src/nic/pipeline.h"
+#include "src/nic/sram.h"
+
+namespace norman::dataplane {
+
+inline constexpr uint64_t kConntrackEntryBytes = 64;
+
+enum class ConnState : uint8_t {
+  kNew = 0,
+  kSynSent,
+  kEstablished,
+  kFinWait,
+  kClosed,
+};
+
+struct ConntrackEntry {
+  net::FiveTuple tuple;  // canonical orientation = first packet seen
+  ConnState state = ConnState::kNew;
+  uint64_t packets = 0;
+  uint64_t bytes = 0;
+  Nanos first_seen = 0;
+  Nanos last_seen = 0;
+};
+
+class Conntrack : public nic::PipelineStage {
+ public:
+  Conntrack(nic::SramAllocator* sram, Nanos idle_timeout = 120 * kSecond);
+
+  std::string_view name() const override { return "conntrack"; }
+
+  nic::StageResult Process(net::Packet& packet,
+                      const overlay::PacketContext& ctx) override;
+
+  // Expires idle/closed entries; returns the number removed. The kernel
+  // control plane runs this periodically.
+  size_t Sweep(Nanos now);
+
+  const ConntrackEntry* Lookup(const net::FiveTuple& tuple) const;
+  size_t size() const { return table_.size(); }
+  uint64_t untracked() const { return untracked_; }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [tuple, entry] : table_) {
+      fn(entry);
+    }
+  }
+
+ private:
+  void Advance(ConntrackEntry& entry, uint8_t tcp_flags, bool from_initiator);
+
+  nic::SramAllocator* sram_;
+  Nanos idle_timeout_;
+  std::unordered_map<net::FiveTuple, ConntrackEntry, net::FiveTupleHash>
+      table_;
+  uint64_t untracked_ = 0;
+};
+
+}  // namespace norman::dataplane
+
+#endif  // NORMAN_DATAPLANE_CONNTRACK_H_

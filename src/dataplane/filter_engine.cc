@@ -1,0 +1,205 @@
+#include "src/dataplane/filter_engine.h"
+
+#include "src/common/logging.h"
+#include "src/overlay/interpreter.h"
+#include "src/overlay/verifier.h"
+
+namespace norman::dataplane {
+namespace {
+
+using overlay::Field;
+using overlay::Instruction;
+using overlay::Opcode;
+
+constexpr int64_t kNextPlaceholder = -1;
+
+int64_t EncodeVerdict(uint32_t rule_index, FilterAction action) {
+  return (static_cast<int64_t>(rule_index) << 2) |
+         static_cast<int64_t>(action);
+}
+
+// Emits the match block for one rule. Instructions with jump_target ==
+// kNextPlaceholder are patched to the next rule's block start afterwards.
+void EmitRule(const FilterRule& r, uint32_t index, overlay::Program* out) {
+  auto mismatch_if = [out](Opcode cmp, uint8_t reg, int64_t value) {
+    Instruction ins = Instruction::JmpCmpImm(cmp, reg, value,
+                                             kNextPlaceholder);
+    out->push_back(ins);
+  };
+  auto load_and_mismatch_ne = [&](Field f, int64_t expected) {
+    out->push_back(Instruction::Ldf(1, f));
+    mismatch_if(Opcode::kJne, 1, expected);
+  };
+
+  if (r.direction) {
+    load_and_mismatch_ne(Field::kDirection,
+                         *r.direction == net::Direction::kRx ? 1 : 0);
+  }
+  if (r.proto) {
+    // Non-IPv4 frames (is_ipv4 == 0) can never match a proto rule.
+    load_and_mismatch_ne(Field::kIsIpv4, 1);
+    load_and_mismatch_ne(Field::kIpProto, static_cast<int64_t>(*r.proto));
+  }
+  auto emit_prefix_match = [&](Field f, net::Ipv4Address ip,
+                               uint32_t prefix) {
+    out->push_back(Instruction::Ldf(1, f));
+    if (prefix < 32) {
+      out->push_back(Instruction::AluImm(Opcode::kShr, 1, 32 - prefix));
+      mismatch_if(Opcode::kJne, 1, ip.addr >> (32 - prefix));
+    } else {
+      mismatch_if(Opcode::kJne, 1, ip.addr);
+    }
+  };
+  if (r.src_ip) {
+    emit_prefix_match(Field::kIpSrc, *r.src_ip, r.src_ip_prefix.value_or(32));
+  }
+  if (r.dst_ip) {
+    emit_prefix_match(Field::kIpDst, *r.dst_ip, r.dst_ip_prefix.value_or(32));
+  }
+  auto emit_port_match = [&](Field f, const PortRange& range) {
+    out->push_back(Instruction::Ldf(1, f));
+    if (range.lo == range.hi) {
+      mismatch_if(Opcode::kJne, 1, range.lo);
+    } else {
+      mismatch_if(Opcode::kJlt, 1, range.lo);
+      mismatch_if(Opcode::kJgt, 1, range.hi);
+    }
+  };
+  if (r.src_port) {
+    emit_port_match(Field::kSrcPort, *r.src_port);
+  }
+  if (r.dst_port) {
+    emit_port_match(Field::kDstPort, *r.dst_port);
+  }
+  if (r.owner_uid) {
+    load_and_mismatch_ne(Field::kOwnerUid, *r.owner_uid);
+  }
+  if (r.owner_pid) {
+    load_and_mismatch_ne(Field::kOwnerPid, *r.owner_pid);
+  }
+  if (r.owner_comm) {
+    load_and_mismatch_ne(Field::kOwnerComm, *r.owner_comm);
+  }
+  if (r.owner_cgroup) {
+    load_and_mismatch_ne(Field::kOwnerCgroup, *r.owner_cgroup);
+  }
+  // All predicates held: return this rule's encoded action.
+  out->push_back(Instruction::RetImm(EncodeVerdict(index, r.action)));
+}
+
+}  // namespace
+
+overlay::Program CompileFilterChain(const std::vector<FilterRule>& rules,
+                                    FilterAction default_action) {
+  overlay::Program program;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const size_t block_start = program.size();
+    EmitRule(rules[i], static_cast<uint32_t>(i), &program);
+    // Patch this block's "mismatch -> next rule" placeholders to the index
+    // just past the block (start of the next rule / default tail).
+    const int64_t next = static_cast<int64_t>(program.size());
+    for (size_t pc = block_start; pc < program.size(); ++pc) {
+      if (overlay::IsJump(program[pc].op) &&
+          program[pc].jump_target == kNextPlaceholder) {
+        program[pc].jump_target = next;
+      }
+    }
+  }
+  program.push_back(Instruction::RetImm(
+      EncodeVerdict(kDefaultRuleIndex, default_action)));
+  return program;
+}
+
+FilterEngine::FilterEngine(FilterAction default_action)
+    : default_action_(default_action) {
+  NORMAN_CHECK(Recompile().ok());
+}
+
+StatusOr<size_t> FilterEngine::AppendRule(const FilterRule& rule) {
+  rules_.push_back(rule);
+  hits_.push_back(0);
+  const Status s = Recompile();
+  if (!s.ok()) {
+    rules_.pop_back();
+    hits_.pop_back();
+    NORMAN_CHECK(Recompile().ok());
+    return ResourceExhaustedError(
+        "filter: chain no longer fits overlay instruction memory (" +
+        s.message() + ")");
+  }
+  return rules_.size() - 1;
+}
+
+Status FilterEngine::InsertRule(size_t index, const FilterRule& rule) {
+  if (index > rules_.size()) {
+    return OutOfRangeError("filter: insert index past end of chain");
+  }
+  rules_.insert(rules_.begin() + static_cast<ptrdiff_t>(index), rule);
+  hits_.insert(hits_.begin() + static_cast<ptrdiff_t>(index), 0);
+  const Status s = Recompile();
+  if (!s.ok()) {
+    rules_.erase(rules_.begin() + static_cast<ptrdiff_t>(index));
+    hits_.erase(hits_.begin() + static_cast<ptrdiff_t>(index));
+    NORMAN_CHECK(Recompile().ok());
+    return ResourceExhaustedError(
+        "filter: chain no longer fits overlay instruction memory");
+  }
+  return OkStatus();
+}
+
+Status FilterEngine::DeleteRule(size_t index) {
+  if (index >= rules_.size()) {
+    return OutOfRangeError("filter: no rule at index");
+  }
+  rules_.erase(rules_.begin() + static_cast<ptrdiff_t>(index));
+  hits_.erase(hits_.begin() + static_cast<ptrdiff_t>(index));
+  NORMAN_CHECK(Recompile().ok());
+  return OkStatus();
+}
+
+void FilterEngine::Flush() {
+  rules_.clear();
+  hits_.clear();
+  NORMAN_CHECK(Recompile().ok());
+}
+
+void FilterEngine::SetDefaultAction(FilterAction action) {
+  default_action_ = action;
+  NORMAN_CHECK(Recompile().ok());
+}
+
+Status FilterEngine::Recompile() {
+  overlay::Program candidate = CompileFilterChain(rules_, default_action_);
+  NORMAN_RETURN_IF_ERROR(overlay::VerifyProgram(candidate));
+  compiled_ = std::move(candidate);
+  return OkStatus();
+}
+
+nic::StageResult FilterEngine::Process(net::Packet& /*packet*/,
+                                       const overlay::PacketContext& ctx) {
+  auto exec = overlay::Execute(compiled_, ctx);
+  NORMAN_CHECK(exec.ok()) << exec.status();
+  const auto rule_index = static_cast<uint32_t>(exec->verdict >> 2);
+  const auto action = static_cast<FilterAction>(exec->verdict & 0x3);
+  if (rule_index == kDefaultRuleIndex) {
+    ++default_hits_;
+  } else if (rule_index < hits_.size()) {
+    ++hits_[rule_index];
+  }
+  nic::StageResult result;
+  result.overlay_instructions = exec->instructions_executed;
+  switch (action) {
+    case FilterAction::kAccept:
+      result.verdict = nic::Verdict::kAccept;
+      break;
+    case FilterAction::kDrop:
+      result.verdict = nic::Verdict::kDrop;
+      break;
+    case FilterAction::kSoftwareFallback:
+      result.verdict = nic::Verdict::kSoftwareFallback;
+      break;
+  }
+  return result;
+}
+
+}  // namespace norman::dataplane

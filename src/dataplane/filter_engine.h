@@ -1,0 +1,112 @@
+// The on-NIC packet filter (the iptables of Norman).
+//
+// Rules match on network fields (addresses, ports, protocol, direction) and
+// — uniquely for an on-NIC interposition layer — on *process identity*
+// (uid-owner, pid-owner, cmd-owner, cgroup), which works because the kernel
+// stamps owner metadata into the NIC flow table at connection setup (§2
+// "Partitioning Ports", §3 "integrated with the OS").
+//
+// First-match-wins semantics, like an iptables chain; a configurable default
+// policy applies when nothing matches. The ruleset is *compiled to an
+// overlay program* and executed by the overlay interpreter — the engine is
+// literally running on the simulated soft processor, and its per-packet
+// instruction count is charged by the NIC at overlay_instr_ns each.
+#ifndef NORMAN_DATAPLANE_FILTER_ENGINE_H_
+#define NORMAN_DATAPLANE_FILTER_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/types.h"
+#include "src/nic/pipeline.h"
+#include "src/overlay/isa.h"
+
+namespace norman::dataplane {
+
+enum class FilterAction : uint8_t {
+  kAccept = 0,
+  kDrop = 1,
+  kSoftwareFallback = 2,
+};
+
+struct PortRange {
+  uint16_t lo = 0;
+  uint16_t hi = 65535;
+  friend bool operator==(const PortRange&, const PortRange&) = default;
+};
+
+// All match fields are optional; an unset field matches everything.
+struct FilterRule {
+  std::string label;  // for tooling output
+  std::optional<net::Direction> direction;
+  std::optional<net::IpProto> proto;
+  std::optional<net::Ipv4Address> src_ip;
+  std::optional<uint32_t> src_ip_prefix;  // bits, default 32 when src_ip set
+  std::optional<net::Ipv4Address> dst_ip;
+  std::optional<uint32_t> dst_ip_prefix;
+  std::optional<PortRange> src_port;
+  std::optional<PortRange> dst_port;
+  // Process view (owner matches).
+  std::optional<uint32_t> owner_uid;
+  std::optional<uint32_t> owner_pid;
+  std::optional<uint32_t> owner_comm;    // interned comm id
+  std::optional<uint32_t> owner_cgroup;
+  FilterAction action = FilterAction::kAccept;
+};
+
+// Compiles a rule chain into a single overlay program implementing
+// first-match-wins with `default_action` as the tail. The program's return
+// value encodes (rule_index << 2) | action, so the engine can attribute hits
+// to rules for counters; the sentinel rule index 0x3fffffff means "default".
+overlay::Program CompileFilterChain(const std::vector<FilterRule>& rules,
+                                    FilterAction default_action);
+
+inline constexpr uint32_t kDefaultRuleIndex = 0x3fffffff;
+
+class FilterEngine : public nic::PipelineStage {
+ public:
+  explicit FilterEngine(FilterAction default_action = FilterAction::kAccept);
+
+  std::string_view name() const override { return "filter"; }
+
+  // Rule management (called by the kernel on behalf of iptables).
+  // Appends at the end of the chain; returns the rule's index. Fails with
+  // ResourceExhausted when the compiled chain would exceed overlay
+  // instruction memory.
+  StatusOr<size_t> AppendRule(const FilterRule& rule);
+  Status InsertRule(size_t index, const FilterRule& rule);
+  Status DeleteRule(size_t index);
+  void Flush();
+  void SetDefaultAction(FilterAction action);
+
+  const std::vector<FilterRule>& rules() const { return rules_; }
+  FilterAction default_action() const { return default_action_; }
+
+  // Per-rule hit counters (index-aligned with rules()).
+  const std::vector<uint64_t>& hit_counts() const { return hits_; }
+  uint64_t default_hits() const { return default_hits_; }
+
+  // The compiled overlay program currently active.
+  const overlay::Program& compiled() const { return compiled_; }
+
+  nic::StageResult Process(net::Packet& packet,
+                      const overlay::PacketContext& ctx) override;
+
+ private:
+  // Rebuilds the compiled program; on failure the ruleset must be restored
+  // by the caller before returning.
+  Status Recompile();
+
+  FilterAction default_action_;
+  std::vector<FilterRule> rules_;
+  std::vector<uint64_t> hits_;
+  uint64_t default_hits_ = 0;
+  overlay::Program compiled_;
+};
+
+}  // namespace norman::dataplane
+
+#endif  // NORMAN_DATAPLANE_FILTER_ENGINE_H_

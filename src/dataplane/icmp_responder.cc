@@ -1,0 +1,30 @@
+#include "src/dataplane/icmp_responder.h"
+
+namespace norman::dataplane {
+
+nic::StageResult IcmpResponder::Process(net::Packet& packet,
+                                        const overlay::PacketContext& ctx) {
+  nic::StageResult result;
+  if (ctx.direction != net::Direction::kRx || ctx.parsed == nullptr ||
+      !ctx.parsed->is_icmp() ||
+      ctx.parsed->icmp->type != net::IcmpType::kEchoRequest ||
+      ctx.parsed->ipv4->dst != local_ip_) {
+    return result;
+  }
+  const auto& p = *ctx.parsed;
+  if (inject_) {
+    // Echo the payload back, addresses reversed.
+    const auto payload =
+        packet.bytes().subspan(p.payload_offset);
+    net::FrameEndpoints ep{local_mac_, p.eth.src, local_ip_, p.ipv4->src};
+    auto reply = std::make_unique<net::Packet>(net::BuildIcmpEchoFrame(
+        ep, net::IcmpType::kEchoReply, p.icmp->identifier, p.icmp->sequence,
+        payload));
+    inject_(std::move(reply));
+  }
+  ++echo_replies_;
+  result.verdict = nic::Verdict::kDrop;  // consumed by the NIC
+  return result;
+}
+
+}  // namespace norman::dataplane

@@ -1,0 +1,43 @@
+// On-NIC ICMP echo responder.
+//
+// Like the ARP service, ping handling needs a global view: under kernel
+// bypass nobody answers echo requests for the host address unless every
+// application implements ICMP. The NIC answers directly (and counts, for
+// norman-netstat-style diagnostics); the host never sees the interrupt.
+#ifndef NORMAN_DATAPLANE_ICMP_RESPONDER_H_
+#define NORMAN_DATAPLANE_ICMP_RESPONDER_H_
+
+#include <functional>
+
+#include "src/net/packet_builder.h"
+#include "src/net/types.h"
+#include "src/nic/pipeline.h"
+
+namespace norman::dataplane {
+
+class IcmpResponder : public nic::PipelineStage {
+ public:
+  IcmpResponder(net::Ipv4Address local_ip, net::MacAddress local_mac)
+      : local_ip_(local_ip), local_mac_(local_mac) {}
+
+  std::string_view name() const override { return "icmp"; }
+
+  void SetReplyInjector(std::function<void(net::PacketPtr)> inject) {
+    inject_ = std::move(inject);
+  }
+
+  nic::StageResult Process(net::Packet& packet,
+                           const overlay::PacketContext& ctx) override;
+
+  uint64_t echo_replies() const { return echo_replies_; }
+
+ private:
+  net::Ipv4Address local_ip_;
+  net::MacAddress local_mac_;
+  std::function<void(net::PacketPtr)> inject_;
+  uint64_t echo_replies_ = 0;
+};
+
+}  // namespace norman::dataplane
+
+#endif  // NORMAN_DATAPLANE_ICMP_RESPONDER_H_

@@ -1,0 +1,86 @@
+// On-NIC source NAT ("and everything else the kernel does today" — §5 lists
+// NAT among the functionality KOPI must offload).
+//
+// TX packets whose source address falls in the configured private prefix are
+// rewritten to the public address with a NIC-allocated port; the reverse
+// mapping is applied to RX packets addressed to the public address. Port
+// mappings are NIC state, charged against SRAM.
+#ifndef NORMAN_DATAPLANE_NAT_H_
+#define NORMAN_DATAPLANE_NAT_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/net/types.h"
+#include "src/nic/pipeline.h"
+#include "src/nic/sram.h"
+
+namespace norman::dataplane {
+
+inline constexpr uint64_t kNatEntryBytes = 48;
+
+class NatEngine : public nic::PipelineStage {
+ public:
+  // Rewrites sources matching private_prefix/prefix_len to public_ip.
+  NatEngine(nic::SramAllocator* sram, net::Ipv4Address private_prefix,
+            uint32_t prefix_len, net::Ipv4Address public_ip,
+            uint16_t port_base = 20000, uint16_t port_count = 10000);
+
+  std::string_view name() const override { return "nat"; }
+
+  nic::StageResult Process(net::Packet& packet,
+                      const overlay::PacketContext& ctx) override;
+
+  size_t active_mappings() const { return by_private_.size(); }
+  uint64_t tx_translated() const { return tx_translated_; }
+  uint64_t rx_translated() const { return rx_translated_; }
+  uint64_t exhausted_drops() const { return exhausted_drops_; }
+
+ private:
+  struct Mapping {
+    net::Ipv4Address private_ip;
+    uint16_t private_port = 0;
+    uint16_t public_port = 0;
+  };
+  struct PrivateKey {
+    uint32_t ip;
+    uint16_t port;
+    uint8_t proto;
+    friend bool operator==(const PrivateKey&, const PrivateKey&) = default;
+  };
+  struct PrivateKeyHash {
+    size_t operator()(const PrivateKey& k) const {
+      return (size_t{k.ip} * 0x9e3779b97f4a7c15ULL) ^
+             ((size_t{k.port} << 8) | k.proto);
+    }
+  };
+
+  bool InPrivatePrefix(net::Ipv4Address ip) const {
+    if (prefix_len_ == 0) {
+      return true;
+    }
+    const uint32_t shift = 32 - prefix_len_;
+    return (ip.addr >> shift) == (private_prefix_.addr >> shift);
+  }
+
+  nic::SramAllocator* sram_;
+  net::Ipv4Address private_prefix_;
+  uint32_t prefix_len_;
+  net::Ipv4Address public_ip_;
+  uint16_t port_base_;
+  uint16_t port_count_;
+  uint16_t next_port_offset_ = 0;
+
+  std::unordered_map<PrivateKey, Mapping, PrivateKeyHash> by_private_;
+  // public_port (per proto) -> mapping
+  std::unordered_map<uint32_t, Mapping> by_public_;
+
+  uint64_t tx_translated_ = 0;
+  uint64_t rx_translated_ = 0;
+  uint64_t exhausted_drops_ = 0;
+};
+
+}  // namespace norman::dataplane
+
+#endif  // NORMAN_DATAPLANE_NAT_H_

@@ -1,0 +1,42 @@
+// Generic overlay-programmable pipeline stage — the "eBPF of Norman".
+//
+// §4.4: most functionality changes are program loads into overlay slots,
+// not hardware changes. This stage executes whatever verified program the
+// kernel loaded into its SmartNIC slot, mapping the program's verdict to a
+// pipeline verdict (0 = drop, 1 = accept, 2 = software fallback). Loading a
+// new program takes effect on the next packet; an empty slot accepts
+// everything. It lets administrators deploy policies the fixed stages don't
+// express — e.g. "drop TX packets with TTL < 5" or DSCP-based sampling —
+// without touching the bitstream.
+#ifndef NORMAN_DATAPLANE_OVERLAY_STAGE_H_
+#define NORMAN_DATAPLANE_OVERLAY_STAGE_H_
+
+#include "src/nic/pipeline.h"
+#include "src/nic/smart_nic.h"
+
+namespace norman::dataplane {
+
+class OverlayStage : public nic::PipelineStage {
+ public:
+  // Reads its program from `slot` of the NIC's overlay instruction memory
+  // (through the kernel-held control plane). Generation changes are picked
+  // up automatically.
+  OverlayStage(nic::SmartNic::ControlPlane* cp, size_t slot)
+      : cp_(cp), slot_(slot) {}
+
+  std::string_view name() const override { return "overlay"; }
+
+  nic::StageResult Process(net::Packet& packet,
+                           const overlay::PacketContext& ctx) override;
+
+  uint64_t executions() const { return executions_; }
+
+ private:
+  nic::SmartNic::ControlPlane* cp_;
+  size_t slot_;
+  uint64_t executions_ = 0;
+};
+
+}  // namespace norman::dataplane
+
+#endif  // NORMAN_DATAPLANE_OVERLAY_STAGE_H_

@@ -1,0 +1,148 @@
+#include "src/dataplane/rate_limiter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace norman::dataplane {
+
+PacedScheduler::PacedScheduler(std::unique_ptr<nic::Scheduler> inner,
+                               size_t per_conn_capacity)
+    : inner_(std::move(inner)), per_conn_capacity_(per_conn_capacity) {}
+
+void PacedScheduler::FlowPacer::Refill(Nanos now) {
+  if (now <= last_refill) {
+    return;
+  }
+  const double elapsed_s = static_cast<double>(now - last_refill) / 1e9;
+  tokens = std::min(static_cast<double>(burst_bytes),
+                    tokens + elapsed_s * static_cast<double>(rate_bps) / 8.0);
+  last_refill = now;
+}
+
+Nanos PacedScheduler::FlowPacer::HeadEligibleAt(Nanos now) const {
+  if (queue.empty()) {
+    return -1;
+  }
+  double t = tokens;
+  if (now > last_refill) {
+    const double elapsed_s = static_cast<double>(now - last_refill) / 1e9;
+    t = std::min(static_cast<double>(burst_bytes),
+                 t + elapsed_s * static_cast<double>(rate_bps) / 8.0);
+  }
+  const double need = static_cast<double>(queue.front()->size());
+  if (t + 1e-9 >= need) {
+    return now;
+  }
+  const double wait_ns =
+      (need - t) * 8.0 * 1e9 / static_cast<double>(rate_bps);
+  return now + static_cast<Nanos>(std::ceil(wait_ns));
+}
+
+void PacedScheduler::SetRate(net::ConnectionId conn, BitsPerSecond rate_bps,
+                             uint64_t burst_bytes) {
+  if (rate_bps == 0) {
+    ClearRate(conn);
+    return;
+  }
+  const bool existed = flows_.contains(conn);
+  FlowPacer& pacer = flows_[conn];
+  pacer.rate_bps = rate_bps;
+  pacer.burst_bytes = std::max<uint64_t>(burst_bytes, 1);
+  if (existed) {
+    // Rate adjustment must not grant a fresh burst (a controller updating
+    // the rate every tick would otherwise leak burst_bytes per tick).
+    pacer.tokens =
+        std::min(pacer.tokens, static_cast<double>(pacer.burst_bytes));
+  } else {
+    pacer.tokens = static_cast<double>(pacer.burst_bytes);
+  }
+}
+
+void PacedScheduler::ClearRate(net::ConnectionId conn) {
+  const auto it = flows_.find(conn);
+  if (it == flows_.end()) {
+    return;
+  }
+  // Release whatever is queued straight into the inner discipline.
+  while (!it->second.queue.empty()) {
+    net::PacketPtr p = std::move(it->second.queue.front());
+    it->second.queue.pop_front();
+    overlay::PacketContext ctx;
+    const auto meta = pending_meta_.find(p.get());
+    if (meta != pending_meta_.end()) {
+      ctx.conn = meta->second;
+      pending_meta_.erase(meta);
+    }
+    (void)inner_->Enqueue(std::move(p), ctx);
+  }
+  flows_.erase(it);
+}
+
+bool PacedScheduler::Enqueue(net::PacketPtr packet,
+                             const overlay::PacketContext& ctx) {
+  const auto it = flows_.find(ctx.conn.conn_id);
+  if (it == flows_.end()) {
+    return inner_->Enqueue(std::move(packet), ctx);  // unlimited
+  }
+  FlowPacer& pacer = it->second;
+  if (pacer.queue.size() >= per_conn_capacity_) {
+    ++paced_drops_;
+    return false;
+  }
+  pending_meta_[packet.get()] = ctx.conn;
+  pacer.queue.push_back(std::move(packet));
+  return true;
+}
+
+void PacedScheduler::ReleaseConformant(Nanos now) {
+  for (auto& [conn, pacer] : flows_) {
+    pacer.Refill(now);
+    while (!pacer.queue.empty()) {
+      const double need =
+          static_cast<double>(pacer.queue.front()->size());
+      if (pacer.tokens + 1e-9 < need) {
+        break;
+      }
+      pacer.tokens -= need;
+      net::PacketPtr p = std::move(pacer.queue.front());
+      pacer.queue.pop_front();
+      overlay::PacketContext ctx;
+      const auto meta = pending_meta_.find(p.get());
+      if (meta != pending_meta_.end()) {
+        ctx.conn = meta->second;
+        pending_meta_.erase(meta);
+      }
+      (void)inner_->Enqueue(std::move(p), ctx);
+    }
+  }
+}
+
+net::PacketPtr PacedScheduler::Dequeue(Nanos now) {
+  ReleaseConformant(now);
+  return inner_->Dequeue(now);
+}
+
+Nanos PacedScheduler::NextEligibleTime(Nanos now) const {
+  // Inner discipline first (it may itself be rate-limited).
+  Nanos best = inner_->NextEligibleTime(now);
+  if (inner_->backlog_packets() > 0 && best < 0) {
+    best = now;
+  }
+  for (const auto& [conn, pacer] : flows_) {
+    const Nanos t = pacer.HeadEligibleAt(now);
+    if (t >= 0 && (best < 0 || t < best)) {
+      best = t;
+    }
+  }
+  return best;
+}
+
+size_t PacedScheduler::backlog_packets() const {
+  size_t n = inner_->backlog_packets();
+  for (const auto& [conn, pacer] : flows_) {
+    n += pacer.queue.size();
+  }
+  return n;
+}
+
+}  // namespace norman::dataplane

@@ -1,0 +1,67 @@
+#include "src/dataplane/sniffer.h"
+
+#include "src/common/logging.h"
+#include "src/overlay/interpreter.h"
+#include "src/overlay/verifier.h"
+
+namespace norman::dataplane {
+
+SnifferTap::SnifferTap(sim::Simulator* sim, uint32_t snaplen)
+    : sim_(sim), snaplen_(snaplen), pcap_(snaplen) {}
+
+Status SnifferTap::SetFilter(std::optional<overlay::Program> program) {
+  if (program.has_value()) {
+    NORMAN_RETURN_IF_ERROR(overlay::VerifyProgram(*program));
+  }
+  filter_ = std::move(program);
+  return OkStatus();
+}
+
+void SnifferTap::Clear() {
+  records_.clear();
+  pcap_ = net::PcapWriter(snaplen_);
+}
+
+nic::StageResult SnifferTap::Process(net::Packet& packet,
+                                     const overlay::PacketContext& ctx) {
+  nic::StageResult result;  // a tap never alters the verdict
+  if (!capturing_) {
+    return result;
+  }
+  if (filter_.has_value()) {
+    auto exec = overlay::Execute(*filter_, ctx);
+    NORMAN_CHECK(exec.ok()) << exec.status();
+    result.overlay_instructions = exec->instructions_executed;
+    if (exec->verdict == 0) {
+      return result;
+    }
+  }
+  CaptureRecord rec;
+  rec.timestamp = sim_->Now();
+  rec.direction = ctx.direction;
+  rec.owner = ctx.conn;
+  rec.frame_size = packet.size();
+  if (ctx.parsed != nullptr) {
+    const auto& p = *ctx.parsed;
+    rec.eth_type = p.eth.ether_type;
+    if (p.is_ipv4()) {
+      rec.ip_proto = static_cast<uint8_t>(p.ipv4->protocol);
+      rec.src_ip = p.ipv4->src;
+      rec.dst_ip = p.ipv4->dst;
+    }
+    if (auto flow = p.flow()) {
+      rec.src_port = flow->src_port;
+      rec.dst_port = flow->dst_port;
+    }
+    if (p.is_arp()) {
+      rec.is_arp_request = p.arp->op == net::ArpOp::kRequest;
+      rec.src_ip = p.arp->sender_ip;
+      rec.dst_ip = p.arp->target_ip;
+    }
+  }
+  records_.push_back(rec);
+  pcap_.AddRecord(rec.timestamp, packet.bytes());
+  return result;
+}
+
+}  // namespace norman::dataplane

@@ -1,0 +1,41 @@
+#include "src/dataplane/spoof_guard.h"
+
+namespace norman::dataplane {
+
+nic::StageResult SpoofGuard::Process(net::Packet& packet,
+                                     const overlay::PacketContext& ctx) {
+  nic::StageResult result;
+  if (ctx.direction != net::Direction::kTx ||
+      ctx.conn.conn_id == net::kUnknownConnection) {
+    return result;  // RX, or kernel-originated: exempt
+  }
+  // Software-fallback re-injections were already checked on first pass.
+  if (packet.meta().software_fallback) {
+    return result;
+  }
+  const nic::FlowEntry* entry = flow_table_->Lookup(ctx.conn.conn_id);
+  if (entry == nullptr) {
+    return result;  // fallback connection: vetted by the kernel path
+  }
+  if (ctx.parsed == nullptr) {
+    // Unparseable bytes from an app ring: never let them out.
+    ++spoofed_drops_;
+    result.verdict = nic::Verdict::kDrop;
+    return result;
+  }
+  if (ctx.parsed->is_arp()) {
+    if (strict_arp_) {
+      ++spoofed_drops_;
+      result.verdict = nic::Verdict::kDrop;
+    }
+    return result;  // observable-but-allowed by default (§2 debugging)
+  }
+  const auto flow = ctx.parsed->flow();
+  if (!flow || *flow != entry->tuple) {
+    ++spoofed_drops_;
+    result.verdict = nic::Verdict::kDrop;
+  }
+  return result;
+}
+
+}  // namespace norman::dataplane

@@ -1,0 +1,46 @@
+// TX anti-spoofing: frames must match their connection's registered tuple.
+//
+// Owner metadata travels with the *ring* a descriptor came from, so
+// owner-match rules can't be forged — but header fields can: a rogue app
+// could hand the NIC a frame whose source port (or IP) belongs to someone
+// else's policy bucket, evading port-scoped rules. Real enforcement (§3
+// "isolated from the application") therefore cross-checks every TX frame
+// from a registered connection against the flow table:
+//   * IPv4 src address and (for TCP/UDP) src port must equal the tuple the
+//     kernel installed; mismatch -> drop + counter;
+//   * destination and protocol must match too (a connection is a 5-tuple
+//     grant, not a raw-socket license).
+// Frames with no connection metadata (kernel-injected ARP/ICMP replies,
+// host slow path) are exempt — they never came from an app ring. ARP
+// frames from apps are allowed through by default (the §2 debugging story
+// depends on the buggy flood reaching the network while remaining fully
+// attributed); strict mode drops those as well.
+#ifndef NORMAN_DATAPLANE_SPOOF_GUARD_H_
+#define NORMAN_DATAPLANE_SPOOF_GUARD_H_
+
+#include "src/nic/flow_table.h"
+#include "src/nic/pipeline.h"
+
+namespace norman::dataplane {
+
+class SpoofGuard : public nic::PipelineStage {
+ public:
+  explicit SpoofGuard(const nic::FlowTable* flow_table, bool strict_arp = false)
+      : flow_table_(flow_table), strict_arp_(strict_arp) {}
+
+  std::string_view name() const override { return "spoof_guard"; }
+
+  nic::StageResult Process(net::Packet& packet,
+                           const overlay::PacketContext& ctx) override;
+
+  uint64_t spoofed_drops() const { return spoofed_drops_; }
+
+ private:
+  const nic::FlowTable* flow_table_;
+  bool strict_arp_;
+  uint64_t spoofed_drops_ = 0;
+};
+
+}  // namespace norman::dataplane
+
+#endif  // NORMAN_DATAPLANE_SPOOF_GUARD_H_

@@ -1,0 +1,523 @@
+#include "src/kernel/kernel.h"
+
+#include "src/common/logging.h"
+
+namespace norman::kernel {
+
+Kernel::Kernel(sim::Simulator* sim, nic::SmartNic* nic, Options options)
+    : sim_(sim), nic_(nic), options_(options) {
+  nic_cp_ = nic_->TakeControlPlane();
+  NORMAN_CHECK(nic_cp_ != nullptr)
+      << "NIC control plane already taken: only the kernel may own it";
+  filter_input_ = std::make_unique<dataplane::FilterEngine>(
+      dataplane::FilterAction::kAccept);
+  filter_output_ = std::make_unique<dataplane::FilterEngine>(
+      dataplane::FilterAction::kAccept);
+  sniffer_ = std::make_unique<dataplane::SnifferTap>(sim_);
+  arp_ = std::make_unique<dataplane::ArpService>(sim_, options_.host_ip,
+                                                 options_.host_mac);
+  conntrack_ = std::make_unique<dataplane::Conntrack>(&nic_cp_->sram());
+  icmp_ = std::make_unique<dataplane::IcmpResponder>(options_.host_ip,
+                                                     options_.host_mac);
+  spoof_guard_ =
+      std::make_unique<dataplane::SpoofGuard>(&nic_cp_->flow_table());
+  custom_tx_ =
+      std::make_unique<dataplane::OverlayStage>(nic_cp_.get(), kCustomTxSlot);
+  custom_rx_ =
+      std::make_unique<dataplane::OverlayStage>(nic_cp_.get(), kCustomRxSlot);
+  arp_->SetReplyInjector([this](net::PacketPtr reply) {
+    nic_->InjectHostPacket(std::move(reply), sim_->Now());
+  });
+  icmp_->SetReplyInjector([this](net::PacketPtr reply) {
+    nic_->InjectHostPacket(std::move(reply), sim_->Now());
+  });
+  // Boot-time discipline: FIFO behind the transparent per-connection pacer.
+  auto paced = std::make_unique<dataplane::PacedScheduler>();
+  pacer_ = paced.get();
+  NORMAN_CHECK(nic_cp_->SetScheduler(std::move(paced)).ok());
+  // The kernel is the host slow path: unmatched RX traffic comes here for
+  // listen-socket dispatch.
+  nic_cp_->SetFallbackSink([this](net::PacketPtr packet, net::Direction dir) {
+    HandleHostPacket(std::move(packet), dir);
+  });
+  InstallPipeline();
+}
+
+Kernel::~Kernel() = default;
+
+void Kernel::InstallPipeline() {
+  // TX chain: sniffer sees everything first (including packets the filter
+  // will drop — tcpdump semantics), then ARP observation, conntrack, the
+  // OUTPUT filter, the custom overlay policy, and optionally NAT.
+  nic_cp_->ClearStages();
+  nic_cp_->AddTxStage(sniffer_.get());
+  nic_cp_->AddTxStage(spoof_guard_.get());
+  nic_cp_->AddTxStage(arp_.get());
+  nic_cp_->AddTxStage(conntrack_.get());
+  nic_cp_->AddTxStage(filter_output_.get());
+  nic_cp_->AddTxStage(custom_tx_.get());
+  if (nat_ != nullptr) {
+    nic_cp_->AddTxStage(nat_.get());
+  }
+  // RX chain: sniffer first (sees filtered-out packets too, tcpdump-style),
+  // NAT reverse translation so the filter sees internal addresses, the
+  // NIC-terminated protocols (ICMP echo, ARP), conntrack, the INPUT filter,
+  // and the custom overlay policy.
+  nic_cp_->AddRxStage(sniffer_.get());
+  if (nat_ != nullptr) {
+    nic_cp_->AddRxStage(nat_.get());
+  }
+  nic_cp_->AddRxStage(icmp_.get());
+  nic_cp_->AddRxStage(arp_.get());
+  nic_cp_->AddRxStage(conntrack_.get());
+  nic_cp_->AddRxStage(filter_input_.get());
+  nic_cp_->AddRxStage(custom_rx_.get());
+}
+
+void Kernel::Housekeeping() {
+  // Invoked on demand (no self-rescheduling: it would keep the DES alive
+  // forever). Benchmarks and tools call this before reading tables.
+  conntrack_->Sweep(sim_->Now());
+}
+
+Status Kernel::RequireRoot(Uid caller) const {
+  if (caller != kRootUid) {
+    return PermissionDeniedError(
+        "operation requires root (caller uid " + std::to_string(caller) +
+        ")");
+  }
+  return OkStatus();
+}
+
+// ---- Connections ------------------------------------------------------------
+
+StatusOr<AppPort> Kernel::Connect(Pid pid, net::Ipv4Address remote_ip,
+                                  uint16_t remote_port,
+                                  const ConnectOptions& opts) {
+  Process* proc = processes_.Lookup(pid);
+  if (proc == nullptr || proc->state == ProcessState::kExited) {
+    return NotFoundError("connect: no such process");
+  }
+  const net::ConnectionId conn_id = next_conn_id_++;
+  uint16_t local_port = opts.local_port;
+  if (local_port == 0) {
+    local_port = next_ephemeral_port_++;
+    if (next_ephemeral_port_ == 0) {
+      next_ephemeral_port_ = 30000;
+    }
+  }
+
+  nic::FlowEntry entry;
+  entry.conn_id = conn_id;
+  entry.tuple = net::FiveTuple{options_.host_ip, remote_ip, local_port,
+                               remote_port, opts.proto};
+  entry.owner = overlay::ConnMetadata{conn_id, proc->uid, proc->pid,
+                                      proc->cgroup, proc->comm_id};
+  entry.comm = proc->comm;
+  entry.tx_ring_bytes = nic::kHotWorkingSetBytes;
+  entry.rx_ring_bytes = nic::kHotWorkingSetBytes;
+  entry.notify_rx = opts.notify_rx;
+  entry.notify_tx_drain = opts.notify_tx_drain;
+
+  const Status install = nic_cp_->InstallFlow(entry);
+  if (!install.ok()) {
+    if (install.code() == StatusCode::kResourceExhausted &&
+        opts.allow_software_fallback) {
+      // NIC memory is full: register a host-software connection (§5).
+      fallback_conns_.emplace(conn_id,
+                              FallbackConn{entry.tuple, entry.owner});
+      conn_owner_pid_.emplace(conn_id, pid);
+      return AppPort(conn_id, entry.tuple, options_.host_mac,
+                     options_.gateway_mac, nullptr, nic::DoorbellWindow(),
+                     nullptr);
+    }
+    return install;
+  }
+
+  // Ensure the process has a notification queue and a pump if it blocks.
+  if (opts.notify_rx || opts.notify_tx_drain) {
+    nic_cp_->RegisterNotificationQueue(pid);
+  }
+  conn_owner_pid_.emplace(conn_id, pid);
+
+  return AppPort(conn_id, entry.tuple, options_.host_mac,
+                 options_.gateway_mac, nic_cp_->GetRings(conn_id),
+                 nic_cp_->MapDoorbell(conn_id), nic_);
+}
+
+Status Kernel::Close(net::ConnectionId conn_id) {
+  waiters_.erase(conn_id);
+  conn_owner_pid_.erase(conn_id);
+  if (rate_limits_.erase(conn_id) > 0) {
+    pacer_->ClearRate(conn_id);  // releases any paced backlog for the wire
+  }
+  if (fallback_conns_.erase(conn_id) > 0) {
+    return OkStatus();
+  }
+  return nic_cp_->RemoveFlow(conn_id);
+}
+
+Status Kernel::Listen(Pid pid, uint16_t local_port, net::IpProto proto,
+                      const ConnectOptions& accept_opts) {
+  Process* proc = processes_.Lookup(pid);
+  if (proc == nullptr || proc->state == ProcessState::kExited) {
+    return NotFoundError("listen: no such process");
+  }
+  const auto key = std::make_pair(local_port, static_cast<uint8_t>(proto));
+  if (listeners_.contains(key)) {
+    return AlreadyExistsError("listen: port already bound");
+  }
+  ListenState state;
+  state.pid = pid;
+  state.accept_opts = accept_opts;
+  state.accept_opts.proto = proto;
+  listeners_.emplace(key, std::move(state));
+  return OkStatus();
+}
+
+StatusOr<AppPort> Kernel::Accept(Pid pid, uint16_t local_port) {
+  for (auto& [key, state] : listeners_) {
+    if (key.first != local_port) {
+      continue;
+    }
+    if (state.pid != pid) {
+      return PermissionDeniedError("accept: not the listening process");
+    }
+    if (state.accept_queue.empty()) {
+      return NotFoundError("accept: no pending connections");
+    }
+    const net::ConnectionId conn_id = state.accept_queue.front();
+    state.accept_queue.pop_front();
+    const nic::FlowEntry* entry = nic_cp_->LookupFlow(conn_id);
+    if (entry == nullptr) {
+      return InternalError("accept: pending connection vanished");
+    }
+    return AppPort(conn_id, entry->tuple, options_.host_mac,
+                   options_.gateway_mac, nic_cp_->GetRings(conn_id),
+                   nic_cp_->MapDoorbell(conn_id), nic_);
+  }
+  return NotFoundError("accept: not listening on that port");
+}
+
+Status Kernel::StopListening(Pid pid, uint16_t local_port) {
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->first.first == local_port && it->second.pid == pid) {
+      listeners_.erase(it);
+      return OkStatus();
+    }
+  }
+  return NotFoundError("stop-listening: no such listener");
+}
+
+void Kernel::HandleHostPacket(net::PacketPtr packet, net::Direction dir) {
+  if (dir == net::Direction::kTx) {
+    // A TX packet diverted by a FALLBACK rule: it already traversed the
+    // interposition pipeline; re-inject for transmission. The NIC treats
+    // marked packets' repeat FALLBACK verdicts as accept, so no loop.
+    nic_->InjectHostPacket(std::move(packet), sim_->Now());
+    return;
+  }
+  // Unmatched RX: dispatch against the listen table.
+  auto parsed = net::ParseFrame(packet->bytes());
+  if (!parsed || !parsed->flow()) {
+    ++unmatched_rx_dropped_;
+    return;
+  }
+  const auto inbound = *parsed->flow();
+  const auto key = std::make_pair(inbound.dst_port,
+                                  static_cast<uint8_t>(inbound.proto));
+  const auto it = listeners_.find(key);
+  if (it == listeners_.end() || inbound.dst_ip != options_.host_ip) {
+    ++unmatched_rx_dropped_;
+    return;
+  }
+  ListenState& listener = it->second;
+  Process* proc = processes_.Lookup(listener.pid);
+  if (proc == nullptr || proc->state == ProcessState::kExited) {
+    ++unmatched_rx_dropped_;
+    return;
+  }
+
+  // Auto-install the connection (local = the listening endpoint, remote =
+  // the peer that just spoke), stamped with the listener's identity.
+  const net::ConnectionId conn_id = next_conn_id_++;
+  nic::FlowEntry entry;
+  entry.conn_id = conn_id;
+  entry.tuple = inbound.Reversed();
+  entry.owner = overlay::ConnMetadata{conn_id, proc->uid, proc->pid,
+                                      proc->cgroup, proc->comm_id};
+  entry.comm = proc->comm;
+  entry.tx_ring_bytes = nic::kHotWorkingSetBytes;
+  entry.rx_ring_bytes = nic::kHotWorkingSetBytes;
+  entry.notify_rx = listener.accept_opts.notify_rx;
+  entry.notify_tx_drain = listener.accept_opts.notify_tx_drain;
+  const Status install = nic_cp_->InstallFlow(entry);
+  if (!install.ok()) {
+    ++unmatched_rx_dropped_;  // NIC full and no fallback for servers (yet)
+    return;
+  }
+  if (entry.notify_rx || entry.notify_tx_drain) {
+    nic_cp_->RegisterNotificationQueue(listener.pid);
+  }
+  conn_owner_pid_.emplace(conn_id, listener.pid);
+
+  // Deliver the trigger packet into the new connection's RX ring so the
+  // first request is not lost, then queue the accept event.
+  packet->meta().connection = conn_id;
+  nic::RingPair* rings = nic_cp_->GetRings(conn_id);
+  if (rings != nullptr) {
+    (void)rings->rx().TryPush(std::move(packet));
+  }
+  if (nic::FlowEntry* installed = nic_cp_->LookupFlow(conn_id);
+      installed != nullptr) {
+    ++installed->rx_packets;
+  }
+  listener.accept_queue.push_back(conn_id);
+}
+
+std::vector<ConnectionInfo> Kernel::ListConnections() const {
+  std::vector<ConnectionInfo> out;
+  nic_cp_->flow_table().ForEach([&](const nic::FlowEntry& e) {
+    ConnectionInfo info;
+    info.conn_id = e.conn_id;
+    info.tuple = e.tuple;
+    info.pid = e.owner.owner_pid;
+    info.uid = e.owner.owner_uid;
+    info.comm = e.comm;
+    info.tx_packets = e.tx_packets;
+    info.rx_packets = e.rx_packets;
+    info.tx_bytes = e.tx_bytes;
+    info.rx_bytes = e.rx_bytes;
+    out.push_back(std::move(info));
+  });
+  for (const auto& [conn_id, fc] : fallback_conns_) {
+    ConnectionInfo info;
+    info.conn_id = conn_id;
+    info.tuple = fc.tuple;
+    info.pid = fc.owner.owner_pid;
+    info.uid = fc.owner.owner_uid;
+    info.comm = processes_.CommName(fc.owner.owner_comm);
+    info.software_fallback = true;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+// ---- Blocking I/O -----------------------------------------------------------
+
+Status Kernel::BlockOnRx(net::ConnectionId conn_id,
+                         std::function<void()> resume) {
+  const auto owner = conn_owner_pid_.find(conn_id);
+  if (owner == conn_owner_pid_.end()) {
+    return NotFoundError("block: unknown connection");
+  }
+  const nic::FlowEntry* entry = nic_cp_->LookupFlow(conn_id);
+  if (entry == nullptr || !entry->notify_rx) {
+    return FailedPreconditionError(
+        "block: connection not configured for RX notifications");
+  }
+  waiters_[conn_id].push_back(
+      Waiter{nic::NotificationKind::kRxData, std::move(resume)});
+  PumpNotifications(owner->second);
+  return OkStatus();
+}
+
+Status Kernel::BlockOnTxDrain(net::ConnectionId conn_id,
+                              std::function<void()> resume) {
+  const auto owner = conn_owner_pid_.find(conn_id);
+  if (owner == conn_owner_pid_.end()) {
+    return NotFoundError("block: unknown connection");
+  }
+  const nic::FlowEntry* entry = nic_cp_->LookupFlow(conn_id);
+  if (entry == nullptr || !entry->notify_tx_drain) {
+    return FailedPreconditionError(
+        "block: connection not configured for TX-drain notifications");
+  }
+  waiters_[conn_id].push_back(
+      Waiter{nic::NotificationKind::kTxDrained, std::move(resume)});
+  PumpNotifications(owner->second);
+  return OkStatus();
+}
+
+void Kernel::PumpNotifications(Pid pid) {
+  nic::NotificationQueue* queue = nic_cp_->GetNotificationQueue(pid);
+  if (queue == nullptr) {
+    return;
+  }
+  // Drain whatever is pending; for each notification wake matching waiters.
+  bool woke_any = false;
+  while (auto n = queue->Poll()) {
+    const auto it = waiters_.find(n->conn_id);
+    if (it == waiters_.end()) {
+      continue;  // nobody blocked; notification is informational
+    }
+    auto& list = it->second;
+    for (auto w = list.begin(); w != list.end();) {
+      if (w->kind == n->kind) {
+        // Waking a blocked thread costs a context switch on the kernel/app
+        // core; the continuation runs after that charge.
+        const Nanos done = kernel_core_.Serve(
+            sim_->Now(), nic_->cost().context_switch_ns);
+        sim_->ScheduleAt(done, std::move(w->resume));
+        w = list.erase(w);
+        woke_any = true;
+      } else {
+        ++w;
+      }
+    }
+    if (list.empty()) {
+      waiters_.erase(it);
+    }
+  }
+  // If waiters remain, arm the interrupt so the next Post re-enters here —
+  // "enable interrupts for notification queues with low activity" (§4.3).
+  bool have_waiters = false;
+  for (const auto& [conn, list] : waiters_) {
+    const auto owner = conn_owner_pid_.find(conn);
+    if (owner != conn_owner_pid_.end() && owner->second == pid &&
+        !list.empty()) {
+      have_waiters = true;
+      break;
+    }
+  }
+  if (have_waiters) {
+    queue->ArmInterrupt([this, pid] {
+      // Interrupt dispatch cost, then pump again.
+      const Nanos done =
+          kernel_core_.Serve(sim_->Now(), nic_->cost().context_switch_ns / 2);
+      sim_->ScheduleAt(done, [this, pid] { PumpNotifications(pid); });
+    });
+  } else {
+    queue->DisarmInterrupt();
+  }
+  (void)woke_any;
+}
+
+// ---- Admin configuration ----------------------------------------------------
+
+StatusOr<size_t> Kernel::AppendFilterRule(Uid caller, Chain chain,
+                                          const dataplane::FilterRule& rule) {
+  NORMAN_RETURN_IF_ERROR(RequireRoot(caller));
+  auto& engine = chain == Chain::kInput ? *filter_input_ : *filter_output_;
+  return engine.AppendRule(rule);
+}
+
+Status Kernel::DeleteFilterRule(Uid caller, Chain chain, size_t index) {
+  NORMAN_RETURN_IF_ERROR(RequireRoot(caller));
+  auto& engine = chain == Chain::kInput ? *filter_input_ : *filter_output_;
+  return engine.DeleteRule(index);
+}
+
+Status Kernel::FlushFilterRules(Uid caller, Chain chain) {
+  NORMAN_RETURN_IF_ERROR(RequireRoot(caller));
+  auto& engine = chain == Chain::kInput ? *filter_input_ : *filter_output_;
+  engine.Flush();
+  return OkStatus();
+}
+
+const dataplane::FilterEngine& Kernel::filter(Chain chain) const {
+  return chain == Chain::kInput ? *filter_input_ : *filter_output_;
+}
+
+Status Kernel::SetQdisc(Uid caller, std::unique_ptr<nic::Scheduler> qdisc) {
+  NORMAN_RETURN_IF_ERROR(RequireRoot(caller));
+  if (qdisc == nullptr) {
+    return InvalidArgumentError("qdisc must not be null");
+  }
+  // Wrap in the transparent pacer and re-apply configured rate limits so
+  // they survive discipline swaps.
+  auto paced = std::make_unique<dataplane::PacedScheduler>(std::move(qdisc));
+  dataplane::PacedScheduler* raw = paced.get();
+  NORMAN_RETURN_IF_ERROR(nic_cp_->SetScheduler(std::move(paced)));
+  pacer_ = raw;
+  for (const auto& [conn, limit] : rate_limits_) {
+    pacer_->SetRate(conn, limit.first, limit.second);
+  }
+  return OkStatus();
+}
+
+Status Kernel::SetConnRateLimit(Uid caller, net::ConnectionId conn,
+                                BitsPerSecond rate_bps,
+                                uint64_t burst_bytes) {
+  NORMAN_RETURN_IF_ERROR(RequireRoot(caller));
+  if (nic_cp_->LookupFlow(conn) == nullptr &&
+      !fallback_conns_.contains(conn)) {
+    return NotFoundError("rate limit: unknown connection");
+  }
+  if (rate_bps == 0) {
+    rate_limits_.erase(conn);
+    pacer_->ClearRate(conn);
+  } else {
+    rate_limits_[conn] = {rate_bps, burst_bytes};
+    pacer_->SetRate(conn, rate_bps, burst_bytes);
+  }
+  return OkStatus();
+}
+
+StatusOr<Nanos> Kernel::LoadCustomPolicy(Uid caller, Chain chain,
+                                         const overlay::Program& program) {
+  NORMAN_RETURN_IF_ERROR(RequireRoot(caller));
+  const size_t slot =
+      chain == Chain::kOutput ? kCustomTxSlot : kCustomRxSlot;
+  if (program.empty()) {
+    // Clear: load the trivially-accepting program is not the same as an
+    // empty slot (cost-wise), so wipe via a bitstream-free slot reset:
+    // LoadOverlay rejects empty programs, so emulate with accept-all.
+    const overlay::Program accept_all{overlay::Instruction::RetImm(1)};
+    return nic_cp_->LoadOverlay(slot, accept_all);
+  }
+  return nic_cp_->LoadOverlay(slot, program);
+}
+
+Status Kernel::StartCapture(Uid caller,
+                            std::optional<overlay::Program> filter) {
+  NORMAN_RETURN_IF_ERROR(RequireRoot(caller));
+  NORMAN_RETURN_IF_ERROR(sniffer_->SetFilter(std::move(filter)));
+  sniffer_->Start();
+  return OkStatus();
+}
+
+Status Kernel::StopCapture(Uid caller) {
+  NORMAN_RETURN_IF_ERROR(RequireRoot(caller));
+  sniffer_->Stop();
+  return OkStatus();
+}
+
+Status Kernel::EnableNat(Uid caller, net::Ipv4Address private_prefix,
+                         uint32_t prefix_len, net::Ipv4Address public_ip) {
+  NORMAN_RETURN_IF_ERROR(RequireRoot(caller));
+  if (nat_ != nullptr) {
+    return AlreadyExistsError("NAT already enabled");
+  }
+  nat_ = std::make_unique<dataplane::NatEngine>(
+      &nic_cp_->sram(), private_prefix, prefix_len, public_ip);
+  InstallPipeline();  // re-compose chains with the NAT stage
+  return OkStatus();
+}
+
+Status Kernel::SoftwareTransmit(net::ConnectionId conn_id,
+                                net::PacketPtr packet) {
+  const auto it = fallback_conns_.find(conn_id);
+  if (it == fallback_conns_.end()) {
+    return NotFoundError("software tx: not a fallback connection");
+  }
+  // Host kernel-stack costs: syscall + per-packet processing + copy.
+  const auto& cost = nic_->cost();
+  const Nanos cpu = cost.syscall_ns + cost.kernel_stack_per_packet_ns +
+                    cost.CopyCost(packet->size());
+  const Nanos ready = kernel_core_.Serve(sim_->Now(), cpu);
+  // Software-path packets still traverse the NIC pipeline (they are not
+  // exempt from interposition) via an anonymous descriptor: we deliver them
+  // through a temporary flow-less injection, tagging fallback in metadata.
+  packet->meta().software_fallback = true;
+  packet->meta().connection = conn_id;
+  auto* raw = packet.release();
+  sim_->ScheduleAt(ready, [this, raw] {
+    // Software-path packets still traverse the NIC TX pipeline — they are
+    // not exempt from interposition — via the host injection port.
+    nic_->InjectHostPacket(net::PacketPtr(raw), sim_->Now());
+  });
+  return OkStatus();
+}
+
+}  // namespace norman::kernel

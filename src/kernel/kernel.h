@@ -1,0 +1,258 @@
+// The in-kernel control plane (§4.2, §4.4).
+//
+// The kernel is the only holder of the SmartNIC's control-plane capability.
+// It allocates network resources to applications (connections, rings,
+// doorbells), stamps process identity into the NIC flow table, composes and
+// configures the on-NIC dataplane (filter chains, qdiscs, sniffer taps, ARP,
+// conntrack, NAT), monitors notification queues to wake blocked threads,
+// and services the administrative tools (norman-iptables/tc/tcpdump/
+// netstat/arp in src/tools) — all of which "continue to be routed through
+// the kernel".
+#ifndef NORMAN_KERNEL_KERNEL_H_
+#define NORMAN_KERNEL_KERNEL_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dataplane/arp_service.h"
+#include "src/dataplane/conntrack.h"
+#include "src/dataplane/filter_engine.h"
+#include "src/dataplane/icmp_responder.h"
+#include "src/dataplane/nat.h"
+#include "src/dataplane/overlay_stage.h"
+#include "src/dataplane/qdisc.h"
+#include "src/dataplane/rate_limiter.h"
+#include "src/dataplane/sniffer.h"
+#include "src/dataplane/spoof_guard.h"
+#include "src/kernel/app_port.h"
+#include "src/kernel/process.h"
+#include "src/net/types.h"
+#include "src/nic/smart_nic.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace norman::kernel {
+
+// Which filter chain a rule goes to (iptables INPUT/OUTPUT equivalents).
+enum class Chain { kInput, kOutput };
+
+// NIC overlay slot allocation: 0/1 are free for administrators and
+// experiments; 2/3 back the kernel's custom-policy stages.
+inline constexpr size_t kCustomTxSlot = 2;
+inline constexpr size_t kCustomRxSlot = 3;
+
+struct ConnectOptions {
+  net::IpProto proto = net::IpProto::kUdp;
+  bool notify_rx = false;        // post notifications for blocking recv
+  bool notify_tx_drain = false;  // post notifications for blocking send
+  uint16_t local_port = 0;       // 0 = ephemeral
+  // When NIC SRAM is exhausted, fall back to the host software path instead
+  // of failing (§5 mitigation). Fallback connections have no NIC ring; their
+  // traffic is charged host-CPU costs.
+  bool allow_software_fallback = false;
+};
+
+struct ConnectionInfo {
+  net::ConnectionId conn_id = net::kUnknownConnection;
+  net::FiveTuple tuple;
+  Pid pid = 0;
+  Uid uid = 0;
+  std::string comm;
+  bool software_fallback = false;
+  uint64_t tx_packets = 0;
+  uint64_t rx_packets = 0;
+  uint64_t tx_bytes = 0;
+  uint64_t rx_bytes = 0;
+};
+
+class Kernel {
+ public:
+  struct Options {
+    net::Ipv4Address host_ip = net::Ipv4Address::FromOctets(10, 0, 0, 1);
+    net::MacAddress host_mac = net::MacAddress::ForHost(1);
+    net::MacAddress gateway_mac = net::MacAddress::ForHost(0xfffffe);
+    // Sweep period for conntrack GC and notification polling fallback.
+    Nanos housekeeping_period = 10 * kMillisecond;
+  };
+
+  Kernel(sim::Simulator* sim, nic::SmartNic* nic, Options options);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  sim::Simulator* simulator() { return sim_; }
+  ProcessTable& processes() { return processes_; }
+  const ProcessTable& processes() const { return processes_; }
+  const Options& options() const { return options_; }
+
+  // ---- Connection lifecycle (connect(2)-equivalents) ---------------------
+  StatusOr<AppPort> Connect(Pid pid, net::Ipv4Address remote_ip,
+                            uint16_t remote_port, const ConnectOptions& opts);
+  Status Close(net::ConnectionId conn_id);
+
+  // ---- Server side: listen(2)/accept(2) ----------------------------------
+  // Registers `pid` as the listener on local_port/proto. The first inbound
+  // packet of each new peer auto-installs a NIC connection stamped with the
+  // listener's identity and queues it for Accept; the packet itself lands
+  // in the new connection's RX ring (nothing is lost).
+  Status Listen(Pid pid, uint16_t local_port, net::IpProto proto,
+                const ConnectOptions& accept_opts = {});
+  // Pops one pending inbound connection; NotFound when none is waiting.
+  // Only the listening pid may accept.
+  StatusOr<AppPort> Accept(Pid pid, uint16_t local_port);
+  Status StopListening(Pid pid, uint16_t local_port);
+
+  // netstat's data source: every live connection with owner + counters.
+  std::vector<ConnectionInfo> ListConnections() const;
+
+  // ---- Blocking I/O (§4.3) ------------------------------------------------
+  // Registers a continuation to run when the next RX-data notification for
+  // `conn_id` arrives. Charges a context switch to the kernel core. The
+  // connection must have been opened with notify_rx.
+  Status BlockOnRx(net::ConnectionId conn_id, std::function<void()> resume);
+  // Same for TX-ring drain.
+  Status BlockOnTxDrain(net::ConnectionId conn_id,
+                        std::function<void()> resume);
+
+  // Kernel CPU time spent on wakeups (context switches) — E5's metric.
+  const sim::Resource& kernel_core() const { return kernel_core_; }
+
+  // ---- Administrative configuration (root-only syscalls) -----------------
+  // iptables: first-match rule chains compiled to the NIC overlay.
+  StatusOr<size_t> AppendFilterRule(Uid caller, Chain chain,
+                                    const dataplane::FilterRule& rule);
+  Status DeleteFilterRule(Uid caller, Chain chain, size_t index);
+  Status FlushFilterRules(Uid caller, Chain chain);
+  const dataplane::FilterEngine& filter(Chain chain) const;
+
+  // tc: replace the TX queueing discipline on the NIC. The kernel wraps
+  // every discipline in a transparent per-connection pacer (rate limits
+  // survive qdisc swaps).
+  Status SetQdisc(Uid caller, std::unique_ptr<nic::Scheduler> qdisc);
+
+  // Per-connection TX rate limit enforced by the NIC pacer (SENIC-style;
+  // also the knob a congestion-control module drives). rate 0 clears.
+  Status SetConnRateLimit(Uid caller, net::ConnectionId conn,
+                          BitsPerSecond rate_bps, uint64_t burst_bytes);
+
+  // Packets contending for the wire inside the TX discipline (excludes
+  // per-connection pacer queues) — the congestion signal for rate control.
+  size_t LinkBacklog() const { return pacer_->inner_backlog(); }
+
+  // Custom overlay policies (§4.4's "add eBPF support" path, without the
+  // bitstream update): verifies + loads `program` into the chain's reserved
+  // NIC slot; it runs as the last stage of that chain. Returns the hardware
+  // load time. An empty program clears the slot.
+  StatusOr<Nanos> LoadCustomPolicy(Uid caller, Chain chain,
+                                   const overlay::Program& program);
+
+  // On-NIC ICMP echo responder stats.
+  const dataplane::IcmpResponder& icmp() const { return *icmp_; }
+
+  // TX anti-spoofing stats (frames dropped for forged headers).
+  const dataplane::SpoofGuard& spoof_guard() const { return *spoof_guard_; }
+
+  // tcpdump: the NIC sniffer tap (sees both directions).
+  Status StartCapture(Uid caller,
+                      std::optional<overlay::Program> filter = std::nullopt);
+  Status StopCapture(Uid caller);
+  const dataplane::SnifferTap& sniffer() const { return *sniffer_; }
+  dataplane::SnifferTap& mutable_sniffer() { return *sniffer_; }
+
+  // arp: the NIC's ARP cache and TX-side ARP observations.
+  const dataplane::ArpService& arp() const { return *arp_; }
+
+  // conntrack view.
+  const dataplane::Conntrack& conntrack() const { return *conntrack_; }
+
+  // Enable source NAT for a private prefix (root only).
+  Status EnableNat(Uid caller, net::Ipv4Address private_prefix,
+                   uint32_t prefix_len, net::Ipv4Address public_ip);
+  const dataplane::NatEngine* nat() const { return nat_.get(); }
+
+  // Helper for rules that match on a process name: interned comm id.
+  uint32_t CommIdFor(const std::string& comm) {
+    return processes_.InternComm(comm);
+  }
+
+  // Direct access for experiments: the NIC control-plane capability stays
+  // inside the kernel, but benchmarks need read access to NIC state.
+  nic::SmartNic::ControlPlane& nic_control() { return *nic_cp_; }
+
+  // Software-fallback TX: used by AppPort-less fallback connections. The
+  // packet is charged host-kernel costs and then injected at the NIC.
+  Status SoftwareTransmit(net::ConnectionId conn_id, net::PacketPtr packet);
+
+  // On-demand housekeeping (conntrack GC). Tools call this before reads.
+  void Housekeeping();
+
+ private:
+  struct FallbackConn {
+    net::FiveTuple tuple;
+    overlay::ConnMetadata owner;
+  };
+
+  Status RequireRoot(Uid caller) const;
+  void InstallPipeline();
+  void PumpNotifications(Pid pid);
+
+  sim::Simulator* sim_;
+  nic::SmartNic* nic_;
+  Options options_;
+  std::unique_ptr<nic::SmartNic::ControlPlane> nic_cp_;
+
+  ProcessTable processes_;
+
+  // On-NIC dataplane components (owned by the kernel, installed on the NIC).
+  std::unique_ptr<dataplane::FilterEngine> filter_input_;
+  std::unique_ptr<dataplane::FilterEngine> filter_output_;
+  std::unique_ptr<dataplane::SnifferTap> sniffer_;
+  std::unique_ptr<dataplane::ArpService> arp_;
+  std::unique_ptr<dataplane::IcmpResponder> icmp_;
+  std::unique_ptr<dataplane::Conntrack> conntrack_;
+  std::unique_ptr<dataplane::NatEngine> nat_;
+  std::unique_ptr<dataplane::SpoofGuard> spoof_guard_;
+  std::unique_ptr<dataplane::OverlayStage> custom_tx_;
+  std::unique_ptr<dataplane::OverlayStage> custom_rx_;
+  // Owned by the NIC once installed; kernel keeps the typed handle.
+  dataplane::PacedScheduler* pacer_ = nullptr;
+  std::map<net::ConnectionId, std::pair<BitsPerSecond, uint64_t>>
+      rate_limits_;
+
+  sim::Resource kernel_core_{"kernel.core"};
+
+  net::ConnectionId next_conn_id_ = 1;
+  uint16_t next_ephemeral_port_ = 30000;
+
+  struct Waiter {
+    nic::NotificationKind kind;
+    std::function<void()> resume;
+  };
+  // conn -> pending waiters (usually one).
+  std::map<net::ConnectionId, std::vector<Waiter>> waiters_;
+  std::map<net::ConnectionId, Pid> conn_owner_pid_;
+  std::map<net::ConnectionId, FallbackConn> fallback_conns_;
+
+  struct ListenState {
+    Pid pid = 0;
+    ConnectOptions accept_opts;
+    std::deque<net::ConnectionId> accept_queue;
+  };
+  // (local_port, proto) -> listener.
+  std::map<std::pair<uint16_t, uint8_t>, ListenState> listeners_;
+  uint64_t unmatched_rx_dropped_ = 0;
+
+  // Handles packets the NIC diverted to the host (unmatched RX -> listen
+  // dispatch; TX fallback completions).
+  void HandleHostPacket(net::PacketPtr packet, net::Direction dir);
+};
+
+}  // namespace norman::kernel
+
+#endif  // NORMAN_KERNEL_KERNEL_H_

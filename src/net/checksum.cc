@@ -1,0 +1,48 @@
+#include "src/net/checksum.h"
+
+#include "src/net/byte_io.h"
+
+namespace norman::net {
+
+uint32_t ChecksumPartial(std::span<const uint8_t> data, uint32_t sum) {
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += LoadBe16(&data[i]);
+  }
+  if (i < data.size()) {
+    // Odd trailing byte is padded with zero on the right.
+    sum += static_cast<uint32_t>(data[i]) << 8;
+  }
+  return sum;
+}
+
+uint16_t ChecksumFinish(uint32_t sum) {
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+uint16_t InternetChecksum(std::span<const uint8_t> data) {
+  return ChecksumFinish(ChecksumPartial(data));
+}
+
+uint16_t TransportChecksum(Ipv4Address src, Ipv4Address dst, IpProto proto,
+                           std::span<const uint8_t> l4) {
+  uint8_t pseudo[12];
+  StoreBe32(&pseudo[0], src.addr);
+  StoreBe32(&pseudo[4], dst.addr);
+  pseudo[8] = 0;
+  pseudo[9] = static_cast<uint8_t>(proto);
+  StoreBe16(&pseudo[10], static_cast<uint16_t>(l4.size()));
+  uint32_t sum = ChecksumPartial(std::span<const uint8_t>(pseudo, 12));
+  sum = ChecksumPartial(l4, sum);
+  uint16_t csum = ChecksumFinish(sum);
+  // Per RFC 768, a computed UDP checksum of zero is transmitted as 0xffff.
+  if (csum == 0 && proto == IpProto::kUdp) {
+    csum = 0xffff;
+  }
+  return csum;
+}
+
+}  // namespace norman::net

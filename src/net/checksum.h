@@ -1,0 +1,28 @@
+// RFC 1071 internet checksum and the TCP/UDP pseudo-header variant.
+#ifndef NORMAN_NET_CHECKSUM_H_
+#define NORMAN_NET_CHECKSUM_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/net/types.h"
+
+namespace norman::net {
+
+// One's-complement sum folded to 16 bits, *not* yet complemented.
+uint32_t ChecksumPartial(std::span<const uint8_t> data, uint32_t sum = 0);
+
+// Fold a partial sum and complement it into a final checksum value.
+uint16_t ChecksumFinish(uint32_t sum);
+
+// Full internet checksum of a buffer.
+uint16_t InternetChecksum(std::span<const uint8_t> data);
+
+// TCP/UDP checksum over the IPv4 pseudo header plus the L4 segment.
+// `l4` must include the transport header with its checksum field zeroed.
+uint16_t TransportChecksum(Ipv4Address src, Ipv4Address dst, IpProto proto,
+                           std::span<const uint8_t> l4);
+
+}  // namespace norman::net
+
+#endif  // NORMAN_NET_CHECKSUM_H_

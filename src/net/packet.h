@@ -1,0 +1,64 @@
+// Packet buffer and simulation metadata.
+//
+// A Packet owns its bytes (wire format, starting at the Ethernet header) and
+// carries sideband metadata the simulated hardware attaches as the packet
+// moves: timestamps, the RSS queue, and — crucially for KOPI — the identity
+// of the *sending connection*, which the kernel stamped into the NIC flow
+// table at connection setup. The identity travels as metadata, never as
+// packet bytes, mirroring how a real on-NIC dataplane knows the source ring
+// (and therefore the owning process) of every TX descriptor.
+#ifndef NORMAN_NET_PACKET_H_
+#define NORMAN_NET_PACKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/net/types.h"
+
+namespace norman::net {
+
+// Identifies a NIC-visible connection (== one ring-buffer pair). 0 is
+// reserved for "unknown / not from a registered connection".
+using ConnectionId = uint32_t;
+inline constexpr ConnectionId kUnknownConnection = 0;
+
+enum class Direction : uint8_t { kTx, kRx };
+
+struct PacketMeta {
+  Nanos created_at = 0;       // when the app/workload produced it
+  Nanos nic_arrival = 0;      // when it entered the NIC pipeline
+  Nanos completed_at = 0;     // when it hit the wire / app ring
+  Direction direction = Direction::kTx;
+  ConnectionId connection = kUnknownConnection;
+  uint16_t rx_queue = 0;      // RSS result (RX only)
+  uint32_t flow_hash = 0;
+  bool software_fallback = false;  // diverted through host slow path (E7)
+};
+
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  std::span<const uint8_t> bytes() const { return bytes_; }
+  std::span<uint8_t> mutable_bytes() { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+
+  void Resize(size_t n) { bytes_.resize(n); }
+
+  PacketMeta& meta() { return meta_; }
+  const PacketMeta& meta() const { return meta_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  PacketMeta meta_;
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+}  // namespace norman::net
+
+#endif  // NORMAN_NET_PACKET_H_

@@ -1,0 +1,233 @@
+#include "src/net/packet_builder.h"
+
+#include <cstring>
+
+#include "src/net/byte_io.h"
+#include "src/net/checksum.h"
+#include "src/net/parsed_packet.h"
+
+namespace norman::net {
+namespace {
+
+// Sequential IPv4 identification for generated frames; wraps naturally.
+uint16_t NextIpId() {
+  static uint16_t id = 0;
+  return ++id;
+}
+
+std::vector<uint8_t> BuildIpv4Frame(const FrameEndpoints& ep, IpProto proto,
+                                    size_t l4_size, uint8_t dscp,
+                                    uint8_t ttl) {
+  std::vector<uint8_t> frame(kEthernetHeaderSize + kIpv4MinHeaderSize +
+                             l4_size);
+  EthernetHeader eth;
+  eth.dst = ep.dst_mac;
+  eth.src = ep.src_mac;
+  eth.ether_type = static_cast<uint16_t>(EtherType::kIpv4);
+  eth.Serialize(frame);
+
+  Ipv4Header ip;
+  ip.dscp = dscp;
+  ip.total_length = static_cast<uint16_t>(kIpv4MinHeaderSize + l4_size);
+  ip.identification = NextIpId();
+  ip.ttl = ttl;
+  ip.protocol = proto;
+  ip.src = ep.src_ip;
+  ip.dst = ep.dst_ip;
+  ip.Serialize(std::span<uint8_t>(frame).subspan(kEthernetHeaderSize));
+  return frame;
+}
+
+}  // namespace
+
+std::vector<uint8_t> BuildUdpFrame(const FrameEndpoints& ep, uint16_t src_port,
+                                   uint16_t dst_port,
+                                   std::span<const uint8_t> payload,
+                                   uint8_t dscp, uint8_t ttl) {
+  const size_t l4_size = kUdpHeaderSize + payload.size();
+  auto frame = BuildIpv4Frame(ep, IpProto::kUdp, l4_size, dscp, ttl);
+  auto l4 = std::span<uint8_t>(frame).subspan(kEthernetHeaderSize +
+                                              kIpv4MinHeaderSize);
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<uint16_t>(l4_size);
+  udp.checksum = 0;
+  udp.Serialize(l4);
+  std::memcpy(l4.data() + kUdpHeaderSize, payload.data(), payload.size());
+  udp.checksum = TransportChecksum(ep.src_ip, ep.dst_ip, IpProto::kUdp, l4);
+  StoreBe16(l4.data() + 6, udp.checksum);
+  return frame;
+}
+
+std::vector<uint8_t> BuildTcpFrame(const FrameEndpoints& ep, uint16_t src_port,
+                                   uint16_t dst_port, uint32_t seq,
+                                   uint32_t ack, uint8_t flags,
+                                   std::span<const uint8_t> payload,
+                                   uint16_t window) {
+  const size_t l4_size = kTcpMinHeaderSize + payload.size();
+  auto frame = BuildIpv4Frame(ep, IpProto::kTcp, l4_size, /*dscp=*/0,
+                              /*ttl=*/64);
+  auto l4 = std::span<uint8_t>(frame).subspan(kEthernetHeaderSize +
+                                              kIpv4MinHeaderSize);
+  TcpHeader tcp;
+  tcp.src_port = src_port;
+  tcp.dst_port = dst_port;
+  tcp.seq = seq;
+  tcp.ack = ack;
+  tcp.flags = flags;
+  tcp.window = window;
+  tcp.checksum = 0;
+  tcp.Serialize(l4);
+  std::memcpy(l4.data() + kTcpMinHeaderSize, payload.data(), payload.size());
+  tcp.checksum = TransportChecksum(ep.src_ip, ep.dst_ip, IpProto::kTcp, l4);
+  StoreBe16(l4.data() + 16, tcp.checksum);
+  return frame;
+}
+
+std::vector<uint8_t> BuildIcmpEchoFrame(const FrameEndpoints& ep,
+                                        IcmpType type, uint16_t identifier,
+                                        uint16_t sequence,
+                                        std::span<const uint8_t> payload) {
+  const size_t l4_size = kIcmpHeaderSize + payload.size();
+  auto frame = BuildIpv4Frame(ep, IpProto::kIcmp, l4_size, /*dscp=*/0,
+                              /*ttl=*/64);
+  auto l4 = std::span<uint8_t>(frame).subspan(kEthernetHeaderSize +
+                                              kIpv4MinHeaderSize);
+  IcmpHeader icmp;
+  icmp.type = type;
+  icmp.identifier = identifier;
+  icmp.sequence = sequence;
+  icmp.checksum = 0;
+  icmp.Serialize(l4);
+  std::memcpy(l4.data() + kIcmpHeaderSize, payload.data(), payload.size());
+  icmp.checksum = InternetChecksum(l4);
+  StoreBe16(l4.data() + 2, icmp.checksum);
+  return frame;
+}
+
+std::vector<uint8_t> BuildArpRequest(MacAddress sender_mac,
+                                     Ipv4Address sender_ip,
+                                     Ipv4Address target_ip) {
+  std::vector<uint8_t> frame(kEthernetHeaderSize + kArpBodySize);
+  EthernetHeader eth;
+  eth.dst = MacAddress::Broadcast();
+  eth.src = sender_mac;
+  eth.ether_type = static_cast<uint16_t>(EtherType::kArp);
+  eth.Serialize(frame);
+  ArpMessage arp;
+  arp.op = ArpOp::kRequest;
+  arp.sender_mac = sender_mac;
+  arp.sender_ip = sender_ip;
+  arp.target_mac = MacAddress::Zero();
+  arp.target_ip = target_ip;
+  arp.Serialize(std::span<uint8_t>(frame).subspan(kEthernetHeaderSize));
+  return frame;
+}
+
+std::vector<uint8_t> BuildArpReply(MacAddress sender_mac,
+                                   Ipv4Address sender_ip,
+                                   MacAddress requester_mac,
+                                   Ipv4Address requester_ip) {
+  std::vector<uint8_t> frame(kEthernetHeaderSize + kArpBodySize);
+  EthernetHeader eth;
+  eth.dst = requester_mac;
+  eth.src = sender_mac;
+  eth.ether_type = static_cast<uint16_t>(EtherType::kArp);
+  eth.Serialize(frame);
+  ArpMessage arp;
+  arp.op = ArpOp::kReply;
+  arp.sender_mac = sender_mac;
+  arp.sender_ip = sender_ip;
+  arp.target_mac = requester_mac;
+  arp.target_ip = requester_ip;
+  arp.Serialize(std::span<uint8_t>(frame).subspan(kEthernetHeaderSize));
+  return frame;
+}
+
+namespace {
+
+// Incremental checksum update per RFC 1624: HC' = ~(~HC + ~m + m').
+uint16_t IncrementalFix(uint16_t csum, uint16_t old16, uint16_t new16) {
+  uint32_t sum = static_cast<uint32_t>(static_cast<uint16_t>(~csum));
+  sum += static_cast<uint16_t>(~old16);
+  sum += new16;
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+struct RewriteOffsets {
+  size_t ip_addr;     // offset of the address to rewrite (src or dst)
+  size_t ip_csum;     // IPv4 checksum offset
+  size_t l4_port;     // offset of port to rewrite
+  size_t l4_csum;     // transport checksum offset
+  bool udp;           // UDP semantics for zero checksum
+};
+
+bool FindOffsets(std::span<uint8_t> frame, bool source, RewriteOffsets* out) {
+  auto parsed = ParseFrame(frame);
+  if (!parsed || !parsed->ipv4 || (!parsed->udp && !parsed->tcp)) {
+    return false;
+  }
+  const size_t l3 = parsed->l3_offset;
+  const size_t l4 = parsed->l4_offset;
+  out->ip_addr = l3 + (source ? 12 : 16);
+  out->ip_csum = l3 + 10;
+  out->l4_port = l4 + (source ? 0 : 2);
+  out->udp = parsed->is_udp();
+  out->l4_csum = l4 + (out->udp ? 6 : 16);
+  return true;
+}
+
+bool Rewrite(std::span<uint8_t> frame, bool source, Ipv4Address new_ip,
+             uint16_t new_port) {
+  RewriteOffsets off;
+  if (!FindOffsets(frame, source, &off)) {
+    return false;
+  }
+  const uint32_t old_ip = LoadBe32(&frame[off.ip_addr]);
+  const uint16_t old_port = LoadBe16(&frame[off.l4_port]);
+
+  // IPv4 header checksum: fix for the two 16-bit halves of the address.
+  uint16_t ip_csum = LoadBe16(&frame[off.ip_csum]);
+  ip_csum = IncrementalFix(ip_csum, static_cast<uint16_t>(old_ip >> 16),
+                           static_cast<uint16_t>(new_ip.addr >> 16));
+  ip_csum = IncrementalFix(ip_csum, static_cast<uint16_t>(old_ip),
+                           static_cast<uint16_t>(new_ip.addr));
+  StoreBe16(&frame[off.ip_csum], ip_csum);
+
+  // Transport checksum covers the pseudo header (address) and the port.
+  uint16_t l4_csum = LoadBe16(&frame[off.l4_csum]);
+  const bool udp_no_csum = off.udp && l4_csum == 0;
+  if (!udp_no_csum) {
+    l4_csum = IncrementalFix(l4_csum, static_cast<uint16_t>(old_ip >> 16),
+                             static_cast<uint16_t>(new_ip.addr >> 16));
+    l4_csum = IncrementalFix(l4_csum, static_cast<uint16_t>(old_ip),
+                             static_cast<uint16_t>(new_ip.addr));
+    l4_csum = IncrementalFix(l4_csum, old_port, new_port);
+    if (off.udp && l4_csum == 0) {
+      l4_csum = 0xffff;
+    }
+    StoreBe16(&frame[off.l4_csum], l4_csum);
+  }
+
+  StoreBe32(&frame[off.ip_addr], new_ip.addr);
+  StoreBe16(&frame[off.l4_port], new_port);
+  return true;
+}
+
+}  // namespace
+
+bool RewriteSource(std::span<uint8_t> frame, Ipv4Address new_src_ip,
+                   uint16_t new_src_port) {
+  return Rewrite(frame, /*source=*/true, new_src_ip, new_src_port);
+}
+
+bool RewriteDestination(std::span<uint8_t> frame, Ipv4Address new_dst_ip,
+                        uint16_t new_dst_port) {
+  return Rewrite(frame, /*source=*/false, new_dst_ip, new_dst_port);
+}
+
+}  // namespace norman::net

@@ -1,0 +1,63 @@
+// Frame construction helpers used by workloads, tests and the dataplane
+// (ARP replies, NAT rewrites). All builders produce complete wire frames
+// with valid IPv4 and transport checksums.
+#ifndef NORMAN_NET_PACKET_BUILDER_H_
+#define NORMAN_NET_PACKET_BUILDER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/net/headers.h"
+#include "src/net/types.h"
+
+namespace norman::net {
+
+struct FrameEndpoints {
+  MacAddress src_mac;
+  MacAddress dst_mac;
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+};
+
+// UDP datagram frame.
+std::vector<uint8_t> BuildUdpFrame(const FrameEndpoints& ep, uint16_t src_port,
+                                   uint16_t dst_port,
+                                   std::span<const uint8_t> payload,
+                                   uint8_t dscp = 0, uint8_t ttl = 64);
+
+// TCP segment frame (no options).
+std::vector<uint8_t> BuildTcpFrame(const FrameEndpoints& ep, uint16_t src_port,
+                                   uint16_t dst_port, uint32_t seq,
+                                   uint32_t ack, uint8_t flags,
+                                   std::span<const uint8_t> payload,
+                                   uint16_t window = 65535);
+
+// ICMP echo request/reply frame.
+std::vector<uint8_t> BuildIcmpEchoFrame(const FrameEndpoints& ep,
+                                        IcmpType type, uint16_t identifier,
+                                        uint16_t sequence,
+                                        std::span<const uint8_t> payload);
+
+// ARP request: who-has target_ip, tell sender. Sent to broadcast.
+std::vector<uint8_t> BuildArpRequest(MacAddress sender_mac,
+                                     Ipv4Address sender_ip,
+                                     Ipv4Address target_ip);
+
+// ARP reply: target_ip is-at sender_mac, unicast to requester.
+std::vector<uint8_t> BuildArpReply(MacAddress sender_mac,
+                                   Ipv4Address sender_ip,
+                                   MacAddress requester_mac,
+                                   Ipv4Address requester_ip);
+
+// In-place rewrites used by the NAT stage: update addresses/ports and fix
+// IPv4 + transport checksums incrementally. Frame must be valid IPv4+UDP/TCP.
+// Returns false if the frame cannot be rewritten (not IPv4 UDP/TCP).
+bool RewriteSource(std::span<uint8_t> frame, Ipv4Address new_src_ip,
+                   uint16_t new_src_port);
+bool RewriteDestination(std::span<uint8_t> frame, Ipv4Address new_dst_ip,
+                        uint16_t new_dst_port);
+
+}  // namespace norman::net
+
+#endif  // NORMAN_NET_PACKET_BUILDER_H_

@@ -1,0 +1,79 @@
+#include "src/net/parsed_packet.h"
+
+namespace norman::net {
+
+std::optional<FiveTuple> ParsedPacket::flow() const {
+  if (!ipv4) {
+    return std::nullopt;
+  }
+  FiveTuple t;
+  t.src_ip = ipv4->src;
+  t.dst_ip = ipv4->dst;
+  t.proto = ipv4->protocol;
+  if (udp) {
+    t.src_port = udp->src_port;
+    t.dst_port = udp->dst_port;
+  } else if (tcp) {
+    t.src_port = tcp->src_port;
+    t.dst_port = tcp->dst_port;
+  } else if (icmp) {
+    t.src_port = 0;
+    t.dst_port = 0;
+  } else {
+    return std::nullopt;
+  }
+  return t;
+}
+
+std::optional<ParsedPacket> ParseFrame(std::span<const uint8_t> frame) {
+  auto eth = EthernetHeader::Parse(frame);
+  if (!eth) {
+    return std::nullopt;
+  }
+  ParsedPacket p;
+  p.eth = *eth;
+  p.frame_size = frame.size();
+  p.l3_offset = kEthernetHeaderSize;
+  auto l3 = frame.subspan(kEthernetHeaderSize);
+
+  if (eth->ether_type == static_cast<uint16_t>(EtherType::kArp)) {
+    p.arp = ArpMessage::Parse(l3);
+    return p;
+  }
+  if (eth->ether_type != static_cast<uint16_t>(EtherType::kIpv4)) {
+    return p;  // unknown L3; leave upper layers empty
+  }
+  p.ipv4 = Ipv4Header::Parse(l3);
+  if (!p.ipv4) {
+    return p;
+  }
+  p.l4_offset = p.l3_offset + p.ipv4->header_length();
+  auto l4 = frame.subspan(p.l4_offset);
+
+  switch (p.ipv4->protocol) {
+    case IpProto::kUdp:
+      p.udp = UdpHeader::Parse(l4);
+      if (p.udp) {
+        p.payload_offset = p.l4_offset + kUdpHeaderSize;
+      }
+      break;
+    case IpProto::kTcp:
+      p.tcp = TcpHeader::Parse(l4);
+      if (p.tcp) {
+        p.payload_offset = p.l4_offset + p.tcp->header_length();
+      }
+      break;
+    case IpProto::kIcmp:
+      p.icmp = IcmpHeader::Parse(l4);
+      if (p.icmp) {
+        p.payload_offset = p.l4_offset + kIcmpHeaderSize;
+      }
+      break;
+  }
+  if (p.payload_offset > p.frame_size) {
+    p.payload_offset = p.frame_size;
+  }
+  return p;
+}
+
+}  // namespace norman::net

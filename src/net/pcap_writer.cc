@@ -1,0 +1,104 @@
+#include "src/net/pcap_writer.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace norman::net {
+namespace {
+
+constexpr uint32_t kPcapMagic = 0xa1b2c3d4;  // microsecond-resolution pcap
+constexpr uint16_t kVersionMajor = 2;
+constexpr uint16_t kVersionMinor = 4;
+constexpr uint32_t kLinkTypeEthernet = 1;
+
+uint32_t ReadLe32(const uint8_t* p) {
+  return uint32_t{p[0]} | (uint32_t{p[1]} << 8) | (uint32_t{p[2]} << 16) |
+         (uint32_t{p[3]} << 24);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(uint32_t snaplen) : snaplen_(snaplen) {
+  // Global header, little-endian (the native convention for writers).
+  Append32(kPcapMagic);
+  Append16(kVersionMajor);
+  Append16(kVersionMinor);
+  Append32(0);  // thiszone
+  Append32(0);  // sigfigs
+  Append32(snaplen_);
+  Append32(kLinkTypeEthernet);
+}
+
+void PcapWriter::Append32(uint32_t v) {
+  buffer_.push_back(static_cast<uint8_t>(v));
+  buffer_.push_back(static_cast<uint8_t>(v >> 8));
+  buffer_.push_back(static_cast<uint8_t>(v >> 16));
+  buffer_.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PcapWriter::Append16(uint16_t v) {
+  buffer_.push_back(static_cast<uint8_t>(v));
+  buffer_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PcapWriter::AddRecord(Nanos timestamp, std::span<const uint8_t> frame) {
+  const uint32_t captured =
+      static_cast<uint32_t>(std::min<size_t>(frame.size(), snaplen_));
+  Append32(static_cast<uint32_t>(timestamp / kSecond));
+  Append32(static_cast<uint32_t>((timestamp % kSecond) / kMicrosecond));
+  Append32(captured);
+  Append32(static_cast<uint32_t>(frame.size()));
+  buffer_.insert(buffer_.end(), frame.begin(), frame.begin() + captured);
+  ++record_count_;
+}
+
+Status PcapWriter::WriteToFile(const std::string& path) const {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!f) {
+    return UnavailableError("cannot open " + path);
+  }
+  if (std::fwrite(buffer_.data(), 1, buffer_.size(), f.get()) !=
+      buffer_.size()) {
+    return UnavailableError("short write to " + path);
+  }
+  return OkStatus();
+}
+
+StatusOr<std::vector<PcapRecord>> ParsePcap(std::span<const uint8_t> file) {
+  constexpr size_t kGlobalHeader = 24;
+  constexpr size_t kRecordHeader = 16;
+  if (file.size() < kGlobalHeader) {
+    return InvalidArgumentError("pcap: truncated global header");
+  }
+  if (ReadLe32(file.data()) != kPcapMagic) {
+    return InvalidArgumentError("pcap: bad magic");
+  }
+  if (ReadLe32(file.data() + 20) != kLinkTypeEthernet) {
+    return InvalidArgumentError("pcap: unexpected link type");
+  }
+  std::vector<PcapRecord> records;
+  size_t off = kGlobalHeader;
+  while (off < file.size()) {
+    if (off + kRecordHeader > file.size()) {
+      return InvalidArgumentError("pcap: truncated record header");
+    }
+    PcapRecord rec;
+    const uint32_t sec = ReadLe32(file.data() + off);
+    const uint32_t usec = ReadLe32(file.data() + off + 4);
+    const uint32_t captured = ReadLe32(file.data() + off + 8);
+    rec.original_length = ReadLe32(file.data() + off + 12);
+    rec.timestamp =
+        static_cast<Nanos>(sec) * kSecond + static_cast<Nanos>(usec) * kMicrosecond;
+    off += kRecordHeader;
+    if (off + captured > file.size()) {
+      return InvalidArgumentError("pcap: truncated record body");
+    }
+    rec.bytes.assign(file.begin() + off, file.begin() + off + captured);
+    off += captured;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+}  // namespace norman::net

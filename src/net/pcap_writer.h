@@ -1,0 +1,57 @@
+// Standard libpcap file writer (magic 0xa1b2c3d4, LINKTYPE_ETHERNET).
+//
+// The KOPI sniffer tap (tools/tcpdump) serializes captured frames through
+// this writer; output is byte-compatible with files tcpdump/wireshark read.
+// Timestamps come from virtual simulation time.
+#ifndef NORMAN_NET_PCAP_WRITER_H_
+#define NORMAN_NET_PCAP_WRITER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace norman::net {
+
+class PcapWriter {
+ public:
+  // snaplen: maximum bytes captured per frame (rest is truncated, with the
+  // original length recorded, exactly like `tcpdump -s`).
+  explicit PcapWriter(uint32_t snaplen = 65535);
+
+  // Appends one record with the given virtual timestamp.
+  void AddRecord(Nanos timestamp, std::span<const uint8_t> frame);
+
+  uint64_t record_count() const { return record_count_; }
+
+  // The complete file image (global header + records written so far).
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+
+  // Writes the buffer to a file.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  void Append32(uint32_t v);
+  void Append16(uint16_t v);
+
+  uint32_t snaplen_;
+  uint64_t record_count_ = 0;
+  std::vector<uint8_t> buffer_;
+};
+
+// Minimal reader used by tests and the debugging example to inspect
+// captures produced by PcapWriter.
+struct PcapRecord {
+  Nanos timestamp = 0;
+  uint32_t original_length = 0;
+  std::vector<uint8_t> bytes;
+};
+
+StatusOr<std::vector<PcapRecord>> ParsePcap(std::span<const uint8_t> file);
+
+}  // namespace norman::net
+
+#endif  // NORMAN_NET_PCAP_WRITER_H_

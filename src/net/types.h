@@ -1,0 +1,118 @@
+// Core network value types: addresses, protocol numbers, flow tuple.
+#ifndef NORMAN_NET_TYPES_H_
+#define NORMAN_NET_TYPES_H_
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace norman::net {
+
+// 48-bit Ethernet MAC address.
+struct MacAddress {
+  std::array<uint8_t, 6> bytes{};
+
+  static MacAddress Broadcast() {
+    return MacAddress{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  }
+  static MacAddress Zero() { return MacAddress{}; }
+
+  // Deterministic per-host address used by test fixtures: 02:4e:4d:xx:xx:xx
+  // (locally administered).
+  static MacAddress ForHost(uint32_t host_id) {
+    return MacAddress{{0x02, 0x4e, 0x4d,
+                       static_cast<uint8_t>(host_id >> 16),
+                       static_cast<uint8_t>(host_id >> 8),
+                       static_cast<uint8_t>(host_id)}};
+  }
+
+  bool IsBroadcast() const { return *this == Broadcast(); }
+
+  std::string ToString() const {
+    char buf[18];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                  bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+    return buf;
+  }
+
+  friend bool operator==(const MacAddress&, const MacAddress&) = default;
+};
+
+// IPv4 address held in host byte order; serialization handles endianness.
+struct Ipv4Address {
+  uint32_t addr = 0;
+
+  static constexpr Ipv4Address FromOctets(uint8_t a, uint8_t b, uint8_t c,
+                                          uint8_t d) {
+    return Ipv4Address{(uint32_t{a} << 24) | (uint32_t{b} << 16) |
+                       (uint32_t{c} << 8) | uint32_t{d}};
+  }
+
+  std::string ToString() const {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                  (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+    return buf;
+  }
+
+  friend bool operator==(const Ipv4Address&, const Ipv4Address&) = default;
+  friend auto operator<=>(const Ipv4Address&, const Ipv4Address&) = default;
+};
+
+enum class IpProto : uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+enum class EtherType : uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+};
+
+// Connection/flow identity. Addresses and ports in host byte order.
+struct FiveTuple {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  IpProto proto = IpProto::kUdp;
+
+  // The same flow seen from the peer's perspective.
+  FiveTuple Reversed() const {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, proto};
+  }
+
+  std::string ToString() const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s:%u -> %s:%u/%u",
+                  src_ip.ToString().c_str(), src_port,
+                  dst_ip.ToString().c_str(), dst_port,
+                  static_cast<unsigned>(proto));
+    return buf;
+  }
+
+  friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+};
+
+struct FiveTupleHash {
+  size_t operator()(const FiveTuple& t) const {
+    // FNV-1a over the tuple fields; adequate for hash-table use.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    };
+    mix(t.src_ip.addr);
+    mix(t.dst_ip.addr);
+    mix((uint64_t{t.src_port} << 16) | t.dst_port);
+    mix(static_cast<uint64_t>(t.proto));
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace norman::net
+
+#endif  // NORMAN_NET_TYPES_H_

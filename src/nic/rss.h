@@ -1,0 +1,69 @@
+// Receive-side scaling: hash-based steering of inbound flows to RX queues.
+//
+// §2's debugging scenario has the administrator using "RSS custom hashing to
+// partition her NIC into two 'virtual interfaces'". We model RSS as a seeded
+// flow hash over the 5-tuple plus a 128-entry indirection table, like the
+// Microsoft RSS spec the paper cites.
+#ifndef NORMAN_NIC_RSS_H_
+#define NORMAN_NIC_RSS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/net/types.h"
+
+namespace norman::nic {
+
+class RssEngine {
+ public:
+  static constexpr size_t kIndirectionEntries = 128;
+
+  explicit RssEngine(uint16_t num_queues = 1, uint64_t seed = 0x6d5a6d5a)
+      : seed_(seed) {
+    SetNumQueues(num_queues);
+  }
+
+  // Rebuilds the indirection table round-robin over `n` queues.
+  void SetNumQueues(uint16_t n) {
+    num_queues_ = n == 0 ? 1 : n;
+    for (size_t i = 0; i < kIndirectionEntries; ++i) {
+      table_[i] = static_cast<uint16_t>(i % num_queues_);
+    }
+  }
+
+  uint16_t num_queues() const { return num_queues_; }
+
+  // Custom indirection entry (the "partition the NIC" use case).
+  void SetIndirection(size_t index, uint16_t queue) {
+    table_[index % kIndirectionEntries] = queue % num_queues_;
+  }
+
+  uint32_t Hash(const net::FiveTuple& t) const {
+    // Seeded FNV-1a-style mix; stands in for the Toeplitz hash (same
+    // properties we need: deterministic, seed-dependent, well spread).
+    uint64_t h = seed_ ^ 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+      h ^= h >> 29;
+    };
+    mix(t.src_ip.addr);
+    mix(t.dst_ip.addr);
+    mix((uint64_t{t.src_port} << 16) | t.dst_port);
+    mix(static_cast<uint64_t>(t.proto));
+    return static_cast<uint32_t>(h ^ (h >> 32));
+  }
+
+  uint16_t Steer(const net::FiveTuple& t) const {
+    return table_[Hash(t) % kIndirectionEntries];
+  }
+
+ private:
+  uint64_t seed_;
+  uint16_t num_queues_ = 1;
+  std::array<uint16_t, kIndirectionEntries> table_{};
+};
+
+}  // namespace norman::nic
+
+#endif  // NORMAN_NIC_RSS_H_

@@ -1,0 +1,460 @@
+#include "src/nic/smart_nic.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/nic/fifo_scheduler.h"
+#include "src/overlay/verifier.h"
+
+namespace norman::nic {
+
+SmartNic::SmartNic(sim::Simulator* sim, Options options)
+    : sim_(sim),
+      options_(options),
+      sram_(options.sram_bytes),
+      flow_table_(&sram_),
+      rss_(options.num_rx_queues),
+      scheduler_(std::make_unique<FifoScheduler>()) {}
+
+SmartNic::~SmartNic() = default;
+
+std::unique_ptr<SmartNic::ControlPlane> SmartNic::TakeControlPlane() {
+  if (control_plane_taken_) {
+    return nullptr;
+  }
+  control_plane_taken_ = true;
+  return std::unique_ptr<ControlPlane>(new ControlPlane(this));
+}
+
+// ---- ControlPlane ----------------------------------------------------------
+
+Status SmartNic::ControlPlane::InstallFlow(const FlowEntry& entry) {
+  NORMAN_RETURN_IF_ERROR(nic_->flow_table_.Insert(entry));
+  auto ring = std::make_unique<RingPair>(nic_->options_.ring_entries);
+  // Ring descriptor state also lives in NIC SRAM (head/tail, base addrs,
+  // completion state): 64B per ring pair.
+  const Status s = nic_->sram_.Allocate("ring_state", 64);
+  if (!s.ok()) {
+    (void)nic_->flow_table_.Remove(entry.conn_id);
+    return s;
+  }
+  nic_->rings_.emplace(entry.conn_id, std::move(ring));
+  return OkStatus();
+}
+
+Status SmartNic::ControlPlane::RemoveFlow(net::ConnectionId conn_id) {
+  NORMAN_RETURN_IF_ERROR(nic_->flow_table_.Remove(conn_id));
+  nic_->rings_.erase(conn_id);
+  nic_->sram_.Free("ring_state", 64);
+  nic_->ddio_.Invalidate(TxRingId(conn_id));
+  nic_->ddio_.Invalidate(RxRingId(conn_id));
+  return OkStatus();
+}
+
+FlowEntry* SmartNic::ControlPlane::LookupFlow(net::ConnectionId conn_id) {
+  return nic_->flow_table_.Lookup(conn_id);
+}
+
+RingPair* SmartNic::ControlPlane::GetRings(net::ConnectionId conn_id) {
+  const auto it = nic_->rings_.find(conn_id);
+  return it == nic_->rings_.end() ? nullptr : it->second.get();
+}
+
+DoorbellWindow SmartNic::ControlPlane::MapDoorbell(net::ConnectionId conn_id) {
+  return DoorbellWindow(&nic_->regs_, conn_id);
+}
+
+void SmartNic::ControlPlane::AddTxStage(PipelineStage* stage) {
+  nic_->tx_stages_.push_back(stage);
+}
+
+void SmartNic::ControlPlane::AddRxStage(PipelineStage* stage) {
+  nic_->rx_stages_.push_back(stage);
+}
+
+void SmartNic::ControlPlane::ClearStages() {
+  nic_->tx_stages_.clear();
+  nic_->rx_stages_.clear();
+}
+
+Status SmartNic::ControlPlane::SetScheduler(
+    std::unique_ptr<Scheduler> scheduler) {
+  if (scheduler == nullptr) {
+    return InvalidArgumentError("scheduler must not be null");
+  }
+  if (nic_->scheduler_ != nullptr &&
+      nic_->scheduler_->backlog_packets() > 0) {
+    return FailedPreconditionError(
+        "cannot swap scheduler with packets in flight");
+  }
+  nic_->scheduler_ = std::move(scheduler);
+  return OkStatus();
+}
+
+StatusOr<Nanos> SmartNic::ControlPlane::LoadOverlay(
+    size_t slot, const overlay::Program& program) {
+  if (slot >= kNumOverlaySlots) {
+    return InvalidArgumentError("overlay slot out of range");
+  }
+  NORMAN_RETURN_IF_ERROR(overlay::VerifyProgram(program));
+  const auto& cost = nic_->options_.cost;
+  const Nanos load_time =
+      static_cast<Nanos>(program.size()) * cost.overlay_load_per_instr_ns +
+      cost.overlay_activate_ns;
+  nic_->overlay_slots_[slot].program = program;
+  ++nic_->overlay_slots_[slot].generation;
+  return load_time;
+}
+
+const overlay::Program* SmartNic::ControlPlane::OverlaySlot(
+    size_t slot) const {
+  if (slot >= kNumOverlaySlots ||
+      nic_->overlay_slots_[slot].program.empty()) {
+    return nullptr;
+  }
+  return &nic_->overlay_slots_[slot].program;
+}
+
+uint64_t SmartNic::ControlPlane::overlay_generation(size_t slot) const {
+  return slot < kNumOverlaySlots ? nic_->overlay_slots_[slot].generation : 0;
+}
+
+Nanos SmartNic::ControlPlane::ReloadBitstream() {
+  // A bitstream reload wipes loaded overlay programs — "the equivalent to
+  // upgrading the kernel itself" (§4.4).
+  for (auto& slot : nic_->overlay_slots_) {
+    slot.program.clear();
+    ++slot.generation;
+  }
+  return nic_->options_.cost.bitstream_reload_ns;
+}
+
+NotificationQueue* SmartNic::ControlPlane::RegisterNotificationQueue(
+    uint32_t pid) {
+  auto& q = nic_->notif_queues_[pid];
+  if (q == nullptr) {
+    q = std::make_unique<NotificationQueue>();
+  }
+  return q.get();
+}
+
+NotificationQueue* SmartNic::ControlPlane::GetNotificationQueue(
+    uint32_t pid) {
+  const auto it = nic_->notif_queues_.find(pid);
+  return it == nic_->notif_queues_.end() ? nullptr : it->second.get();
+}
+
+void SmartNic::ControlPlane::SetFallbackSink(
+    std::function<void(net::PacketPtr, net::Direction)> sink) {
+  nic_->fallback_sink_ = std::move(sink);
+}
+
+// ---- Datapath ---------------------------------------------------------------
+
+overlay::PacketContext SmartNic::MakeContext(const net::Packet& packet,
+                                             const net::ParsedPacket* parsed,
+                                             const FlowEntry* entry,
+                                             net::Direction dir) const {
+  overlay::PacketContext ctx;
+  ctx.frame = packet.bytes();
+  ctx.parsed = parsed;
+  ctx.direction = dir;
+  if (entry != nullptr) {
+    ctx.conn = entry->owner;
+  }
+  return ctx;
+}
+
+StageResult SmartNic::RunStages(const std::vector<PipelineStage*>& stages,
+                                net::Packet& packet,
+                                const overlay::PacketContext& ctx) {
+  StageResult aggregate;
+  for (PipelineStage* stage : stages) {
+    const StageResult r = stage->Process(packet, ctx);
+    aggregate.overlay_instructions += r.overlay_instructions;
+    if (r.verdict != Verdict::kAccept) {
+      aggregate.verdict = r.verdict;
+      return aggregate;
+    }
+  }
+  return aggregate;
+}
+
+Status SmartNic::Doorbell(net::ConnectionId conn_id, Nanos now) {
+  if (!rings_.contains(conn_id)) {
+    return NotFoundError("doorbell for unknown connection");
+  }
+  // The doorbell write starts (or pokes) this connection's descriptor
+  // consumer; fetches are paced by the DMA engine, so an application that
+  // outruns the NIC observes a full TX ring (backpressure).
+  if (tx_consumer_active_.insert(conn_id).second) {
+    sim_->ScheduleAt(std::max(now, sim_->Now()),
+                     [this, conn_id] { ConsumeTxRing(conn_id); });
+  }
+  return OkStatus();
+}
+
+void SmartNic::ConsumeTxRing(net::ConnectionId conn_id) {
+  const auto it = rings_.find(conn_id);
+  if (it == rings_.end()) {
+    tx_consumer_active_.erase(conn_id);
+    return;  // connection torn down
+  }
+  auto pkt = it->second->tx().TryPop();
+  if (!pkt.has_value()) {
+    // Ring drained: stop the consumer and post the drain notification if
+    // the connection asked for it (blocking send support, §4.3).
+    tx_consumer_active_.erase(conn_id);
+    FlowEntry* entry = flow_table_.Lookup(conn_id);
+    if (entry != nullptr && entry->notify_tx_drain) {
+      PostNotification(*entry, NotificationKind::kTxDrained, sim_->Now());
+    }
+    return;
+  }
+  ProcessTxDescriptor(std::move(*pkt), conn_id, sim_->Now());
+  // Next descriptor fetch when the DMA engine frees up.
+  const Nanos next = std::max(dma_engine_.next_free(), sim_->Now() + 1);
+  sim_->ScheduleAt(next, [this, conn_id] { ConsumeTxRing(conn_id); });
+}
+
+void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
+                                   net::ConnectionId conn_id, Nanos now) {
+  ++stats_.tx_seen;
+  FlowEntry* entry = flow_table_.Lookup(conn_id);
+
+  // 1) DMA-fetch the payload from the host ring (DDIO hit or DRAM miss).
+  const uint64_t ring_ws =
+      entry != nullptr ? entry->tx_ring_bytes : kHotWorkingSetBytes;
+  const bool ddio_hit = ddio_.Access(TxRingId(conn_id), ring_ws);
+  const Nanos dma_done = dma_engine_.Serve(
+      now, options_.cost.DmaCost(packet->size(), ddio_hit));
+  ++stats_.dma_transfers;
+
+  // 2) Pipeline occupancy (line-rate cap) + per-stage latency.
+  const Nanos pipe_done =
+      pipeline_.Serve(dma_done, options_.cost.NicPipelineOccupancy());
+
+  auto parsed = net::ParseFrame(packet->bytes());
+  const overlay::PacketContext ctx = MakeContext(
+      *packet, parsed ? &*parsed : nullptr, entry, net::Direction::kTx);
+  packet->meta().direction = net::Direction::kTx;
+  packet->meta().connection = conn_id;
+  packet->meta().nic_arrival = now;
+
+  StageResult result = RunStages(tx_stages_, *packet, ctx);
+  // A packet already diverted once (software path) is not diverted again —
+  // repeat FALLBACK verdicts pass through, preventing divert loops.
+  if (result.verdict == Verdict::kSoftwareFallback &&
+      packet->meta().software_fallback) {
+    result.verdict = Verdict::kAccept;
+  }
+  stats_.overlay_instructions += result.overlay_instructions;
+  const Nanos stages_done =
+      pipe_done +
+      static_cast<Nanos>(tx_stages_.size()) *
+          options_.cost.nic_stage_latency_ns +
+      static_cast<Nanos>(result.overlay_instructions) *
+          options_.cost.overlay_instr_ns;
+
+  if (entry != nullptr) {
+    ++entry->tx_packets;
+    entry->tx_bytes += packet->size();
+  }
+
+  switch (result.verdict) {
+    case Verdict::kDrop:
+      ++stats_.tx_dropped;
+      return;
+    case Verdict::kSoftwareFallback: {
+      ++stats_.tx_fallback;
+      packet->meta().software_fallback = true;
+      auto* raw = packet.release();
+      sim_->ScheduleAt(stages_done, [this, raw] {
+        net::PacketPtr p(raw);
+        if (fallback_sink_) {
+          fallback_sink_(std::move(p), net::Direction::kTx);
+        }
+      });
+      return;
+    }
+    case Verdict::kAccept:
+      break;
+  }
+  ++stats_.tx_accepted;
+
+  // 3) Hand to the queueing discipline at the time the pipeline finishes,
+  // then keep the wire busy.
+  auto* raw = packet.release();
+  const overlay::ConnMetadata conn_meta = ctx.conn;
+  sim_->ScheduleAt(stages_done, [this, raw, conn_meta] {
+    net::PacketPtr p(raw);
+    // Rebuild a minimal context for the scheduler (classification inputs).
+    auto reparsed = net::ParseFrame(p->bytes());
+    overlay::PacketContext sched_ctx;
+    sched_ctx.frame = p->bytes();
+    sched_ctx.parsed = reparsed ? &*reparsed : nullptr;
+    sched_ctx.conn = conn_meta;
+    sched_ctx.direction = net::Direction::kTx;
+    if (!scheduler_->Enqueue(std::move(p), sched_ctx)) {
+      ++stats_.tx_sched_dropped;
+      return;
+    }
+    DrainWire();
+  });
+}
+
+void SmartNic::InjectHostPacket(net::PacketPtr packet, Nanos now) {
+  // Same path as a descriptor fetch; the source "ring" is host kernel
+  // memory, which is never DDIO-resident (conn id from metadata, if any).
+  if (packet == nullptr) {
+    return;
+  }
+  const net::ConnectionId conn = packet->meta().connection;
+  ProcessTxDescriptor(std::move(packet), conn, now);
+}
+
+void SmartNic::ScheduleDrain(Nanos when) {
+  if (drain_scheduled_) {
+    return;
+  }
+  drain_scheduled_ = true;
+  sim_->ScheduleAt(when, [this] {
+    drain_scheduled_ = false;
+    DrainWire();
+  });
+}
+
+void SmartNic::DrainWire() {
+  if (scheduler_ == nullptr) {
+    return;
+  }
+  const Nanos now = sim_->Now();
+  if (wire_.next_free() > now) {
+    ScheduleDrain(wire_.next_free());
+    return;
+  }
+  net::PacketPtr pkt = scheduler_->Dequeue(now);
+  if (pkt == nullptr) {
+    const Nanos eligible = scheduler_->NextEligibleTime(now);
+    if (eligible > now) {
+      ScheduleDrain(eligible);
+    }
+    return;
+  }
+  const Nanos done = wire_.Serve(now, options_.cost.WireCost(pkt->size()));
+  pkt->meta().completed_at = done;
+  stats_.tx_bytes_wire += pkt->size();
+  auto* raw = pkt.release();
+  sim_->ScheduleAt(done, [this, raw] {
+    EmitToWire(net::PacketPtr(raw));
+    DrainWire();
+  });
+}
+
+void SmartNic::EmitToWire(net::PacketPtr packet) {
+  if (wire_sink_) {
+    wire_sink_(std::move(packet));
+  }
+}
+
+void SmartNic::PostNotification(const FlowEntry& entry, NotificationKind kind,
+                                Nanos now) {
+  const auto it = notif_queues_.find(entry.owner.owner_pid);
+  if (it == notif_queues_.end()) {
+    return;
+  }
+  it->second->Post(Notification{kind, entry.conn_id, now});
+}
+
+void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
+  ++stats_.rx_seen;
+  packet->meta().direction = net::Direction::kRx;
+  packet->meta().nic_arrival = now;
+
+  const Nanos pipe_done =
+      pipeline_.Serve(now, options_.cost.NicPipelineOccupancy());
+
+  auto parsed = net::ParseFrame(packet->bytes());
+  FlowEntry* entry = nullptr;
+  if (parsed) {
+    if (auto flow = parsed->flow()) {
+      entry = flow_table_.LookupByInboundTuple(*flow);
+    }
+  }
+  const overlay::PacketContext ctx = MakeContext(
+      *packet, parsed ? &*parsed : nullptr, entry, net::Direction::kRx);
+
+  StageResult result = RunStages(rx_stages_, *packet, ctx);
+  stats_.overlay_instructions += result.overlay_instructions;
+  Nanos ready = pipe_done +
+                static_cast<Nanos>(rx_stages_.size()) *
+                    options_.cost.nic_stage_latency_ns +
+                static_cast<Nanos>(result.overlay_instructions) *
+                    options_.cost.overlay_instr_ns;
+
+  if (result.verdict == Verdict::kDrop) {
+    ++stats_.rx_dropped;
+    return;
+  }
+
+  if (entry == nullptr || result.verdict == Verdict::kSoftwareFallback) {
+    // No registered connection (or explicitly diverted): host slow path.
+    if (entry == nullptr) {
+      ++stats_.rx_unmatched;
+    } else {
+      ++stats_.rx_fallback;
+    }
+    packet->meta().software_fallback = true;
+    auto* raw = packet.release();
+    sim_->ScheduleAt(ready, [this, raw] {
+      net::PacketPtr p(raw);
+      if (fallback_sink_) {
+        fallback_sink_(std::move(p), net::Direction::kRx);
+      }
+    });
+    return;
+  }
+
+  // Steer: explicit flow-table queue wins; otherwise RSS over the tuple.
+  uint16_t queue = entry->rx_queue;
+  if (parsed) {
+    if (auto flow = parsed->flow(); flow && queue == 0) {
+      queue = rss_.Steer(*flow);
+    }
+  }
+  packet->meta().rx_queue = queue;
+  packet->meta().connection = entry->conn_id;
+  ++entry->rx_packets;
+  entry->rx_bytes += packet->size();
+
+  // DMA into the connection's RX ring (DDIO model again).
+  const bool ddio_hit = ddio_.Access(RxRingId(entry->conn_id),
+                                     entry->rx_ring_bytes != 0
+                                         ? entry->rx_ring_bytes
+                                         : kHotWorkingSetBytes);
+  const Nanos dma_done = dma_engine_.Serve(
+      ready, options_.cost.DmaCost(packet->size(), ddio_hit));
+  ++stats_.dma_transfers;
+
+  const net::ConnectionId conn_id = entry->conn_id;
+  auto* raw = packet.release();
+  sim_->ScheduleAt(dma_done, [this, raw, conn_id] {
+    net::PacketPtr p(raw);
+    const auto it = rings_.find(conn_id);
+    FlowEntry* e = flow_table_.Lookup(conn_id);
+    if (it == rings_.end() || e == nullptr) {
+      return;  // connection torn down in flight
+    }
+    p->meta().completed_at = sim_->Now();
+    if (!it->second->rx().TryPush(std::move(p))) {
+      ++stats_.rx_ring_overflow;
+      return;
+    }
+    ++stats_.rx_accepted;
+    if (e->notify_rx) {
+      PostNotification(*e, NotificationKind::kRxData, sim_->Now());
+    }
+  });
+}
+
+}  // namespace norman::nic

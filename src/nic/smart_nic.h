@@ -1,0 +1,242 @@
+// The simulated on-path FPGA SmartNIC (§4.1-§4.2).
+//
+// All packets traverse this device: TX descriptors are fetched from
+// per-connection rings by the DMA engine (through the DDIO cache model),
+// flow through the installed pipeline stages (filter, sniffer, NAT — see
+// src/dataplane) at the pipeline's line rate, are ordered by the installed
+// queueing discipline, and serialized onto the wire. RX reverses the path:
+// wire -> pipeline -> flow-table match -> RSS -> DMA into the connection's
+// RX ring -> notification.
+//
+// Privilege separation follows the paper: the *kernel* obtains the single
+// ControlPlane capability (TakeControlPlane) and is the only agent that can
+// install flows, load overlay programs, change the scheduler, or attach
+// stages. Applications only ever receive per-connection ring/doorbell
+// handles through the kernel (src/kernel, src/norman), so "applications
+// cannot evade policies enforced by the interposition layer" (§3).
+#ifndef NORMAN_NIC_SMART_NIC_H_
+#define NORMAN_NIC_SMART_NIC_H_
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/net/packet.h"
+#include "src/net/parsed_packet.h"
+#include "src/nic/ddio.h"
+#include "src/nic/flow_table.h"
+#include "src/nic/mmio.h"
+#include "src/nic/notification.h"
+#include "src/nic/pipeline.h"
+#include "src/nic/ring.h"
+#include "src/nic/rss.h"
+#include "src/nic/sram.h"
+#include "src/overlay/isa.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace norman::nic {
+
+// Overlay program slots in NIC instruction memory (filter, classifier,
+// scheduler parameters, spare).
+inline constexpr size_t kNumOverlaySlots = 4;
+
+struct NicStats {
+  uint64_t tx_seen = 0;
+  uint64_t tx_accepted = 0;
+  uint64_t tx_dropped = 0;           // by filter verdict
+  uint64_t tx_sched_dropped = 0;     // by scheduler queue overflow
+  uint64_t tx_fallback = 0;
+  uint64_t tx_bytes_wire = 0;
+  uint64_t rx_seen = 0;
+  uint64_t rx_accepted = 0;
+  uint64_t rx_dropped = 0;
+  uint64_t rx_fallback = 0;
+  uint64_t rx_ring_overflow = 0;
+  uint64_t rx_unmatched = 0;         // no flow entry -> host slow path
+  uint64_t dma_transfers = 0;
+  uint64_t overlay_instructions = 0;
+};
+
+class SmartNic {
+ public:
+  struct Options {
+    sim::CostModel cost;
+    uint64_t sram_bytes = 8 * kMiB;
+    uint16_t num_rx_queues = 8;
+    uint32_t ring_entries = kDefaultRingEntries;
+  };
+
+  SmartNic(sim::Simulator* sim, Options options);
+  ~SmartNic();
+
+  SmartNic(const SmartNic&) = delete;
+  SmartNic& operator=(const SmartNic&) = delete;
+
+  // ---- Kernel-only control plane ----------------------------------------
+  class ControlPlane {
+   public:
+    // Flow management. Insert charges NIC SRAM; ResourceExhausted signals
+    // the kernel to use the host fallback path for this connection.
+    Status InstallFlow(const FlowEntry& entry);
+    Status RemoveFlow(net::ConnectionId conn_id);
+    FlowEntry* LookupFlow(net::ConnectionId conn_id);
+    const FlowTable& flow_table() const { return nic_->flow_table_; }
+
+    // Ring/doorbell resources for a connection the kernel is setting up.
+    // The kernel passes these (not the SmartNic) to the application.
+    RingPair* GetRings(net::ConnectionId conn_id);
+    DoorbellWindow MapDoorbell(net::ConnectionId conn_id);
+
+    // Pipeline composition. Stages run in installation order; TX and RX
+    // chains are independent. Stages are owned by the caller (kernel).
+    void AddTxStage(PipelineStage* stage);
+    void AddRxStage(PipelineStage* stage);
+    void ClearStages();
+    Status SetScheduler(std::unique_ptr<Scheduler> scheduler);
+    Scheduler* scheduler() { return nic_->scheduler_.get(); }
+
+    // Overlay management (§4.4). LoadOverlay verifies the program, charges
+    // the MMIO-load reconfiguration time, and returns when the new program
+    // becomes active. ReloadBitstream models a full FPGA reprogram.
+    StatusOr<Nanos> LoadOverlay(size_t slot, const overlay::Program& program);
+    const overlay::Program* OverlaySlot(size_t slot) const;
+    uint64_t overlay_generation(size_t slot) const;
+    Nanos ReloadBitstream();
+
+    // Notification queues, one per process (§4.3).
+    NotificationQueue* RegisterNotificationQueue(uint32_t pid);
+    NotificationQueue* GetNotificationQueue(uint32_t pid);
+
+    // RSS configuration (the "partition the NIC" debugging scenario).
+    RssEngine& rss() { return nic_->rss_; }
+
+    // Host software fallback sink for packets the NIC diverts (E7).
+    void SetFallbackSink(
+        std::function<void(net::PacketPtr, net::Direction)> sink);
+
+    // Raw privileged register access.
+    PrivilegedMmio& mmio() { return nic_->priv_mmio_; }
+
+    SramAllocator& sram() { return nic_->sram_; }
+    DdioModel& ddio() { return nic_->ddio_; }
+
+   private:
+    friend class SmartNic;
+    explicit ControlPlane(SmartNic* nic) : nic_(nic) {}
+    SmartNic* nic_;
+  };
+
+  // The kernel calls this exactly once at boot; later calls return null.
+  std::unique_ptr<ControlPlane> TakeControlPlane();
+
+  // ---- Application-visible datapath (handles granted by the kernel) -----
+  // Called by the Norman library after the app pushed descriptors into its
+  // TX ring and wrote the doorbell register: the NIC begins consuming the
+  // ring. `now` is the doorbell MMIO arrival time.
+  Status Doorbell(net::ConnectionId conn_id, Nanos now);
+
+  // Host-injected TX: frames originating in kernel software (the fallback
+  // slow path of E7, and NIC-generated ARP replies). Still traverses the
+  // full TX interposition pipeline and scheduler — software-path traffic is
+  // not exempt from policy.
+  void InjectHostPacket(net::PacketPtr packet, Nanos now);
+
+  // ---- Network side ------------------------------------------------------
+  // A frame arrives from the wire at time `now`.
+  void DeliverFromWire(net::PacketPtr packet, Nanos now);
+
+  // Sink invoked (in virtual time) for every frame the NIC puts on the wire.
+  void SetWireSink(std::function<void(net::PacketPtr)> sink) {
+    wire_sink_ = std::move(sink);
+  }
+
+  // ---- Introspection ------------------------------------------------------
+  const NicStats& stats() const { return stats_; }
+  const sim::Resource& wire() const { return wire_; }
+  const sim::Resource& pipeline_resource() const { return pipeline_; }
+  const sim::Resource& dma_engine() const { return dma_engine_; }
+  const DdioModel& ddio() const { return ddio_; }
+  const sim::CostModel& cost() const { return options_.cost; }
+  uint64_t mmio_writes() const { return regs_.write_count(); }
+  sim::Simulator* simulator() { return sim_; }
+
+  void ResetStats() { stats_ = NicStats{}; }
+
+ private:
+  friend class ControlPlane;
+
+  struct TxWork {
+    net::PacketPtr packet;
+    net::ConnectionId conn_id;
+  };
+
+  // DDIO ring ids: even = TX ring of conn, odd = RX ring of conn.
+  static uint64_t TxRingId(net::ConnectionId c) { return uint64_t{c} * 2; }
+  static uint64_t RxRingId(net::ConnectionId c) { return uint64_t{c} * 2 + 1; }
+
+  overlay::PacketContext MakeContext(const net::Packet& packet,
+                                     const net::ParsedPacket* parsed,
+                                     const FlowEntry* entry,
+                                     net::Direction dir) const;
+
+  StageResult RunStages(const std::vector<PipelineStage*>& stages,
+                        net::Packet& packet,
+                        const overlay::PacketContext& ctx);
+
+  void ProcessTxDescriptor(net::PacketPtr packet, net::ConnectionId conn_id,
+                           Nanos now);
+  void ConsumeTxRing(net::ConnectionId conn_id);
+  void DrainWire();
+  void ScheduleDrain(Nanos when);
+  void EmitToWire(net::PacketPtr packet);
+  void PostNotification(const FlowEntry& entry, NotificationKind kind,
+                        Nanos now);
+
+  sim::Simulator* sim_;
+  Options options_;
+
+  RegisterFile regs_;
+  PrivilegedMmio priv_mmio_{&regs_};
+  SramAllocator sram_;
+  DdioModel ddio_;
+  FlowTable flow_table_;
+  RssEngine rss_;
+
+  std::unordered_map<net::ConnectionId, std::unique_ptr<RingPair>> rings_;
+  std::unordered_map<uint32_t, std::unique_ptr<NotificationQueue>>
+      notif_queues_;
+
+  std::vector<PipelineStage*> tx_stages_;
+  std::vector<PipelineStage*> rx_stages_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  struct SlotState {
+    overlay::Program program;
+    uint64_t generation = 0;
+  };
+  std::array<SlotState, kNumOverlaySlots> overlay_slots_;
+
+  sim::Resource dma_engine_{"nic.dma"};
+  sim::Resource pipeline_{"nic.pipeline"};
+  sim::Resource wire_{"nic.wire"};
+
+  std::function<void(net::PacketPtr)> wire_sink_;
+  std::function<void(net::PacketPtr, net::Direction)> fallback_sink_;
+
+  bool control_plane_taken_ = false;
+  bool drain_scheduled_ = false;
+  std::unordered_set<net::ConnectionId> tx_consumer_active_;
+  NicStats stats_;
+};
+
+}  // namespace norman::nic
+
+#endif  // NORMAN_NIC_SMART_NIC_H_

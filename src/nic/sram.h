@@ -1,0 +1,67 @@
+// Bounded on-NIC SRAM allocator.
+//
+// §5 of the paper: "SmartNICs inherently have limited memory relative to the
+// amount of available on-host memory", making a KOPI vulnerable to resource
+// exhaustion. Every piece of NIC-resident state — flow table entries, ring
+// descriptor state, firewall rules, scheduler state — is charged against
+// this allocator, so experiment E7 can drive it to exhaustion and exercise
+// the software-fallback path.
+#ifndef NORMAN_NIC_SRAM_H_
+#define NORMAN_NIC_SRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace norman::nic {
+
+class SramAllocator {
+ public:
+  explicit SramAllocator(uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t used() const { return used_; }
+  uint64_t available() const { return capacity_ - used_; }
+
+  // Charges `bytes` to the named category (e.g. "flow_table", "qdisc").
+  Status Allocate(const std::string& category, uint64_t bytes) {
+    if (bytes > available()) {
+      return ResourceExhaustedError(
+          "NIC SRAM exhausted: need " + std::to_string(bytes) + "B, have " +
+          std::to_string(available()) + "B (category " + category + ")");
+    }
+    used_ += bytes;
+    by_category_[category] += bytes;
+    return OkStatus();
+  }
+
+  void Free(const std::string& category, uint64_t bytes) {
+    const auto it = by_category_.find(category);
+    if (it == by_category_.end() || it->second < bytes || used_ < bytes) {
+      return;  // tolerate sloppy callers; accounting stays non-negative
+    }
+    it->second -= bytes;
+    used_ -= bytes;
+  }
+
+  uint64_t UsedBy(const std::string& category) const {
+    const auto it = by_category_.find(category);
+    return it == by_category_.end() ? 0 : it->second;
+  }
+
+  const std::map<std::string, uint64_t>& by_category() const {
+    return by_category_;
+  }
+
+ private:
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::map<std::string, uint64_t> by_category_;
+};
+
+}  // namespace norman::nic
+
+#endif  // NORMAN_NIC_SRAM_H_

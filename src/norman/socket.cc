@@ -1,0 +1,160 @@
+#include "src/norman/socket.h"
+
+#include "src/net/parsed_packet.h"
+
+namespace norman {
+
+StatusOr<Socket> Socket::Connect(kernel::Kernel* kernel, kernel::Pid pid,
+                                 net::Ipv4Address remote_ip,
+                                 uint16_t remote_port,
+                                 const kernel::ConnectOptions& opts) {
+  NORMAN_ASSIGN_OR_RETURN(kernel::AppPort port,
+                          kernel->Connect(pid, remote_ip, remote_port, opts));
+  return Socket(kernel, std::move(port));
+}
+
+Status Socket::Listen(kernel::Kernel* kernel, kernel::Pid pid,
+                      uint16_t local_port, net::IpProto proto,
+                      const kernel::ConnectOptions& accept_opts) {
+  return kernel->Listen(pid, local_port, proto, accept_opts);
+}
+
+StatusOr<Socket> Socket::Accept(kernel::Kernel* kernel, kernel::Pid pid,
+                                uint16_t local_port) {
+  NORMAN_ASSIGN_OR_RETURN(kernel::AppPort port,
+                          kernel->Accept(pid, local_port));
+  return Socket(kernel, std::move(port));
+}
+
+net::FrameEndpoints Socket::Endpoints() const {
+  return net::FrameEndpoints{port_.local_mac(), port_.gateway_mac(),
+                             port_.tuple().src_ip, port_.tuple().dst_ip};
+}
+
+net::PacketPtr Socket::AllocFrame(size_t payload_size) {
+  const auto& t = port_.tuple();
+  std::vector<uint8_t> zero(payload_size, 0);
+  std::vector<uint8_t> bytes;
+  if (t.proto == net::IpProto::kTcp) {
+    bytes = net::BuildTcpFrame(Endpoints(), t.src_port, t.dst_port,
+                               next_tcp_seq_, 0, net::TcpFlags::kAck, zero);
+    next_tcp_seq_ += static_cast<uint32_t>(payload_size);
+  } else {
+    bytes = net::BuildUdpFrame(Endpoints(), t.src_port, t.dst_port, zero);
+  }
+  return std::make_unique<net::Packet>(std::move(bytes));
+}
+
+std::span<uint8_t> Socket::Payload(net::Packet& frame) {
+  auto parsed = net::ParseFrame(frame.bytes());
+  if (!parsed || parsed->payload_offset == 0) {
+    return {};
+  }
+  return frame.mutable_bytes().subspan(parsed->payload_offset);
+}
+
+Status Socket::SendFrame(net::PacketPtr frame) {
+  if (!valid()) {
+    return FailedPreconditionError("socket not connected");
+  }
+  const size_t size = frame->size();
+  frame->meta().created_at = kernel_->simulator()->Now();
+  frame->meta().connection = port_.conn_id();
+  if (software_fallback()) {
+    NORMAN_RETURN_IF_ERROR(
+        kernel_->SoftwareTransmit(port_.conn_id(), std::move(frame)));
+  } else {
+    if (!port_.PushTx(std::move(frame))) {
+      ++stats_.tx_ring_full;
+      return UnavailableError("TX ring full");
+    }
+    NORMAN_RETURN_IF_ERROR(
+        port_.RingDoorbell(kernel_->simulator()->Now()));
+  }
+  ++stats_.tx_packets;
+  stats_.tx_bytes += size;
+  return OkStatus();
+}
+
+Status Socket::Send(std::span<const uint8_t> payload) {
+  if (!valid()) {
+    return FailedPreconditionError("socket not connected");
+  }
+  const auto& t = port_.tuple();
+  const std::vector<uint8_t> data(payload.begin(), payload.end());
+  std::vector<uint8_t> bytes;
+  if (t.proto == net::IpProto::kTcp) {
+    bytes = net::BuildTcpFrame(Endpoints(), t.src_port, t.dst_port,
+                               next_tcp_seq_, 0, net::TcpFlags::kAck, data);
+    next_tcp_seq_ += static_cast<uint32_t>(payload.size());
+  } else {
+    bytes = net::BuildUdpFrame(Endpoints(), t.src_port, t.dst_port, data);
+  }
+  return SendFrame(std::make_unique<net::Packet>(std::move(bytes)));
+}
+
+net::PacketPtr Socket::RecvFrame() {
+  if (!valid()) {
+    return nullptr;
+  }
+  net::PacketPtr p = port_.PopRx();
+  if (p != nullptr) {
+    ++stats_.rx_packets;
+    stats_.rx_bytes += p->size();
+  }
+  return p;
+}
+
+StatusOr<std::vector<uint8_t>> Socket::Recv() {
+  net::PacketPtr p = RecvFrame();
+  if (p == nullptr) {
+    return UnavailableError("no data");
+  }
+  auto payload = Payload(*p);
+  return std::vector<uint8_t>(payload.begin(), payload.end());
+}
+
+Status Socket::SendBlocking(std::vector<uint8_t> payload,
+                            std::function<void(Status)> done) {
+  Status first = Send(payload);
+  if (first.ok() || first.code() != StatusCode::kUnavailable) {
+    done(first);
+    return OkStatus();
+  }
+  // Ring full: sleep until the NIC drains it, then retry once.
+  return kernel_->BlockOnTxDrain(
+      port_.conn_id(),
+      [this, payload = std::move(payload), done = std::move(done)] {
+        done(Send(payload));
+      });
+}
+
+Status Socket::RecvBlocking(
+    std::function<void(std::vector<uint8_t>)> on_data) {
+  if (!valid()) {
+    return FailedPreconditionError("socket not connected");
+  }
+  auto ready = Recv();
+  if (ready.ok()) {
+    on_data(std::move(ready).value());
+    return OkStatus();
+  }
+  return kernel_->BlockOnRx(
+      port_.conn_id(), [this, on_data = std::move(on_data)] {
+        auto data = Recv();
+        // A notification without data can only mean the packet raced with a
+        // previous consumer; deliver empty payload in that (unexpected) case.
+        on_data(data.ok() ? std::move(data).value() : std::vector<uint8_t>{});
+      });
+}
+
+Status Socket::Close() {
+  if (!valid()) {
+    return OkStatus();
+  }
+  const Status s = kernel_->Close(port_.conn_id());
+  kernel_ = nullptr;
+  return s;
+}
+
+}  // namespace norman

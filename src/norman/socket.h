@@ -1,0 +1,123 @@
+// The Norman userspace library (§4.2-§4.3).
+//
+// "The Norman library provides abstractions that allow applications to
+// interface with the network. It provides both POSIX APIs ... as well as
+// more efficient abstractions that prevent unnecessary copies."
+//
+// A Socket is created through the kernel (connect(2)-equivalent); after
+// that, Send/Recv are pure memory + doorbell operations against the
+// connection's ring pair — the software kernel is not on the datapath.
+// Blocking variants register a continuation with the kernel, which wakes it
+// from the NIC notification queue (§4.3).
+//
+// Two data interfaces:
+//  * POSIX-ish:   Send(payload) / Recv()         — one copy each way
+//                 (payload <-> frame), familiar semantics;
+//  * zero-copy:   SendFrame(PacketPtr) / RecvFrame() — the application
+//                 owns/receives whole frames, no payload copies.
+#ifndef NORMAN_NORMAN_SOCKET_H_
+#define NORMAN_NORMAN_SOCKET_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/net/packet.h"
+#include "src/net/packet_builder.h"
+
+namespace norman {
+
+struct SocketStats {
+  uint64_t tx_packets = 0;
+  uint64_t tx_bytes = 0;
+  uint64_t rx_packets = 0;
+  uint64_t rx_bytes = 0;
+  uint64_t tx_ring_full = 0;
+};
+
+class Socket {
+ public:
+  Socket() = default;
+
+  // connect(2): asks the kernel for a connection to remote_ip:remote_port
+  // on behalf of `pid`. The kernel allocates rings, installs the flow with
+  // owner metadata, and returns the dataplane capability.
+  static StatusOr<Socket> Connect(kernel::Kernel* kernel, kernel::Pid pid,
+                                  net::Ipv4Address remote_ip,
+                                  uint16_t remote_port,
+                                  const kernel::ConnectOptions& opts = {});
+
+  // listen(2): registers `pid` as the listener on local_port. Inbound
+  // connections are installed by the kernel as their first packet arrives.
+  static Status Listen(kernel::Kernel* kernel, kernel::Pid pid,
+                       uint16_t local_port,
+                       net::IpProto proto = net::IpProto::kUdp,
+                       const kernel::ConnectOptions& accept_opts = {});
+
+  // accept(2), non-blocking: next pending inbound connection, or NotFound.
+  // The connection's first packet is already waiting in its RX ring.
+  static StatusOr<Socket> Accept(kernel::Kernel* kernel, kernel::Pid pid,
+                                 uint16_t local_port);
+
+  bool valid() const { return kernel_ != nullptr; }
+  net::ConnectionId conn_id() const { return port_.conn_id(); }
+  const net::FiveTuple& tuple() const { return port_.tuple(); }
+  bool software_fallback() const { return port_.software_fallback(); }
+  const SocketStats& stats() const { return stats_; }
+
+  // ---- POSIX-ish copying interface ---------------------------------------
+  // Builds a frame around `payload` and publishes it. Returns Unavailable
+  // when the TX ring is full (use SendBlocking or retry).
+  Status Send(std::span<const uint8_t> payload);
+  Status Send(const std::string& payload) {
+    return Send(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(payload.data()), payload.size()));
+  }
+
+  // Non-blocking receive: payload of the next RX frame, or Unavailable.
+  StatusOr<std::vector<uint8_t>> Recv();
+
+  // ---- Blocking variants (§4.3) -------------------------------------------
+  // Runs `done` (in virtual time) once `payload` has been published; if the
+  // ring is full, sleeps on the TX-drain notification first. Requires
+  // ConnectOptions::notify_tx_drain.
+  Status SendBlocking(std::vector<uint8_t> payload,
+                      std::function<void(Status)> done);
+
+  // Runs `on_data(payload)` once data is available; delivers immediately if
+  // the RX ring is non-empty, otherwise sleeps on the RX notification.
+  // Requires ConnectOptions::notify_rx.
+  Status RecvBlocking(std::function<void(std::vector<uint8_t>)> on_data);
+
+  // ---- Zero-copy interface -------------------------------------------------
+  // Allocates a frame with headers prebuilt for this connection and
+  // `payload_size` bytes of payload space; the caller fills Payload() and
+  // passes it to SendFrame. No further copies happen on the TX path.
+  net::PacketPtr AllocFrame(size_t payload_size);
+  // Payload view of a frame produced by AllocFrame / received by RecvFrame.
+  static std::span<uint8_t> Payload(net::Packet& frame);
+
+  Status SendFrame(net::PacketPtr frame);
+  // Whole received frame (headers included), or nullptr when empty.
+  net::PacketPtr RecvFrame();
+
+  // close(2).
+  Status Close();
+
+ private:
+  Socket(kernel::Kernel* kernel, kernel::AppPort port)
+      : kernel_(kernel), port_(std::move(port)) {}
+
+  net::FrameEndpoints Endpoints() const;
+
+  kernel::Kernel* kernel_ = nullptr;
+  kernel::AppPort port_;
+  SocketStats stats_;
+  uint32_t next_tcp_seq_ = 1;
+};
+
+}  // namespace norman
+
+#endif  // NORMAN_NORMAN_SOCKET_H_

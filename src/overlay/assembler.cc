@@ -1,0 +1,367 @@
+#include "src/overlay/assembler.h"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace norman::overlay {
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+// One source line broken into mnemonic + operand tokens (commas removed).
+struct Line {
+  size_t number;                 // 1-based source line
+  std::vector<std::string> labels;
+  std::string mnemonic;          // empty for label-only lines
+  std::vector<std::string> operands;
+};
+
+std::string_view StripComment(std::string_view s) {
+  const size_t pos = s.find_first_of(";#");
+  return pos == std::string_view::npos ? s : s.substr(0, pos);
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+Status Err(size_t line, const std::string& what) {
+  return InvalidArgumentError("asm line " + std::to_string(line) + ": " +
+                              what);
+}
+
+// Splits a trimmed line into labels and instruction tokens.
+StatusOr<Line> Tokenize(size_t number, std::string_view raw) {
+  Line line;
+  line.number = number;
+  std::string_view rest = Trim(StripComment(raw));
+  // Peel leading "label:" prefixes.
+  for (;;) {
+    const size_t colon = rest.find(':');
+    if (colon == std::string_view::npos) {
+      break;
+    }
+    const std::string_view candidate = Trim(rest.substr(0, colon));
+    if (candidate.empty() ||
+        candidate.find_first_of(" \t,") != std::string_view::npos) {
+      break;  // ':' belongs to something else; no labels here
+    }
+    line.labels.emplace_back(candidate);
+    rest = Trim(rest.substr(colon + 1));
+  }
+  if (rest.empty()) {
+    return line;
+  }
+  // Mnemonic = first word; operands = comma/space-separated tokens.
+  std::string text(rest);
+  for (auto& c : text) {
+    if (c == ',') {
+      c = ' ';
+    }
+  }
+  std::istringstream iss(text);
+  iss >> line.mnemonic;
+  std::string tok;
+  while (iss >> tok) {
+    line.operands.push_back(tok);
+  }
+  return line;
+}
+
+std::optional<uint8_t> ParseRegister(std::string_view s) {
+  if (s.size() < 2 || (s[0] != 'r' && s[0] != 'R')) {
+    return std::nullopt;
+  }
+  int value = 0;
+  const auto* begin = s.data() + 1;
+  const auto* end = s.data() + s.size();
+  if (std::from_chars(begin, end, value).ptr != end || value < 0 ||
+      value >= kNumRegisters) {
+    return std::nullopt;
+  }
+  return static_cast<uint8_t>(value);
+}
+
+std::optional<int64_t> ParseImmediate(std::string_view s) {
+  bool negative = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    negative = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  if (s.empty()) {
+    return std::nullopt;
+  }
+  int64_t value = 0;
+  std::from_chars_result r{};
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    r = std::from_chars(s.data() + 2, s.data() + s.size(), value, 16);
+  } else {
+    r = std::from_chars(s.data(), s.data() + s.size(), value, 10);
+  }
+  if (r.ec != std::errc{} || r.ptr != s.data() + s.size()) {
+    return std::nullopt;
+  }
+  return negative ? -value : value;
+}
+
+std::optional<Opcode> ParseMnemonic(std::string_view m) {
+  static const std::map<std::string_view, Opcode> kTable = {
+      {"nop", Opcode::kNop}, {"ldi", Opcode::kLdi}, {"ldf", Opcode::kLdf},
+      {"ldb", Opcode::kLdb}, {"add", Opcode::kAdd}, {"sub", Opcode::kSub},
+      {"and", Opcode::kAnd}, {"or", Opcode::kOr},   {"xor", Opcode::kXor},
+      {"shl", Opcode::kShl}, {"shr", Opcode::kShr}, {"mul", Opcode::kMul},
+      {"jmp", Opcode::kJmp}, {"jeq", Opcode::kJeq}, {"jne", Opcode::kJne},
+      {"jgt", Opcode::kJgt}, {"jlt", Opcode::kJlt}, {"jge", Opcode::kJge},
+      {"jle", Opcode::kJle}, {"ret", Opcode::kRet},
+  };
+  const auto it = kTable.find(m);
+  return it == kTable.end() ? std::nullopt : std::make_optional(it->second);
+}
+
+}  // namespace
+
+StatusOr<Program> Assemble(std::string_view source) {
+  // Pass 1: tokenize, assign instruction indices, collect labels.
+  std::vector<Line> lines;
+  std::map<std::string, size_t> labels;
+  {
+    size_t number = 0;
+    size_t instr_index = 0;
+    size_t start = 0;
+    while (start <= source.size()) {
+      size_t end = source.find('\n', start);
+      if (end == std::string_view::npos) {
+        end = source.size();
+      }
+      ++number;
+      NORMAN_ASSIGN_OR_RETURN(
+          Line line, Tokenize(number, source.substr(start, end - start)));
+      for (const auto& label : line.labels) {
+        if (!labels.emplace(label, instr_index).second) {
+          return Err(number, "duplicate label '" + label + "'");
+        }
+      }
+      if (!line.mnemonic.empty()) {
+        lines.push_back(line);
+        ++instr_index;
+      } else if (!line.labels.empty()) {
+        lines.push_back(line);  // label-only; binds to next instruction
+      }
+      start = end + 1;
+    }
+  }
+
+  // Pass 2: encode.
+  Program program;
+  auto resolve_target = [&labels](const Line& line, const std::string& tok)
+      -> StatusOr<int64_t> {
+    if (auto imm = ParseImmediate(tok)) {
+      return *imm;
+    }
+    const auto it = labels.find(tok);
+    if (it == labels.end()) {
+      return Err(line.number, "unknown label '" + tok + "'");
+    }
+    return static_cast<int64_t>(it->second);
+  };
+
+  for (const Line& line : lines) {
+    if (line.mnemonic.empty()) {
+      continue;
+    }
+    const auto opcode = ParseMnemonic(line.mnemonic);
+    if (!opcode) {
+      return Err(line.number, "unknown mnemonic '" + line.mnemonic + "'");
+    }
+    Instruction ins;
+    ins.op = *opcode;
+    const auto& ops = line.operands;
+    auto need = [&](size_t n) -> Status {
+      if (ops.size() != n) {
+        return Err(line.number, "expected " + std::to_string(n) +
+                                    " operands, got " +
+                                    std::to_string(ops.size()));
+      }
+      return OkStatus();
+    };
+
+    switch (*opcode) {
+      case Opcode::kNop:
+        NORMAN_RETURN_IF_ERROR(need(0));
+        break;
+      case Opcode::kLdi: {
+        NORMAN_RETURN_IF_ERROR(need(2));
+        const auto rd = ParseRegister(ops[0]);
+        const auto imm = ParseImmediate(ops[1]);
+        if (!rd || !imm) {
+          return Err(line.number, "ldi expects: ldi rN, imm");
+        }
+        ins = Instruction::Ldi(*rd, *imm);
+        break;
+      }
+      case Opcode::kLdf: {
+        NORMAN_RETURN_IF_ERROR(need(2));
+        const auto rd = ParseRegister(ops[0]);
+        Field field;
+        if (!rd || !FieldFromName(ops[1], &field)) {
+          return Err(line.number, "ldf expects: ldf rN, <field>");
+        }
+        ins = Instruction::Ldf(*rd, field);
+        break;
+      }
+      case Opcode::kLdb: {
+        NORMAN_RETURN_IF_ERROR(need(2));
+        const auto rd = ParseRegister(ops[0]);
+        const auto off = ParseImmediate(ops[1]);
+        if (!rd || !off) {
+          return Err(line.number, "ldb expects: ldb rN, offset");
+        }
+        ins = Instruction::Ldb(*rd, *off);
+        break;
+      }
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kShr:
+      case Opcode::kMul: {
+        NORMAN_RETURN_IF_ERROR(need(2));
+        const auto rd = ParseRegister(ops[0]);
+        if (!rd) {
+          return Err(line.number, "ALU op expects a destination register");
+        }
+        if (const auto rs = ParseRegister(ops[1])) {
+          ins = Instruction::AluReg(*opcode, *rd, *rs);
+        } else if (const auto imm = ParseImmediate(ops[1])) {
+          ins = Instruction::AluImm(*opcode, *rd, *imm);
+        } else {
+          return Err(line.number, "ALU op expects register or immediate");
+        }
+        break;
+      }
+      case Opcode::kJmp: {
+        NORMAN_RETURN_IF_ERROR(need(1));
+        NORMAN_ASSIGN_OR_RETURN(int64_t target,
+                                resolve_target(line, ops[0]));
+        ins = Instruction::Jmp(target);
+        break;
+      }
+      case Opcode::kJeq:
+      case Opcode::kJne:
+      case Opcode::kJgt:
+      case Opcode::kJlt:
+      case Opcode::kJge:
+      case Opcode::kJle: {
+        NORMAN_RETURN_IF_ERROR(need(3));
+        const auto rs1 = ParseRegister(ops[0]);
+        if (!rs1) {
+          return Err(line.number, "jump expects a register first operand");
+        }
+        NORMAN_ASSIGN_OR_RETURN(int64_t target,
+                                resolve_target(line, ops[2]));
+        if (const auto rs2 = ParseRegister(ops[1])) {
+          ins = Instruction::JmpCmpReg(*opcode, *rs1, *rs2, target);
+        } else if (const auto imm = ParseImmediate(ops[1])) {
+          ins = Instruction::JmpCmpImm(*opcode, *rs1, *imm, target);
+        } else {
+          return Err(line.number,
+                     "jump expects register or immediate comparand");
+        }
+        break;
+      }
+      case Opcode::kRet: {
+        NORMAN_RETURN_IF_ERROR(need(1));
+        if (const auto rs = ParseRegister(ops[0])) {
+          ins = Instruction::RetReg(*rs);
+        } else if (const auto imm = ParseImmediate(ops[0])) {
+          ins = Instruction::RetImm(*imm);
+        } else {
+          return Err(line.number, "ret expects register or immediate");
+        }
+        break;
+      }
+    }
+    program.push_back(ins);
+  }
+  if (program.empty()) {
+    return InvalidArgumentError("asm: no instructions");
+  }
+  return program;
+}
+
+std::string Disassemble(const Program& program) {
+  std::ostringstream out;
+  for (size_t pc = 0; pc < program.size(); ++pc) {
+    const Instruction& ins = program[pc];
+    out << pc << ": " << OpcodeName(ins.op);
+    switch (ins.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kLdi:
+      case Opcode::kLdb:
+        out << " r" << static_cast<int>(ins.dst) << ", " << ins.imm;
+        break;
+      case Opcode::kLdf:
+        out << " r" << static_cast<int>(ins.dst) << ", "
+            << FieldName(static_cast<Field>(ins.imm));
+        break;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kShr:
+      case Opcode::kMul:
+        out << " r" << static_cast<int>(ins.dst) << ", ";
+        if (ins.use_imm) {
+          out << ins.imm;
+        } else {
+          out << "r" << static_cast<int>(ins.src);
+        }
+        break;
+      case Opcode::kJmp:
+        out << " " << ins.jump_target;
+        break;
+      case Opcode::kJeq:
+      case Opcode::kJne:
+      case Opcode::kJgt:
+      case Opcode::kJlt:
+      case Opcode::kJge:
+      case Opcode::kJle:
+        out << " r" << static_cast<int>(ins.dst) << ", ";
+        if (ins.use_imm) {
+          out << ins.imm;
+        } else {
+          out << "r" << static_cast<int>(ins.src);
+        }
+        out << ", " << ins.jump_target;
+        break;
+      case Opcode::kRet:
+        if (ins.use_imm) {
+          out << " " << ins.imm;
+        } else {
+          out << " r" << static_cast<int>(ins.dst);
+        }
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace norman::overlay

@@ -1,0 +1,39 @@
+// Two-pass assembler for overlay programs.
+//
+// This is the format administrators (and tools like norman-iptables) use to
+// express custom dataplane policies; the kernel assembles, verifies, and
+// loads the result. Syntax, one instruction per line:
+//
+//   ; drop non-DNS UDP
+//       ldf r1, ip_proto
+//       jne r1, 17, accept        ; not UDP -> accept
+//       ldf r2, dst_port
+//       jeq r2, 53, accept
+//       ret 0                     ; drop
+//   accept:
+//       ret 1
+//
+// Operands: registers r0..r15, decimal or 0x-hex immediates, field names
+// (see FieldName in isa.h), and labels as jump targets. `;` or `#` start a
+// comment. Labels may share a line with an instruction ("drop: ret 0").
+#ifndef NORMAN_OVERLAY_ASSEMBLER_H_
+#define NORMAN_OVERLAY_ASSEMBLER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/overlay/isa.h"
+
+namespace norman::overlay {
+
+// Assembles source text into a Program. The result is NOT yet verified;
+// callers load programs through the kernel, which runs VerifyProgram.
+StatusOr<Program> Assemble(std::string_view source);
+
+// Renders a program back to canonical assembly (round-trips with Assemble).
+std::string Disassemble(const Program& program);
+
+}  // namespace norman::overlay
+
+#endif  // NORMAN_OVERLAY_ASSEMBLER_H_

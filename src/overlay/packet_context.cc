@@ -1,0 +1,65 @@
+#include "src/overlay/packet_context.h"
+
+namespace norman::overlay {
+
+uint64_t PacketContext::ReadField(Field f) const {
+  const net::ParsedPacket* p = parsed;
+  switch (f) {
+    case Field::kPktLen:
+      return frame.size();
+    case Field::kEthType:
+      return p ? p->eth.ether_type : 0;
+    case Field::kIsIpv4:
+      return (p && p->is_ipv4()) ? 1 : 0;
+    case Field::kIsArp:
+      return (p && p->is_arp()) ? 1 : 0;
+    case Field::kArpOp:
+      return (p && p->is_arp()) ? static_cast<uint64_t>(p->arp->op) : 0;
+    case Field::kIpProto:
+      return (p && p->is_ipv4()) ? static_cast<uint64_t>(p->ipv4->protocol)
+                                 : 0;
+    case Field::kIpSrc:
+      return (p && p->is_ipv4()) ? p->ipv4->src.addr : 0;
+    case Field::kIpDst:
+      return (p && p->is_ipv4()) ? p->ipv4->dst.addr : 0;
+    case Field::kIpDscp:
+      return (p && p->is_ipv4()) ? p->ipv4->dscp : 0;
+    case Field::kIpTtl:
+      return (p && p->is_ipv4()) ? p->ipv4->ttl : 0;
+    case Field::kSrcPort:
+      if (p && p->is_udp()) {
+        return p->udp->src_port;
+      }
+      if (p && p->is_tcp()) {
+        return p->tcp->src_port;
+      }
+      return 0;
+    case Field::kDstPort:
+      if (p && p->is_udp()) {
+        return p->udp->dst_port;
+      }
+      if (p && p->is_tcp()) {
+        return p->tcp->dst_port;
+      }
+      return 0;
+    case Field::kTcpFlags:
+      return (p && p->is_tcp()) ? p->tcp->flags : 0;
+    case Field::kPayloadLen:
+      return p ? p->payload_size() : 0;
+    case Field::kConnId:
+      return conn.conn_id;
+    case Field::kOwnerUid:
+      return conn.owner_uid;
+    case Field::kOwnerPid:
+      return conn.owner_pid;
+    case Field::kOwnerCgroup:
+      return conn.owner_cgroup;
+    case Field::kOwnerComm:
+      return conn.owner_comm;
+    case Field::kDirection:
+      return direction == net::Direction::kRx ? 1 : 0;
+  }
+  return 0;
+}
+
+}  // namespace norman::overlay

@@ -1,0 +1,51 @@
+// Execution context an overlay program sees for one packet: the raw frame,
+// the parsed headers (the hardware parser frontend), and the kernel-attached
+// connection metadata from the NIC flow table.
+#ifndef NORMAN_OVERLAY_PACKET_CONTEXT_H_
+#define NORMAN_OVERLAY_PACKET_CONTEXT_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/net/packet.h"
+#include "src/net/parsed_packet.h"
+#include "src/overlay/isa.h"
+
+namespace norman::overlay {
+
+// Metadata the kernel programmed into the NIC flow table for the connection
+// this packet belongs to. This is what gives the on-NIC dataplane the
+// "process view" (§2): matching on uid/pid/cgroup is impossible for a
+// hypervisor switch or an in-network device.
+struct ConnMetadata {
+  net::ConnectionId conn_id = net::kUnknownConnection;
+  uint32_t owner_uid = 0;
+  uint32_t owner_pid = 0;
+  uint32_t owner_cgroup = 0;
+  // Interned process-name id (kernel-assigned; 0 = unknown). Lets overlay
+  // programs implement iptables' cmd-owner match in hardware registers.
+  uint32_t owner_comm = 0;
+};
+
+struct PacketContext {
+  std::span<const uint8_t> frame;
+  const net::ParsedPacket* parsed = nullptr;  // may be null (unparsed)
+  ConnMetadata conn;
+  net::Direction direction = net::Direction::kTx;
+
+  // Field extraction; unknown/missing fields read as 0 (hardware semantics:
+  // the parser valid-bit gates the field bus).
+  uint64_t ReadField(Field f) const;
+
+  // Raw byte probe; out-of-bounds reads return 0.
+  uint64_t ReadByte(int64_t offset) const {
+    if (offset < 0 || static_cast<size_t>(offset) >= frame.size()) {
+      return 0;
+    }
+    return frame[static_cast<size_t>(offset)];
+  }
+};
+
+}  // namespace norman::overlay
+
+#endif  // NORMAN_OVERLAY_PACKET_CONTEXT_H_

@@ -1,0 +1,27 @@
+// Static verifier for overlay programs.
+//
+// The kernel control plane verifies every program before loading it into NIC
+// instruction memory (just as the in-kernel eBPF verifier gates programs
+// today). Verification guarantees:
+//   * length within hardware instruction memory (kMaxProgramLength);
+//   * every branch is strictly forward and in-bounds (no loops, so WCET ==
+//     program length and the pipeline can run it at line rate);
+//   * every register operand < kNumRegisters;
+//   * field ids and byte offsets are valid;
+//   * execution cannot fall off the end: every path reaches a kRet.
+#ifndef NORMAN_OVERLAY_VERIFIER_H_
+#define NORMAN_OVERLAY_VERIFIER_H_
+
+#include "src/common/status.h"
+#include "src/overlay/isa.h"
+
+namespace norman::overlay {
+
+// Maximum raw byte-probe offset the load unit supports.
+inline constexpr int64_t kMaxByteProbeOffset = 255;
+
+Status VerifyProgram(const Program& program);
+
+}  // namespace norman::overlay
+
+#endif  // NORMAN_OVERLAY_VERIFIER_H_

@@ -1,0 +1,115 @@
+// The shared cost model for all four datapath architectures.
+//
+// Every per-operation cost in the simulation comes from this one table so
+// that the kernel-stack, kernel-bypass, sidecar-core and KOPI datapaths are
+// compared under identical assumptions; only the *architecture* (which
+// operations happen, on which resource) differs.
+//
+// Defaults are drawn from published measurements:
+//  * syscall / context-switch costs: Soares & Stumm, FlexSC (OSDI '10);
+//    Kaufmann et al., TAS (EuroSys '19).
+//  * cross-core cacheline transfer: Dobrescu et al. (PRESTO '10); Panda et
+//    al., NetBricks (OSDI '16) report 100-300ns coherence round trips.
+//  * DDIO behaviour (limited LLC ways for DMA; DRAM fallback when the I/O
+//    working set outgrows them): Tootoonchian et al., ResQ (NSDI '18);
+//    Manousis et al. (SIGCOMM '20).
+//  * MMIO posted-write cost ~100ns, PCIe round trip ~400-900ns: Kalia et
+//    al., "Datacenter RPCs" (NSDI '19) guidelines.
+// Exact values matter less than ratios; EXPERIMENTS.md reports shape, not
+// absolute numbers.
+#ifndef NORMAN_SIM_COST_MODEL_H_
+#define NORMAN_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace norman::sim {
+
+struct CostModel {
+  // --- Host CPU costs (virtual data movement) ---
+  // Entering/leaving the kernel for a data syscall (sendmsg/recvmsg), *not*
+  // counting per-byte work: mode switch + stack setup + pollution.
+  Nanos syscall_ns = 450;
+  // Full context switch (blocked thread wake / sleep).
+  Nanos context_switch_ns = 2'000;
+  // Software per-packet protocol processing in the kernel stack (alloc skb,
+  // route lookup, netfilter traversal, qdisc enqueue/dequeue).
+  Nanos kernel_stack_per_packet_ns = 1'200;
+  // Per-byte software copy cost (user<->kernel copy ~ 16 GB/s per core).
+  double copy_ns_per_byte = 0.0625;
+  // Userspace library per-packet work common to all paths (header build,
+  // descriptor write).
+  Nanos app_per_packet_ns = 80;
+
+  // --- Physical movement between cores (sidecar architectures: IX, Snap) ---
+  // Handing a descriptor to another core through a shared-memory queue:
+  // cacheline ping + notification.
+  Nanos cross_core_handoff_ns = 250;
+  // Per-packet software interposition work on the sidecar core (filters +
+  // qdisc in software, but no syscall / no user-kernel copy).
+  Nanos sidecar_per_packet_ns = 700;
+
+  // --- PCIe / NIC costs ---
+  // Posted MMIO write (doorbell).
+  Nanos mmio_write_ns = 100;
+  // Non-posted MMIO read (config register).
+  Nanos mmio_read_ns = 400;
+  // Fixed DMA setup cost per transfer (descriptor fetch, PCIe TLP headers;
+  // partially pipelined, so the serialized share is small).
+  Nanos dma_setup_ns = 60;
+  // Per-byte DMA cost when the target lines are in LLC (DDIO hit).
+  double dma_llc_ns_per_byte = 0.015;
+  // Per-byte DMA cost when lines must come from / go to DRAM (DDIO miss).
+  double dma_dram_ns_per_byte = 0.060;
+  // Extra fixed latency on a DDIO miss (DRAM access).
+  Nanos dram_touch_ns = 90;
+
+  // --- On-NIC (KOPI) dataplane costs ---
+  // Fixed per-packet cost of one hardware pipeline stage (parse, match,
+  // queue). The FPGA pipeline is deeply pipelined, so this contributes to
+  // *latency* per stage but the pipeline's throughput is set by
+  // nic_pipeline_rate below.
+  Nanos nic_stage_latency_ns = 45;
+  // Per-instruction cost of the overlay soft processor.
+  Nanos overlay_instr_ns = 2;
+  // Packet rate the NIC pipeline sustains regardless of per-packet program
+  // length (packets/s); models the paper's "line rate" hardware claim.
+  uint64_t nic_pipeline_pps = 150'000'000;
+
+  // --- Link ---
+  BitsPerSecond link_rate_bps = 100 * kGbps;
+
+  // --- Reconfiguration (E6) ---
+  // Loading a new overlay program: per-instruction MMIO writes + activate.
+  Nanos overlay_load_per_instr_ns = 110;   // one MMIO posted write per word
+  Nanos overlay_activate_ns = 1'000;       // table pointer swap + fence
+  // Full FPGA bitstream reprogram (seconds-scale).
+  Nanos bitstream_reload_ns = 4 * kSecond;
+
+  // Derived helpers.
+  Nanos CopyCost(uint64_t bytes) const {
+    return static_cast<Nanos>(copy_ns_per_byte * static_cast<double>(bytes));
+  }
+  Nanos DmaCost(uint64_t bytes, bool ddio_hit) const {
+    const double per_byte =
+        ddio_hit ? dma_llc_ns_per_byte : dma_dram_ns_per_byte;
+    Nanos cost = dma_setup_ns +
+                 static_cast<Nanos>(per_byte * static_cast<double>(bytes));
+    if (!ddio_hit) {
+      cost += dram_touch_ns;
+    }
+    return cost;
+  }
+  Nanos WireCost(uint64_t bytes) const {
+    return TransmissionDelay(bytes, link_rate_bps);
+  }
+  // NIC pipeline occupancy per packet (inverse of its packet rate).
+  Nanos NicPipelineOccupancy() const {
+    return static_cast<Nanos>(1'000'000'000ULL / nic_pipeline_pps) + 1;
+  }
+};
+
+}  // namespace norman::sim
+
+#endif  // NORMAN_SIM_COST_MODEL_H_

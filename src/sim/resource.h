@@ -1,0 +1,69 @@
+// Serialized resources in virtual time.
+//
+// A Resource models a non-preemptive FIFO server: a CPU core, a NIC pipeline
+// stage, a PCIe DMA engine, or the wire. Work items occupy the resource for
+// a service time; arrivals queue implicitly because the resource tracks when
+// it next becomes free. Busy time is accounted so experiments can report
+// utilization (e.g. the "polling burns a core" result in E5).
+#ifndef NORMAN_SIM_RESOURCE_H_
+#define NORMAN_SIM_RESOURCE_H_
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/units.h"
+
+namespace norman::sim {
+
+class Resource {
+ public:
+  explicit Resource(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Serve one work item arriving at `arrival` with the given service time.
+  // Returns the completion time. FIFO, non-preemptive.
+  Nanos Serve(Nanos arrival, Nanos service) {
+    const Nanos start = std::max(arrival, next_free_);
+    next_free_ = start + service;
+    busy_ns_ += service;
+    ++items_served_;
+    return next_free_;
+  }
+
+  // When the resource next becomes free (equals last completion time).
+  Nanos next_free() const { return next_free_; }
+
+  // Total time spent serving.
+  Nanos busy_ns() const { return busy_ns_; }
+  uint64_t items_served() const { return items_served_; }
+
+  // Fraction of [0, horizon] the resource was busy.
+  double Utilization(Nanos horizon) const {
+    if (horizon <= 0) {
+      return 0.0;
+    }
+    return static_cast<double>(std::min(busy_ns_, horizon)) /
+           static_cast<double>(horizon);
+  }
+
+  // Explicitly account busy time without serialization (used for polling
+  // loops, which occupy a core continuously regardless of packet flow).
+  void AddBusy(Nanos ns) { busy_ns_ += ns; }
+
+  void Reset() {
+    next_free_ = 0;
+    busy_ns_ = 0;
+    items_served_ = 0;
+  }
+
+ private:
+  std::string name_;
+  Nanos next_free_ = 0;
+  Nanos busy_ns_ = 0;
+  uint64_t items_served_ = 0;
+};
+
+}  // namespace norman::sim
+
+#endif  // NORMAN_SIM_RESOURCE_H_

@@ -1,0 +1,41 @@
+#include "src/sim/simulator.h"
+
+#include "src/common/logging.h"
+
+namespace norman::sim {
+
+void Simulator::ScheduleAt(Nanos when, Callback fn) {
+  NORMAN_CHECK(when >= now_) << "cannot schedule into the past: " << when
+                             << " < " << now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top() is const; move out via const_cast is safe because
+  // we pop immediately and never touch the moved-from element again.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(Nanos deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace norman::sim

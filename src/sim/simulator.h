@@ -1,0 +1,76 @@
+// Discrete-event simulation engine.
+//
+// All Norman experiments run in virtual time: the simulator owns a priority
+// queue of (time, sequence, callback) events. Ties are broken by insertion
+// sequence so runs are fully deterministic. There is no threading; the
+// "cores" of the simulated machine are Resource objects (see resource.h)
+// that serialize work in virtual time.
+#ifndef NORMAN_SIM_SIMULATOR_H_
+#define NORMAN_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace norman::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current virtual time.
+  Nanos Now() const { return now_; }
+
+  // Schedule `fn` to run at absolute virtual time `when` (>= Now()).
+  void ScheduleAt(Nanos when, Callback fn);
+
+  // Schedule `fn` to run `delay` ns from now.
+  void ScheduleAfter(Nanos delay, Callback fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Run events until the queue is empty.
+  void Run();
+
+  // Run events with time <= deadline; afterwards Now() == deadline (even if
+  // the queue drained earlier), so rate computations over fixed windows work.
+  void RunUntil(Nanos deadline);
+
+  // Run at most one event; returns false if the queue was empty.
+  bool Step();
+
+  bool Idle() const { return queue_.empty(); }
+  uint64_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Nanos when;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  Nanos now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace norman::sim
+
+#endif  // NORMAN_SIM_SIMULATOR_H_

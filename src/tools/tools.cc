@@ -1,0 +1,584 @@
+#include "src/tools/tools.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/dataplane/qdisc.h"
+#include "src/nic/fifo_scheduler.h"
+#include "src/overlay/assembler.h"
+
+namespace norman::tools {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& s) {
+  std::istringstream iss(s);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (iss >> tok) {
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+StatusOr<net::Ipv4Address> ParseIp(const std::string& s, uint32_t* prefix) {
+  unsigned a, b, c, d;
+  unsigned p = 32;
+  const int n = std::sscanf(s.c_str(), "%u.%u.%u.%u/%u", &a, &b, &c, &d, &p);
+  if (n < 4 || a > 255 || b > 255 || c > 255 || d > 255 || p > 32) {
+    return InvalidArgumentError("bad address: " + s);
+  }
+  *prefix = p;
+  return net::Ipv4Address::FromOctets(
+      static_cast<uint8_t>(a), static_cast<uint8_t>(b),
+      static_cast<uint8_t>(c), static_cast<uint8_t>(d));
+}
+
+StatusOr<dataplane::PortRange> ParsePorts(const std::string& s) {
+  unsigned lo = 0, hi = 0;
+  if (std::sscanf(s.c_str(), "%u:%u", &lo, &hi) == 2) {
+    if (lo > 65535 || hi > 65535 || lo > hi) {
+      return InvalidArgumentError("bad port range: " + s);
+    }
+    return dataplane::PortRange{static_cast<uint16_t>(lo),
+                                static_cast<uint16_t>(hi)};
+  }
+  if (std::sscanf(s.c_str(), "%u", &lo) == 1 && lo <= 65535) {
+    return dataplane::PortRange{static_cast<uint16_t>(lo),
+                                static_cast<uint16_t>(lo)};
+  }
+  return InvalidArgumentError("bad port: " + s);
+}
+
+std::string ActionName(dataplane::FilterAction a) {
+  switch (a) {
+    case dataplane::FilterAction::kAccept:
+      return "ACCEPT";
+    case dataplane::FilterAction::kDrop:
+      return "DROP";
+    case dataplane::FilterAction::kSoftwareFallback:
+      return "FALLBACK";
+  }
+  return "?";
+}
+
+std::string ProtoName(net::IpProto p) {
+  switch (p) {
+    case net::IpProto::kTcp:
+      return "tcp";
+    case net::IpProto::kUdp:
+      return "udp";
+    case net::IpProto::kIcmp:
+      return "icmp";
+  }
+  return "?";
+}
+
+void RenderChain(const kernel::Kernel& k, kernel::Chain chain,
+                 std::ostringstream& out) {
+  const auto& engine = k.filter(chain);
+  out << "Chain " << (chain == kernel::Chain::kInput ? "INPUT" : "OUTPUT")
+      << " (policy " << ActionName(engine.default_action()) << ", "
+      << engine.default_hits() << " default hits)\n";
+  const auto& rules = engine.rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const auto& r = rules[i];
+    out << "  [" << i << "] " << ActionName(r.action);
+    if (r.proto) {
+      out << " -p " << ProtoName(*r.proto);
+    }
+    if (r.src_ip) {
+      out << " -s " << r.src_ip->ToString() << "/"
+          << r.src_ip_prefix.value_or(32);
+    }
+    if (r.dst_ip) {
+      out << " -d " << r.dst_ip->ToString() << "/"
+          << r.dst_ip_prefix.value_or(32);
+    }
+    if (r.src_port) {
+      out << " --sport " << r.src_port->lo << ":" << r.src_port->hi;
+    }
+    if (r.dst_port) {
+      out << " --dport " << r.dst_port->lo << ":" << r.dst_port->hi;
+    }
+    if (r.owner_uid) {
+      out << " --uid-owner " << *r.owner_uid;
+    }
+    if (r.owner_pid) {
+      out << " --pid-owner " << *r.owner_pid;
+    }
+    if (r.owner_comm) {
+      out << " --cmd-owner #" << *r.owner_comm;
+    }
+    if (r.owner_cgroup) {
+      out << " --cgroup " << *r.owner_cgroup;
+    }
+    if (!r.label.empty()) {
+      out << "  (" << r.label << ")";
+    }
+    out << "  [" << engine.hit_counts()[i] << " hits]\n";
+  }
+}
+
+}  // namespace
+
+// ---- tcpdump ----------------------------------------------------------------
+
+Status TcpdumpStart(kernel::Kernel* k, kernel::Uid caller,
+                    const std::string& overlay_filter_asm) {
+  std::optional<overlay::Program> filter;
+  if (!overlay_filter_asm.empty()) {
+    NORMAN_ASSIGN_OR_RETURN(overlay::Program prog,
+                            overlay::Assemble(overlay_filter_asm));
+    filter = std::move(prog);
+  }
+  return k->StartCapture(caller, std::move(filter));
+}
+
+Status TcpdumpStop(kernel::Kernel* k, kernel::Uid caller) {
+  return k->StopCapture(caller);
+}
+
+std::string TcpdumpRender(const kernel::Kernel& k, size_t max_lines) {
+  std::ostringstream out;
+  const auto& records = k.sniffer().records();
+  const size_t start = records.size() > max_lines
+                           ? records.size() - max_lines
+                           : 0;
+  for (size_t i = start; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out << FormatNanos(r.timestamp) << " "
+        << (r.direction == net::Direction::kTx ? "TX" : "RX");
+    if (r.owner.owner_pid != 0) {
+      const auto* proc = k.processes().Lookup(r.owner.owner_pid);
+      out << " pid=" << r.owner.owner_pid << " ("
+          << (proc != nullptr ? proc->comm : "?") << "/"
+          << k.processes().UserName(r.owner.owner_uid) << ")";
+    } else {
+      out << " pid=?";
+    }
+    if (r.eth_type == 0x0806) {
+      out << " ARP " << (r.is_arp_request ? "who-has " : "is-at ")
+          << r.dst_ip.ToString() << " tell " << r.src_ip.ToString();
+    } else if (r.eth_type == 0x0800) {
+      out << " IP " << r.src_ip.ToString() << ":" << r.src_port << " > "
+          << r.dst_ip.ToString() << ":" << r.dst_port
+          << (r.ip_proto == 6 ? " tcp" : r.ip_proto == 17 ? " udp" : "");
+    } else {
+      out << " ethertype 0x" << std::hex << r.eth_type << std::dec;
+    }
+    out << " len " << r.frame_size << "\n";
+  }
+  if (start > 0) {
+    out << "(" << start << " earlier frames elided)\n";
+  }
+  return out.str();
+}
+
+Status TcpdumpWritePcap(const kernel::Kernel& k, const std::string& path) {
+  return k.sniffer().pcap().WriteToFile(path);
+}
+
+// ---- iptables ----------------------------------------------------------------
+
+StatusOr<size_t> IptablesAppend(kernel::Kernel* k, kernel::Uid caller,
+                                const std::string& spec) {
+  const auto tokens = Tokenize(spec);
+  kernel::Chain chain = kernel::Chain::kOutput;
+  dataplane::FilterRule rule;
+  bool have_chain = false;
+  bool have_action = false;
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    auto next = [&]() -> StatusOr<std::string> {
+      if (i + 1 >= tokens.size()) {
+        return InvalidArgumentError("iptables: " + t + " needs an argument");
+      }
+      return tokens[++i];
+    };
+    if (t == "-A") {
+      NORMAN_ASSIGN_OR_RETURN(std::string c, next());
+      if (c == "INPUT") {
+        chain = kernel::Chain::kInput;
+        rule.direction = net::Direction::kRx;
+      } else if (c == "OUTPUT") {
+        chain = kernel::Chain::kOutput;
+        rule.direction = net::Direction::kTx;
+      } else {
+        return InvalidArgumentError("iptables: unknown chain " + c);
+      }
+      have_chain = true;
+    } else if (t == "-p") {
+      NORMAN_ASSIGN_OR_RETURN(std::string p, next());
+      if (p == "tcp") {
+        rule.proto = net::IpProto::kTcp;
+      } else if (p == "udp") {
+        rule.proto = net::IpProto::kUdp;
+      } else if (p == "icmp") {
+        rule.proto = net::IpProto::kIcmp;
+      } else {
+        return InvalidArgumentError("iptables: unknown proto " + p);
+      }
+    } else if (t == "-s" || t == "-d") {
+      NORMAN_ASSIGN_OR_RETURN(std::string a, next());
+      uint32_t prefix = 32;
+      NORMAN_ASSIGN_OR_RETURN(net::Ipv4Address ip, ParseIp(a, &prefix));
+      if (t == "-s") {
+        rule.src_ip = ip;
+        rule.src_ip_prefix = prefix;
+      } else {
+        rule.dst_ip = ip;
+        rule.dst_ip_prefix = prefix;
+      }
+    } else if (t == "--sport" || t == "--dport") {
+      NORMAN_ASSIGN_OR_RETURN(std::string p, next());
+      NORMAN_ASSIGN_OR_RETURN(dataplane::PortRange range, ParsePorts(p));
+      if (t == "--sport") {
+        rule.src_port = range;
+      } else {
+        rule.dst_port = range;
+      }
+    } else if (t == "-m") {
+      NORMAN_ASSIGN_OR_RETURN(std::string m, next());
+      if (m != "owner") {
+        return InvalidArgumentError("iptables: unknown match " + m);
+      }
+    } else if (t == "--uid-owner") {
+      NORMAN_ASSIGN_OR_RETURN(std::string v, next());
+      rule.owner_uid = static_cast<uint32_t>(std::stoul(v));
+    } else if (t == "--pid-owner") {
+      NORMAN_ASSIGN_OR_RETURN(std::string v, next());
+      rule.owner_pid = static_cast<uint32_t>(std::stoul(v));
+    } else if (t == "--cmd-owner") {
+      NORMAN_ASSIGN_OR_RETURN(std::string v, next());
+      rule.owner_comm = k->CommIdFor(v);
+      rule.label = "cmd-owner " + v;
+    } else if (t == "--cgroup") {
+      NORMAN_ASSIGN_OR_RETURN(std::string v, next());
+      rule.owner_cgroup = static_cast<uint32_t>(std::stoul(v));
+    } else if (t == "-j") {
+      NORMAN_ASSIGN_OR_RETURN(std::string a, next());
+      if (a == "ACCEPT") {
+        rule.action = dataplane::FilterAction::kAccept;
+      } else if (a == "DROP") {
+        rule.action = dataplane::FilterAction::kDrop;
+      } else if (a == "FALLBACK") {
+        rule.action = dataplane::FilterAction::kSoftwareFallback;
+      } else {
+        return InvalidArgumentError("iptables: unknown target " + a);
+      }
+      have_action = true;
+    } else {
+      return InvalidArgumentError("iptables: unknown token " + t);
+    }
+  }
+  if (!have_chain || !have_action) {
+    return InvalidArgumentError("iptables: need -A CHAIN and -j TARGET");
+  }
+  return k->AppendFilterRule(caller, chain, rule);
+}
+
+Status IptablesDelete(kernel::Kernel* k, kernel::Uid caller,
+                      kernel::Chain chain, size_t index) {
+  return k->DeleteFilterRule(caller, chain, index);
+}
+
+Status IptablesFlush(kernel::Kernel* k, kernel::Uid caller,
+                     kernel::Chain chain) {
+  return k->FlushFilterRules(caller, chain);
+}
+
+std::string IptablesList(const kernel::Kernel& k) {
+  std::ostringstream out;
+  RenderChain(k, kernel::Chain::kInput, out);
+  RenderChain(k, kernel::Chain::kOutput, out);
+  return out.str();
+}
+
+// ---- tc -----------------------------------------------------------------------
+
+namespace {
+
+StatusOr<BitsPerSecond> ParseRate(const std::string& s) {
+  double value = 0;
+  char unit[16] = {0};
+  if (std::sscanf(s.c_str(), "%lf%15s", &value, unit) < 1 || value <= 0) {
+    return InvalidArgumentError("tc: bad rate " + s);
+  }
+  const std::string u(unit);
+  if (u == "gbit") {
+    return static_cast<BitsPerSecond>(value * 1e9);
+  }
+  if (u == "mbit") {
+    return static_cast<BitsPerSecond>(value * 1e6);
+  }
+  if (u == "kbit") {
+    return static_cast<BitsPerSecond>(value * 1e3);
+  }
+  if (u.empty() || u == "bit") {
+    return static_cast<BitsPerSecond>(value);
+  }
+  return InvalidArgumentError("tc: bad rate unit " + u);
+}
+
+StatusOr<uint64_t> ParseSize(const std::string& s) {
+  double value = 0;
+  char unit[16] = {0};
+  if (std::sscanf(s.c_str(), "%lf%15s", &value, unit) < 1 || value <= 0) {
+    return InvalidArgumentError("tc: bad size " + s);
+  }
+  const std::string u(unit);
+  if (u == "mb") {
+    return static_cast<uint64_t>(value * 1024 * 1024);
+  }
+  if (u == "kb") {
+    return static_cast<uint64_t>(value * 1024);
+  }
+  if (u.empty() || u == "b") {
+    return static_cast<uint64_t>(value);
+  }
+  return InvalidArgumentError("tc: bad size unit " + u);
+}
+
+}  // namespace
+
+Status TcReplace(kernel::Kernel* k, kernel::Uid caller,
+                 const std::string& spec) {
+  const auto tokens = Tokenize(spec);
+  // Expect: qdisc replace dev <dev> root <kind> [args...]
+  size_t i = 0;
+  auto expect = [&](const std::string& word) -> Status {
+    if (i >= tokens.size() || tokens[i] != word) {
+      return InvalidArgumentError("tc: expected '" + word + "'");
+    }
+    ++i;
+    return OkStatus();
+  };
+  NORMAN_RETURN_IF_ERROR(expect("qdisc"));
+  NORMAN_RETURN_IF_ERROR(expect("replace"));
+  NORMAN_RETURN_IF_ERROR(expect("dev"));
+  if (i >= tokens.size()) {
+    return InvalidArgumentError("tc: missing device");
+  }
+  ++i;  // device name (single simulated NIC; accepted and ignored)
+  NORMAN_RETURN_IF_ERROR(expect("root"));
+  if (i >= tokens.size()) {
+    return InvalidArgumentError("tc: missing qdisc kind");
+  }
+  const std::string kind = tokens[i++];
+
+  std::unique_ptr<nic::Scheduler> qdisc;
+  if (kind == "fifo") {
+    qdisc = std::make_unique<nic::FifoScheduler>();
+  } else if (kind == "prio") {
+    uint32_t bands = 3;
+    if (i + 1 < tokens.size() && tokens[i] == "bands") {
+      bands = static_cast<uint32_t>(std::stoul(tokens[i + 1]));
+      i += 2;
+    }
+    // Default prio classifier: DSCP EF (46) -> band 0, rest -> last band.
+    qdisc = std::make_unique<dataplane::PrioQdisc>(
+        bands, dataplane::ClassifyByDscp({{46, 0}, {0, bands - 1}}));
+  } else if (kind == "tbf") {
+    BitsPerSecond rate = 0;
+    uint64_t burst = 32 * 1024;
+    while (i + 1 < tokens.size()) {
+      if (tokens[i] == "rate") {
+        NORMAN_ASSIGN_OR_RETURN(rate, ParseRate(tokens[i + 1]));
+        i += 2;
+      } else if (tokens[i] == "burst") {
+        NORMAN_ASSIGN_OR_RETURN(burst, ParseSize(tokens[i + 1]));
+        i += 2;
+      } else {
+        return InvalidArgumentError("tc: unknown tbf arg " + tokens[i]);
+      }
+    }
+    if (rate == 0) {
+      return InvalidArgumentError("tc: tbf needs a rate");
+    }
+    qdisc = std::make_unique<dataplane::TokenBucketQdisc>(rate, burst);
+  } else if (kind == "drr") {
+    uint64_t quantum = 1514;
+    if (i + 1 < tokens.size() && tokens[i] == "quantum") {
+      quantum = std::stoull(tokens[i + 1]);
+      i += 2;
+    }
+    qdisc = std::make_unique<dataplane::DrrQdisc>(
+        dataplane::ClassifyByUid({}), quantum);
+  } else if (kind == "wfq") {
+    std::map<uint32_t, uint32_t> uid_class;
+    std::map<uint32_t, uint32_t> cgroup_class;
+    std::vector<std::pair<uint32_t, double>> weights;  // class -> weight
+    uint32_t next_class = 1;
+    while (i + 1 < tokens.size()) {
+      const std::string& key = tokens[i];
+      unsigned id = 0;
+      double weight = 0;
+      if (std::sscanf(tokens[i + 1].c_str(), "%u:%lf", &id, &weight) != 2 ||
+          weight <= 0) {
+        return InvalidArgumentError("tc: bad wfq spec " + tokens[i + 1]);
+      }
+      const uint32_t cls = next_class++;
+      if (key == "uid") {
+        uid_class[id] = cls;
+      } else if (key == "cgroup") {
+        cgroup_class[id] = cls;
+      } else {
+        return InvalidArgumentError("tc: unknown wfq key " + key);
+      }
+      weights.emplace_back(cls, weight);
+      i += 2;
+    }
+    dataplane::Classifier classifier;
+    if (!cgroup_class.empty() && uid_class.empty()) {
+      classifier = dataplane::ClassifyByCgroup(cgroup_class);
+    } else if (!uid_class.empty() && cgroup_class.empty()) {
+      classifier = dataplane::ClassifyByUid(uid_class);
+    } else {
+      return InvalidArgumentError(
+          "tc: wfq needs uid or cgroup weights (not both)");
+    }
+    auto wfq = std::make_unique<dataplane::WfqQdisc>(std::move(classifier));
+    for (const auto& [cls, weight] : weights) {
+      wfq->SetWeight(cls, weight);
+    }
+    qdisc = std::move(wfq);
+  } else {
+    return InvalidArgumentError("tc: unknown qdisc kind " + kind);
+  }
+  return k->SetQdisc(caller, std::move(qdisc));
+}
+
+Status TcRateLimit(kernel::Kernel* k, kernel::Uid caller,
+                   const std::string& spec) {
+  const auto tokens = Tokenize(spec);
+  // conn <id> rate <rate> [burst <size>]
+  if (tokens.size() < 4 || tokens[0] != "conn" || tokens[2] != "rate") {
+    return InvalidArgumentError(
+        "tc: expected 'conn <id> rate <rate> [burst <size>]'");
+  }
+  const auto conn =
+      static_cast<net::ConnectionId>(std::stoul(tokens[1]));
+  BitsPerSecond rate = 0;
+  if (tokens[3] != "0") {
+    NORMAN_ASSIGN_OR_RETURN(rate, ParseRate(tokens[3]));
+  }
+  uint64_t burst = 16 * 1024;
+  if (tokens.size() >= 6 && tokens[4] == "burst") {
+    NORMAN_ASSIGN_OR_RETURN(burst, ParseSize(tokens[5]));
+  }
+  return k->SetConnRateLimit(caller, conn, rate, burst);
+}
+
+std::string NicStat(const kernel::Kernel& k, const nic::SmartNic& nic) {
+  std::ostringstream out;
+  const auto& s = nic.stats();
+  const Nanos now = const_cast<kernel::Kernel&>(k).simulator()->Now();
+  out << "NIC statistics (virtual time " << FormatNanos(now) << "):\n";
+  out << "  tx: seen " << s.tx_seen << ", accepted " << s.tx_accepted
+      << ", filtered " << s.tx_dropped << ", sched-drop "
+      << s.tx_sched_dropped << ", sw-fallback " << s.tx_fallback
+      << ", wire bytes " << s.tx_bytes_wire << "\n";
+  out << "  rx: seen " << s.rx_seen << ", accepted " << s.rx_accepted
+      << ", filtered " << s.rx_dropped << ", unmatched " << s.rx_unmatched
+      << ", ring-overflow " << s.rx_ring_overflow << ", sw-fallback "
+      << s.rx_fallback << "\n";
+  out << "  dma transfers " << s.dma_transfers
+      << ", overlay instructions " << s.overlay_instructions << "\n";
+  const auto& ddio = nic.ddio();
+  char ddio_line[128];
+  std::snprintf(ddio_line, sizeof(ddio_line),
+                "  ddio: %.1f%% hit (%llu/%llu), resident %llu B of %llu B\n",
+                ddio.hit_rate() * 100,
+                static_cast<unsigned long long>(ddio.hits()),
+                static_cast<unsigned long long>(ddio.accesses()),
+                static_cast<unsigned long long>(ddio.resident_bytes()),
+                static_cast<unsigned long long>(ddio.ddio_capacity()));
+  out << ddio_line;
+  const auto& sram =
+      const_cast<kernel::Kernel&>(k).nic_control().sram();
+  out << "  sram: " << sram.used() << " / " << sram.capacity() << " B";
+  for (const auto& [cat, bytes] : sram.by_category()) {
+    out << "  " << cat << "=" << bytes;
+  }
+  out << "\n";
+  if (now > 0) {
+    char util[128];
+    std::snprintf(util, sizeof(util),
+                  "  utilization: wire %.1f%%, pipeline %.1f%%, dma %.1f%%, "
+                  "kernel-core %.1f%%\n",
+                  nic.wire().Utilization(now) * 100,
+                  nic.pipeline_resource().Utilization(now) * 100,
+                  nic.dma_engine().Utilization(now) * 100,
+                  k.kernel_core().Utilization(now) * 100);
+    out << util;
+  }
+  return out.str();
+}
+
+std::string TcShow(const kernel::Kernel& k) {
+  std::ostringstream out;
+  const auto* sched =
+      const_cast<kernel::Kernel&>(k).nic_control().scheduler();
+  out << "qdisc " << (sched != nullptr ? sched->name() : "none")
+      << " dev nic0 root";
+  if (sched != nullptr) {
+    out << " backlog " << sched->backlog_packets() << "p";
+  }
+  out << "\n";
+  return out.str();
+}
+
+// ---- netstat ------------------------------------------------------------------
+
+std::string Netstat(const kernel::Kernel& k) {
+  std::ostringstream out;
+  out << "Proto Local Address          Foreign Address        TX-pkts RX-pkts"
+         "  PID/Program (User)\n";
+  for (const auto& c : k.ListConnections()) {
+    char local[32], foreign[32];
+    std::snprintf(local, sizeof(local), "%s:%u",
+                  c.tuple.src_ip.ToString().c_str(), c.tuple.src_port);
+    std::snprintf(foreign, sizeof(foreign), "%s:%u",
+                  c.tuple.dst_ip.ToString().c_str(), c.tuple.dst_port);
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-5s %-22s %-22s %7llu %7llu  %u/%s (%s)%s\n",
+                  ProtoName(c.tuple.proto).c_str(), local, foreign,
+                  static_cast<unsigned long long>(c.tx_packets),
+                  static_cast<unsigned long long>(c.rx_packets), c.pid,
+                  c.comm.c_str(), k.processes().UserName(c.uid).c_str(),
+                  c.software_fallback ? " [sw-fallback]" : "");
+    out << line;
+  }
+  return out.str();
+}
+
+// ---- arp ----------------------------------------------------------------------
+
+std::string ArpShow(const kernel::Kernel& k) {
+  std::ostringstream out;
+  out << "ARP cache:\n";
+  for (const auto& [ip, entry] : k.arp().cache()) {
+    out << "  " << entry.ip.ToString() << " is-at " << entry.mac.ToString()
+        << " (updated " << FormatNanos(entry.updated) << ")\n";
+  }
+  const auto& observations = k.arp().tx_observations();
+  out << "Application-originated ARP (" << observations.size()
+      << " frames):\n";
+  // Aggregate by pid for the debugging workflow.
+  std::map<uint32_t, uint64_t> by_pid;
+  for (const auto& obs : observations) {
+    ++by_pid[obs.owner.owner_pid];
+  }
+  for (const auto& [pid, count] : by_pid) {
+    const auto* proc = k.processes().Lookup(pid);
+    out << "  pid " << pid << " (" << (proc != nullptr ? proc->comm : "?")
+        << "/" << (proc != nullptr ? k.processes().UserName(proc->uid) : "?")
+        << "): " << count << " ARP frames\n";
+  }
+  return out.str();
+}
+
+}  // namespace norman::tools

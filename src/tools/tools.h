@@ -1,0 +1,80 @@
+// Administrative tools (§4.2): "Tools such as tc, iptables and tcpdump also
+// call into the in-kernel control plane, which updates the SmartNIC
+// dataplane."
+//
+// Each tool is a thin frontend over Kernel's root-only syscalls plus a
+// renderer producing familiar, human-readable output. The crucial
+// difference from their Linux namesakes is visible in the output of
+// norman-tcpdump and norman-netstat: every line is annotated with the
+// owning pid/user/comm, courtesy of the NIC flow table.
+#ifndef NORMAN_TOOLS_TOOLS_H_
+#define NORMAN_TOOLS_TOOLS_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/kernel/kernel.h"
+
+namespace norman::tools {
+
+// ---- norman-tcpdump --------------------------------------------------------
+// Starts/stops capture; Render prints captured frames with process
+// annotations: "12.3us TX pid=104 (buggy/charlie) ARP who-has 10.0.0.9".
+Status TcpdumpStart(kernel::Kernel* k, kernel::Uid caller,
+                    const std::string& overlay_filter_asm = "");
+Status TcpdumpStop(kernel::Kernel* k, kernel::Uid caller);
+std::string TcpdumpRender(const kernel::Kernel& k, size_t max_lines = 50);
+// Writes the capture to a .pcap file readable by stock tcpdump/wireshark.
+Status TcpdumpWritePcap(const kernel::Kernel& k, const std::string& path);
+
+// ---- norman-iptables -------------------------------------------------------
+// Appends a rule expressed in iptables-ish flag form. Supported tokens:
+//   -A INPUT|OUTPUT  -p udp|tcp|icmp  -s a.b.c.d[/n]  -d a.b.c.d[/n]
+//   --sport lo[:hi]  --dport lo[:hi]
+//   -m owner --uid-owner N | --pid-owner N | --cmd-owner NAME
+//   --cgroup N
+//   -j ACCEPT|DROP|FALLBACK
+// Example: "-A OUTPUT -p tcp --dport 5432 -m owner --uid-owner 1001 -j ACCEPT"
+StatusOr<size_t> IptablesAppend(kernel::Kernel* k, kernel::Uid caller,
+                                const std::string& spec);
+Status IptablesDelete(kernel::Kernel* k, kernel::Uid caller,
+                      kernel::Chain chain, size_t index);
+Status IptablesFlush(kernel::Kernel* k, kernel::Uid caller,
+                     kernel::Chain chain);
+// "-L -v"-style listing with hit counters.
+std::string IptablesList(const kernel::Kernel& k);
+
+// ---- norman-tc -------------------------------------------------------------
+// Installs a qdisc from a tc-ish spec:
+//   "qdisc replace dev nic0 root fifo"
+//   "qdisc replace dev nic0 root prio bands 3"
+//   "qdisc replace dev nic0 root tbf rate 100mbit burst 32kb"
+//   "qdisc replace dev nic0 root drr quantum 1514"
+//   "qdisc replace dev nic0 root wfq uid 1001:8 uid 1002:1"   (uid weights)
+//   "qdisc replace dev nic0 root wfq cgroup 2:4 cgroup 3:1"   (cgroup weights)
+Status TcReplace(kernel::Kernel* k, kernel::Uid caller,
+                 const std::string& spec);
+std::string TcShow(const kernel::Kernel& k);
+
+// Per-connection rate limit via the NIC pacer:
+//   "conn 3 rate 100mbit burst 16kb"   (rate 0 clears)
+Status TcRateLimit(kernel::Kernel* k, kernel::Uid caller,
+                   const std::string& spec);
+
+// ---- norman-stat (ethtool -S equivalent) -----------------------------------
+// NIC datapath counters, SRAM occupancy by category, DDIO behavior, and
+// resource utilizations over the elapsed virtual time.
+std::string NicStat(const kernel::Kernel& k, const nic::SmartNic& nic);
+
+// ---- norman-netstat --------------------------------------------------------
+// Connection table with owner annotations, like `netstat -tupn`.
+std::string Netstat(const kernel::Kernel& k);
+
+// ---- norman-arp ------------------------------------------------------------
+// ARP cache plus — unique to Norman — the TX-side ARP forensic log with the
+// emitting process for every application-originated ARP frame.
+std::string ArpShow(const kernel::Kernel& k);
+
+}  // namespace norman::tools
+
+#endif  // NORMAN_TOOLS_TOOLS_H_

@@ -1,0 +1,46 @@
+#include "src/workload/duplex.h"
+
+namespace norman::workload {
+
+DuplexTestBed::DuplexTestBed(Options options)
+    : options_(options), fault_rng_(options.fault_seed) {
+  kernel::Kernel::Options ka;
+  ka.host_ip = net::Ipv4Address::FromOctets(10, 0, 0, 1);
+  ka.host_mac = net::MacAddress::ForHost(1);
+  ka.gateway_mac = net::MacAddress::ForHost(2);  // the peer, directly
+  kernel::Kernel::Options kb;
+  kb.host_ip = net::Ipv4Address::FromOctets(10, 0, 0, 2);
+  kb.host_mac = net::MacAddress::ForHost(2);
+  kb.gateway_mac = net::MacAddress::ForHost(1);
+
+  a_.nic = std::make_unique<nic::SmartNic>(&sim_, options_.nic_a);
+  a_.kernel = std::make_unique<kernel::Kernel>(&sim_, a_.nic.get(), ka);
+  b_.nic = std::make_unique<nic::SmartNic>(&sim_, options_.nic_b);
+  b_.kernel = std::make_unique<kernel::Kernel>(&sim_, b_.nic.get(), kb);
+
+  Wire(&a_, &b_);
+  Wire(&b_, &a_);
+}
+
+void DuplexTestBed::Wire(Host* from, Host* to) {
+  from->nic->SetWireSink([this, from, to](net::PacketPtr packet) {
+    ++from->frames_sent;
+    if (options_.loss_probability > 0 &&
+        fault_rng_.NextBool(options_.loss_probability)) {
+      ++frames_lost_;
+      return;  // dropped on the wire
+    }
+    ++to->frames_received;
+    Nanos delay = options_.propagation_delay;
+    if (options_.jitter_ns > 0) {
+      delay += static_cast<Nanos>(
+          fault_rng_.NextBounded(static_cast<uint64_t>(options_.jitter_ns)));
+    }
+    auto* raw = packet.release();
+    sim_.ScheduleAfter(delay, [this, to, raw] {
+      to->nic->DeliverFromWire(net::PacketPtr(raw), sim_.Now());
+    });
+  });
+}
+
+}  // namespace norman::workload

@@ -1,0 +1,196 @@
+// Deterministic traffic generators driving Norman sockets in virtual time.
+//
+// Each generator self-schedules simulator events from Start() until its stop
+// time, so Simulator::Run() terminates once all traffic is injected and
+// drained. All randomness comes from explicitly seeded Rng instances.
+#ifndef NORMAN_WORKLOAD_GENERATORS_H_
+#define NORMAN_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/net/packet_builder.h"
+#include "src/norman/socket.h"
+#include "src/sim/simulator.h"
+
+namespace norman::workload {
+
+// Constant-bit-rate sender: one payload every `interval` ns.
+class CbrSender {
+ public:
+  CbrSender(sim::Simulator* sim, Socket* socket, size_t payload_bytes,
+            Nanos interval)
+      : sim_(sim),
+        socket_(socket),
+        payload_bytes_(payload_bytes),
+        interval_(interval) {}
+
+  void Start(Nanos at, Nanos until) {
+    until_ = until;
+    sim_->ScheduleAt(at, [this] { Tick(); });
+  }
+
+  uint64_t sent() const { return sent_; }
+  uint64_t failed() const { return failed_; }
+
+ private:
+  void Tick() {
+    if (sim_->Now() >= until_) {
+      return;
+    }
+    const std::vector<uint8_t> payload(payload_bytes_, 0xab);
+    if (socket_->Send(payload).ok()) {
+      ++sent_;
+    } else {
+      ++failed_;
+    }
+    sim_->ScheduleAfter(interval_, [this] { Tick(); });
+  }
+
+  sim::Simulator* sim_;
+  Socket* socket_;
+  size_t payload_bytes_;
+  Nanos interval_;
+  Nanos until_ = 0;
+  uint64_t sent_ = 0;
+  uint64_t failed_ = 0;
+};
+
+// Poisson-arrival sender: exponential interarrival with the given mean.
+class PoissonSender {
+ public:
+  PoissonSender(sim::Simulator* sim, Socket* socket, size_t payload_bytes,
+                Nanos mean_interval, uint64_t seed)
+      : sim_(sim),
+        socket_(socket),
+        payload_bytes_(payload_bytes),
+        mean_interval_(mean_interval),
+        rng_(seed) {}
+
+  void Start(Nanos at, Nanos until) {
+    until_ = until;
+    sim_->ScheduleAt(at, [this] { Tick(); });
+  }
+
+  uint64_t sent() const { return sent_; }
+
+ private:
+  void Tick() {
+    if (sim_->Now() >= until_) {
+      return;
+    }
+    const std::vector<uint8_t> payload(payload_bytes_, 0xcd);
+    if (socket_->Send(payload).ok()) {
+      ++sent_;
+    }
+    const auto gap = static_cast<Nanos>(
+        rng_.NextExponential(static_cast<double>(mean_interval_)));
+    sim_->ScheduleAfter(std::max<Nanos>(1, gap), [this] { Tick(); });
+  }
+
+  sim::Simulator* sim_;
+  Socket* socket_;
+  size_t payload_bytes_;
+  Nanos mean_interval_;
+  Rng rng_;
+  Nanos until_ = 0;
+  uint64_t sent_ = 0;
+};
+
+// The buggy application from §2's debugging scenario: floods gratuitous ARP
+// requests with a bogus sender MAC through its kernel-bypass connection.
+// Nothing in userspace stops it — but the on-NIC ARP observer records which
+// process every frame came from.
+class ArpFlooder {
+ public:
+  ArpFlooder(sim::Simulator* sim, Socket* socket,
+             net::MacAddress bogus_mac, net::Ipv4Address claimed_ip,
+             Nanos interval)
+      : sim_(sim),
+        socket_(socket),
+        bogus_mac_(bogus_mac),
+        claimed_ip_(claimed_ip),
+        interval_(interval) {}
+
+  void Start(Nanos at, Nanos until) {
+    until_ = until;
+    sim_->ScheduleAt(at, [this] { Tick(); });
+  }
+
+  uint64_t sent() const { return sent_; }
+
+ private:
+  void Tick() {
+    if (sim_->Now() >= until_) {
+      return;
+    }
+    auto frame = std::make_unique<net::Packet>(net::BuildArpRequest(
+        bogus_mac_, claimed_ip_,
+        net::Ipv4Address::FromOctets(10, 0, 0,
+                                     static_cast<uint8_t>(sent_ % 250 + 1))));
+    if (socket_->SendFrame(std::move(frame)).ok()) {
+      ++sent_;
+    }
+    sim_->ScheduleAfter(interval_, [this] { Tick(); });
+  }
+
+  sim::Simulator* sim_;
+  Socket* socket_;
+  net::MacAddress bogus_mac_;
+  net::Ipv4Address claimed_ip_;
+  Nanos interval_;
+  Nanos until_ = 0;
+  uint64_t sent_ = 0;
+};
+
+// Greedy bulk sender: keeps the TX ring as full as possible (models an
+// unconstrained bulk transfer). Retries on ring-full after a short backoff.
+class BulkSender {
+ public:
+  BulkSender(sim::Simulator* sim, Socket* socket, size_t payload_bytes,
+             Nanos attempt_interval = 500)
+      : sim_(sim),
+        socket_(socket),
+        payload_bytes_(payload_bytes),
+        attempt_interval_(attempt_interval) {}
+
+  void Start(Nanos at, Nanos until) {
+    until_ = until;
+    sim_->ScheduleAt(at, [this] { Tick(); });
+  }
+
+  uint64_t sent() const { return sent_; }
+  uint64_t ring_full() const { return ring_full_; }
+
+ private:
+  void Tick() {
+    if (sim_->Now() >= until_) {
+      return;
+    }
+    const std::vector<uint8_t> payload(payload_bytes_, 0xef);
+    // Publish a burst per tick to amortize scheduling overhead.
+    for (int i = 0; i < 8; ++i) {
+      const Status s = socket_->Send(payload);
+      if (s.ok()) {
+        ++sent_;
+      } else {
+        ++ring_full_;
+        break;
+      }
+    }
+    sim_->ScheduleAfter(attempt_interval_, [this] { Tick(); });
+  }
+
+  sim::Simulator* sim_;
+  Socket* socket_;
+  size_t payload_bytes_;
+  Nanos attempt_interval_;
+  Nanos until_ = 0;
+  uint64_t sent_ = 0;
+  uint64_t ring_full_ = 0;
+};
+
+}  // namespace norman::workload
+
+#endif  // NORMAN_WORKLOAD_GENERATORS_H_

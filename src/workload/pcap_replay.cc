@@ -1,0 +1,44 @@
+#include "src/workload/pcap_replay.h"
+
+#include <algorithm>
+
+namespace norman::workload {
+
+StatusOr<ReplayReport> ReplayPcap(sim::Simulator* sim, nic::SmartNic* nic,
+                                  std::span<const uint8_t> pcap_file,
+                                  const ReplayOptions& options) {
+  NORMAN_ASSIGN_OR_RETURN(std::vector<net::PcapRecord> records,
+                          net::ParsePcap(pcap_file));
+  ReplayReport report;
+  if (records.empty()) {
+    return report;
+  }
+  const Nanos t0 = records.front().timestamp;
+  bool first = true;
+  for (auto& rec : records) {
+    if (options.frame_filter && !options.frame_filter(rec)) {
+      ++report.frames_skipped;
+      continue;
+    }
+    const double scaled =
+        static_cast<double>(rec.timestamp - t0) * options.time_scale;
+    const Nanos when =
+        options.start_at + static_cast<Nanos>(std::max(0.0, scaled));
+    // Never schedule into the past (traces may start before Now()).
+    const Nanos at = std::max(when, sim->Now());
+    auto packet = std::make_unique<net::Packet>(std::move(rec.bytes));
+    auto* raw = packet.release();
+    sim->ScheduleAt(at, [nic, raw, sim] {
+      nic->DeliverFromWire(net::PacketPtr(raw), sim->Now());
+    });
+    if (first) {
+      report.first_at = at;
+      first = false;
+    }
+    report.last_at = at;
+    ++report.frames_injected;
+  }
+  return report;
+}
+
+}  // namespace norman::workload

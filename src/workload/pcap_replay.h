@@ -1,0 +1,48 @@
+// Trace replay: inject the frames of a pcap capture into a simulated NIC
+// with their original relative timing (optionally time-scaled).
+//
+// Closes the tooling loop: captures taken with norman-tcpdump (or stock
+// tcpdump — the format is standard) can be replayed against a host to
+// reproduce an incident, drive regression workloads, or stress policies
+// with recorded traffic.
+#ifndef NORMAN_WORKLOAD_PCAP_REPLAY_H_
+#define NORMAN_WORKLOAD_PCAP_REPLAY_H_
+
+#include <functional>
+#include <span>
+
+#include "src/common/status.h"
+#include "src/net/pcap_writer.h"
+#include "src/nic/smart_nic.h"
+#include "src/sim/simulator.h"
+
+namespace norman::workload {
+
+struct ReplayOptions {
+  // Virtual time of the first frame's injection.
+  Nanos start_at = 0;
+  // Inter-frame gaps are multiplied by this (0 = inject back-to-back;
+  // 1 = original pacing; 2 = half speed).
+  double time_scale = 1.0;
+  // Invoked (in schedule order) before each frame is injected; returning
+  // false skips the frame. Useful for filtering a big trace.
+  std::function<bool(const net::PcapRecord&)> frame_filter;
+};
+
+struct ReplayReport {
+  uint64_t frames_injected = 0;
+  uint64_t frames_skipped = 0;
+  Nanos first_at = 0;
+  Nanos last_at = 0;
+};
+
+// Parses `pcap_file` and schedules every frame for delivery to `nic` from
+// the wire side. Returns the injection plan summary; frames actually flow
+// when the simulator runs.
+StatusOr<ReplayReport> ReplayPcap(sim::Simulator* sim, nic::SmartNic* nic,
+                                  std::span<const uint8_t> pcap_file,
+                                  const ReplayOptions& options = {});
+
+}  // namespace norman::workload
+
+#endif  // NORMAN_WORKLOAD_PCAP_REPLAY_H_

@@ -1,0 +1,68 @@
+#include "src/workload/testbed.h"
+
+#include "src/net/packet_builder.h"
+#include "src/net/parsed_packet.h"
+
+namespace norman::workload {
+
+TestBed::TestBed(Options options) : options_(options) {
+  nic_ = std::make_unique<nic::SmartNic>(&sim_, options_.nic);
+  kernel_ =
+      std::make_unique<kernel::Kernel>(&sim_, nic_.get(), options_.kernel);
+  nic_->SetWireSink(
+      [this](net::PacketPtr packet) { HandleEgress(std::move(packet)); });
+}
+
+void TestBed::HandleEgress(net::PacketPtr packet) {
+  egress_bytes_ += packet->size();
+  if (egress_hook_) {
+    egress_hook_(*packet);
+  }
+  if (options_.echo) {
+    auto parsed = net::ParseFrame(packet->bytes());
+    if (parsed && parsed->is_ipv4() && (parsed->is_udp() || parsed->is_tcp())) {
+      // Build the mirrored response at the peer.
+      auto flow = parsed->flow();
+      net::FrameEndpoints ep{parsed->eth.dst, parsed->eth.src, flow->dst_ip,
+                             flow->src_ip};
+      const auto payload_off = parsed->payload_offset;
+      std::vector<uint8_t> payload(
+          packet->bytes().begin() + static_cast<ptrdiff_t>(payload_off),
+          packet->bytes().end());
+      std::vector<uint8_t> reply =
+          parsed->is_udp()
+              ? net::BuildUdpFrame(ep, flow->dst_port, flow->src_port,
+                                   payload)
+              : net::BuildTcpFrame(ep, flow->dst_port, flow->src_port,
+                                   parsed->tcp->ack, parsed->tcp->seq,
+                                   net::TcpFlags::kAck, payload);
+      // Round trip: propagation out + propagation back.
+      InjectFromNetwork(std::make_unique<net::Packet>(std::move(reply)),
+                        sim_.Now() + 2 * options_.propagation_delay);
+    }
+  }
+  if (keep_egress_) {
+    egress_.push_back(std::move(packet));
+  }
+}
+
+void TestBed::InjectFromNetwork(net::PacketPtr packet, Nanos when) {
+  packet->meta().created_at = when;
+  auto* raw = packet.release();
+  sim_.ScheduleAt(when, [this, raw] {
+    nic_->DeliverFromWire(net::PacketPtr(raw), sim_.Now());
+  });
+}
+
+void TestBed::InjectUdpFromPeer(uint16_t src_port, uint16_t dst_port,
+                                size_t payload_size, Nanos when) {
+  net::FrameEndpoints ep{net::MacAddress::ForHost(2),
+                         options_.kernel.host_mac,
+                         net::Ipv4Address::FromOctets(10, 0, 0, 2),
+                         options_.kernel.host_ip};
+  auto frame = net::BuildUdpFrame(ep, src_port, dst_port,
+                                  std::vector<uint8_t>(payload_size, 0x5a));
+  InjectFromNetwork(std::make_unique<net::Packet>(std::move(frame)), when);
+}
+
+}  // namespace norman::workload

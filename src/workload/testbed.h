@@ -1,0 +1,79 @@
+// TestBed: one simulated Norman host wired to a synthetic remote peer.
+//
+// Bundles the discrete-event simulator, the SmartNIC, the kernel control
+// plane and a configurable "network" behind the wire: frames the host emits
+// are delivered to the peer after a propagation delay; the peer can echo
+// them back (src/dst swapped), generate responses, or just count. This is
+// the standard substrate for tests, benchmarks, and the examples.
+#ifndef NORMAN_WORKLOAD_TESTBED_H_
+#define NORMAN_WORKLOAD_TESTBED_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/net/packet.h"
+#include "src/nic/smart_nic.h"
+#include "src/sim/simulator.h"
+
+namespace norman::workload {
+
+struct TestBedOptions {
+  nic::SmartNic::Options nic;
+  kernel::Kernel::Options kernel;
+  Nanos propagation_delay = 2 * kMicrosecond;  // one-way wire latency
+  // When true, the peer echoes every IPv4 UDP/TCP frame back with
+  // endpoints swapped (ARP and other frames are just recorded).
+  bool echo = false;
+};
+
+class TestBed {
+ public:
+  using Options = TestBedOptions;
+
+  explicit TestBed(Options options = Options());
+
+  sim::Simulator& sim() { return sim_; }
+  nic::SmartNic& nic() { return *nic_; }
+  kernel::Kernel& kernel() { return *kernel_; }
+
+  // Every frame that left the host, in wire order.
+  const std::vector<net::PacketPtr>& egress() const { return egress_; }
+  uint64_t egress_frames() const { return egress_.size(); }
+  uint64_t egress_bytes() const { return egress_bytes_; }
+
+  // Frees captured egress frames (long benchmarks).
+  void DiscardEgress() {
+    egress_.clear();
+    keep_egress_ = false;
+  }
+
+  // Optional extra hook invoked for each egress frame (after recording).
+  void SetEgressHook(std::function<void(const net::Packet&)> hook) {
+    egress_hook_ = std::move(hook);
+  }
+
+  // Injects a frame from the network toward the host NIC at `when`.
+  void InjectFromNetwork(net::PacketPtr packet, Nanos when);
+
+  // Builds and injects a UDP frame from the remote peer to the host.
+  void InjectUdpFromPeer(uint16_t src_port, uint16_t dst_port,
+                         size_t payload_size, Nanos when);
+
+ private:
+  void HandleEgress(net::PacketPtr packet);
+
+  Options options_;
+  sim::Simulator sim_;
+  std::unique_ptr<nic::SmartNic> nic_;
+  std::unique_ptr<kernel::Kernel> kernel_;
+  std::vector<net::PacketPtr> egress_;
+  bool keep_egress_ = true;
+  uint64_t egress_bytes_ = 0;
+  std::function<void(const net::Packet&)> egress_hook_;
+};
+
+}  // namespace norman::workload
+
+#endif  // NORMAN_WORKLOAD_TESTBED_H_

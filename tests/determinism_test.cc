@@ -1,0 +1,99 @@
+// Reproducibility guarantees: identical seeds and configurations must
+// produce bit-identical virtual-time behavior — the property every number
+// in EXPERIMENTS.md rests on. Plus the assembler/disassembler round-trip.
+#include <gtest/gtest.h>
+
+#include "src/norman/socket.h"
+#include "src/overlay/assembler.h"
+#include "src/workload/generators.h"
+#include "src/workload/testbed.h"
+
+namespace norman {
+namespace {
+
+struct RunTrace {
+  uint64_t egress_frames = 0;
+  uint64_t egress_bytes = 0;
+  Nanos final_time = 0;
+  std::vector<Nanos> completions;
+  uint64_t events = 0;
+};
+
+RunTrace RunWorld(uint64_t seed) {
+  workload::TestBedOptions opts;
+  opts.echo = true;
+  workload::TestBed bed(opts);
+  auto& k = bed.kernel();
+  k.processes().AddUser(1, "u");
+  const auto pid = *k.processes().Spawn(1, "app");
+  const auto peer = net::Ipv4Address::FromOctets(10, 0, 0, 2);
+
+  auto s1 = Socket::Connect(&k, pid, peer, 1000, {});
+  auto s2 = Socket::Connect(&k, pid, peer, 2000, {});
+  workload::PoissonSender p1(&bed.sim(), &*s1, 300, 20 * kMicrosecond, seed);
+  workload::PoissonSender p2(&bed.sim(), &*s2, 700, 35 * kMicrosecond,
+                             seed ^ 0xabcdef);
+  p1.Start(0, 5 * kMillisecond);
+  p2.Start(0, 5 * kMillisecond);
+
+  RunTrace trace;
+  bed.SetEgressHook([&trace](const net::Packet& p) {
+    trace.completions.push_back(p.meta().completed_at);
+  });
+  bed.sim().Run();
+  trace.egress_frames = bed.egress_frames();
+  trace.egress_bytes = bed.egress_bytes();
+  trace.final_time = bed.sim().Now();
+  trace.events = bed.sim().events_processed();
+  return trace;
+}
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalTraces) {
+  const RunTrace a = RunWorld(42);
+  const RunTrace b = RunWorld(42);
+  EXPECT_EQ(a.egress_frames, b.egress_frames);
+  EXPECT_EQ(a.egress_bytes, b.egress_bytes);
+  EXPECT_EQ(a.final_time, b.final_time);
+  EXPECT_EQ(a.events, b.events);
+  ASSERT_EQ(a.completions.size(), b.completions.size());
+  for (size_t i = 0; i < a.completions.size(); ++i) {
+    ASSERT_EQ(a.completions[i], b.completions[i]) << "frame " << i;
+  }
+}
+
+TEST(DeterminismTest, DifferentSeedsDifferentTraces) {
+  const RunTrace a = RunWorld(42);
+  const RunTrace b = RunWorld(43);
+  EXPECT_NE(a.completions, b.completions);
+}
+
+TEST(AssemblerRoundTripTest, DisassemblyReassemblesIdentically) {
+  constexpr std::string_view kSource = R"(
+      ldf r1, ip_proto
+      jne r1, 17, out
+      ldf r2, dst_port
+      ldb r3, 40
+      add r2, r3
+      shl r2, 2
+      jge r2, 4000, out
+      ldf r4, owner_uid
+      jeq r4, r2, out
+      ret 1
+  out:
+      ret 0
+  )";
+  auto prog = overlay::Assemble(kSource);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  const std::string text = overlay::Disassemble(*prog);
+  // The disassembly's "N:" prefixes act as labels; numeric jump targets
+  // parse as absolute indices. Reassembling must reproduce the program.
+  auto again = overlay::Assemble(text);
+  ASSERT_TRUE(again.ok()) << again.status() << "\n" << text;
+  ASSERT_EQ(again->size(), prog->size());
+  for (size_t i = 0; i < prog->size(); ++i) {
+    EXPECT_EQ((*again)[i], (*prog)[i]) << "instr " << i << "\n" << text;
+  }
+}
+
+}  // namespace
+}  // namespace norman

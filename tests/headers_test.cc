@@ -1,0 +1,231 @@
+#include "src/net/headers.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/net/byte_io.h"
+
+namespace norman::net {
+namespace {
+
+TEST(MacAddressTest, ToStringAndFactories) {
+  EXPECT_EQ(MacAddress::Broadcast().ToString(), "ff:ff:ff:ff:ff:ff");
+  EXPECT_TRUE(MacAddress::Broadcast().IsBroadcast());
+  EXPECT_FALSE(MacAddress::Zero().IsBroadcast());
+  const auto m = MacAddress::ForHost(0x010203);
+  EXPECT_EQ(m.ToString(), "02:4e:4d:01:02:03");
+}
+
+TEST(Ipv4AddressTest, OctetsRoundTrip) {
+  const auto a = Ipv4Address::FromOctets(192, 168, 1, 42);
+  EXPECT_EQ(a.addr, 0xc0a8012au);
+  EXPECT_EQ(a.ToString(), "192.168.1.42");
+}
+
+TEST(FiveTupleTest, ReversedSwapsEndpoints) {
+  FiveTuple t{Ipv4Address::FromOctets(1, 1, 1, 1),
+              Ipv4Address::FromOctets(2, 2, 2, 2), 100, 200, IpProto::kTcp};
+  const auto r = t.Reversed();
+  EXPECT_EQ(r.src_ip, t.dst_ip);
+  EXPECT_EQ(r.dst_port, t.src_port);
+  EXPECT_EQ(r.Reversed(), t);
+}
+
+TEST(FiveTupleTest, HashDiffersAcrossFields) {
+  FiveTupleHash h;
+  FiveTuple base{Ipv4Address::FromOctets(1, 1, 1, 1),
+                 Ipv4Address::FromOctets(2, 2, 2, 2), 100, 200, IpProto::kTcp};
+  FiveTuple other = base;
+  other.src_port = 101;
+  EXPECT_NE(h(base), h(other));
+  other = base;
+  other.proto = IpProto::kUdp;
+  EXPECT_NE(h(base), h(other));
+}
+
+TEST(EthernetHeaderTest, RoundTrip) {
+  EthernetHeader h;
+  h.dst = MacAddress::ForHost(1);
+  h.src = MacAddress::ForHost(2);
+  h.ether_type = static_cast<uint16_t>(EtherType::kIpv4);
+  std::vector<uint8_t> buf(kEthernetHeaderSize);
+  h.Serialize(buf);
+  auto parsed = EthernetHeader::Parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->ether_type, h.ether_type);
+}
+
+TEST(EthernetHeaderTest, TruncatedFails) {
+  std::vector<uint8_t> buf(kEthernetHeaderSize - 1);
+  EXPECT_FALSE(EthernetHeader::Parse(buf).has_value());
+}
+
+TEST(ArpMessageTest, RoundTrip) {
+  ArpMessage m;
+  m.op = ArpOp::kReply;
+  m.sender_mac = MacAddress::ForHost(5);
+  m.sender_ip = Ipv4Address::FromOctets(10, 0, 0, 5);
+  m.target_mac = MacAddress::ForHost(9);
+  m.target_ip = Ipv4Address::FromOctets(10, 0, 0, 9);
+  std::vector<uint8_t> buf(kArpBodySize);
+  m.Serialize(buf);
+  auto parsed = ArpMessage::Parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->op, ArpOp::kReply);
+  EXPECT_EQ(parsed->sender_mac, m.sender_mac);
+  EXPECT_EQ(parsed->sender_ip, m.sender_ip);
+  EXPECT_EQ(parsed->target_mac, m.target_mac);
+  EXPECT_EQ(parsed->target_ip, m.target_ip);
+}
+
+TEST(ArpMessageTest, RejectsBadHardwareType) {
+  ArpMessage m;
+  std::vector<uint8_t> buf(kArpBodySize);
+  m.Serialize(buf);
+  buf[0] = 0x99;  // corrupt HTYPE
+  EXPECT_FALSE(ArpMessage::Parse(buf).has_value());
+}
+
+TEST(ArpMessageTest, RejectsBadOpcode) {
+  ArpMessage m;
+  std::vector<uint8_t> buf(kArpBodySize);
+  m.Serialize(buf);
+  StoreBe16(&buf[6], 7);
+  EXPECT_FALSE(ArpMessage::Parse(buf).has_value());
+}
+
+TEST(Ipv4HeaderTest, RoundTripWithChecksum) {
+  Ipv4Header h;
+  h.dscp = 10;
+  h.total_length = 60;
+  h.identification = 0x1234;
+  h.ttl = 17;
+  h.protocol = IpProto::kTcp;
+  h.src = Ipv4Address::FromOctets(172, 16, 0, 1);
+  h.dst = Ipv4Address::FromOctets(172, 16, 0, 2);
+  std::vector<uint8_t> buf(kIpv4MinHeaderSize);
+  h.Serialize(buf);
+  EXPECT_TRUE(Ipv4Header::ChecksumValid(buf));
+  auto parsed = Ipv4Header::Parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dscp, 10);
+  EXPECT_EQ(parsed->total_length, 60);
+  EXPECT_EQ(parsed->identification, 0x1234);
+  EXPECT_EQ(parsed->ttl, 17);
+  EXPECT_EQ(parsed->protocol, IpProto::kTcp);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+}
+
+TEST(Ipv4HeaderTest, CorruptionBreaksChecksum) {
+  Ipv4Header h;
+  h.total_length = 40;
+  h.protocol = IpProto::kUdp;
+  std::vector<uint8_t> buf(kIpv4MinHeaderSize);
+  h.Serialize(buf);
+  buf[8] ^= 0xff;  // flip TTL
+  EXPECT_FALSE(Ipv4Header::ChecksumValid(buf));
+}
+
+TEST(Ipv4HeaderTest, RejectsNonIpv4Version) {
+  std::vector<uint8_t> buf(kIpv4MinHeaderSize, 0);
+  buf[0] = 0x65;  // version 6
+  EXPECT_FALSE(Ipv4Header::Parse(buf).has_value());
+}
+
+TEST(Ipv4HeaderTest, RejectsUnknownProtocol) {
+  Ipv4Header h;
+  h.total_length = 40;
+  std::vector<uint8_t> buf(kIpv4MinHeaderSize);
+  h.Serialize(buf);
+  buf[9] = 99;  // unknown proto
+  EXPECT_FALSE(Ipv4Header::Parse(buf).has_value());
+}
+
+TEST(UdpHeaderTest, RoundTrip) {
+  UdpHeader h{5432, 3306, 100, 0xbeef};
+  std::vector<uint8_t> buf(kUdpHeaderSize);
+  h.Serialize(buf);
+  auto parsed = UdpHeader::Parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 5432);
+  EXPECT_EQ(parsed->dst_port, 3306);
+  EXPECT_EQ(parsed->length, 100);
+  EXPECT_EQ(parsed->checksum, 0xbeef);
+}
+
+TEST(UdpHeaderTest, RejectsLengthBelowHeader) {
+  UdpHeader h{1, 2, 4, 0};  // length < 8
+  std::vector<uint8_t> buf(kUdpHeaderSize);
+  h.Serialize(buf);
+  EXPECT_FALSE(UdpHeader::Parse(buf).has_value());
+}
+
+TEST(TcpHeaderTest, RoundTrip) {
+  TcpHeader h;
+  h.src_port = 22;
+  h.dst_port = 50000;
+  h.seq = 0xdeadbeef;
+  h.ack = 0xcafef00d;
+  h.flags = TcpFlags::kSyn | TcpFlags::kAck;
+  h.window = 1024;
+  std::vector<uint8_t> buf(kTcpMinHeaderSize);
+  h.Serialize(buf);
+  auto parsed = TcpHeader::Parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 22);
+  EXPECT_EQ(parsed->dst_port, 50000);
+  EXPECT_EQ(parsed->seq, 0xdeadbeefu);
+  EXPECT_EQ(parsed->ack, 0xcafef00du);
+  EXPECT_EQ(parsed->flags, TcpFlags::kSyn | TcpFlags::kAck);
+  EXPECT_EQ(parsed->window, 1024);
+  EXPECT_EQ(parsed->header_length(), kTcpMinHeaderSize);
+}
+
+TEST(TcpHeaderTest, RejectsShortDataOffset) {
+  TcpHeader h;
+  std::vector<uint8_t> buf(kTcpMinHeaderSize);
+  h.Serialize(buf);
+  buf[12] = 0x30;  // data offset 3 words < minimum 5
+  EXPECT_FALSE(TcpHeader::Parse(buf).has_value());
+}
+
+TEST(IcmpHeaderTest, RoundTrip) {
+  IcmpHeader h;
+  h.type = IcmpType::kEchoRequest;
+  h.identifier = 77;
+  h.sequence = 3;
+  std::vector<uint8_t> buf(kIcmpHeaderSize);
+  h.Serialize(buf);
+  auto parsed = IcmpHeader::Parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, IcmpType::kEchoRequest);
+  EXPECT_EQ(parsed->identifier, 77);
+  EXPECT_EQ(parsed->sequence, 3);
+}
+
+TEST(HeadersPropertyTest, RandomRoundTripsNeverCorrupt) {
+  Rng rng(31);
+  for (int trial = 0; trial < 300; ++trial) {
+    UdpHeader h;
+    h.src_port = static_cast<uint16_t>(rng.NextU64());
+    h.dst_port = static_cast<uint16_t>(rng.NextU64());
+    h.length = static_cast<uint16_t>(8 + rng.NextBounded(1000));
+    h.checksum = static_cast<uint16_t>(rng.NextU64());
+    std::vector<uint8_t> buf(kUdpHeaderSize);
+    h.Serialize(buf);
+    auto p = UdpHeader::Parse(buf);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->src_port, h.src_port);
+    EXPECT_EQ(p->dst_port, h.dst_port);
+    EXPECT_EQ(p->length, h.length);
+    EXPECT_EQ(p->checksum, h.checksum);
+  }
+}
+
+}  // namespace
+}  // namespace norman::net

@@ -1,0 +1,107 @@
+#include "src/common/intrusive_list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace norman {
+namespace {
+
+struct Item {
+  explicit Item(int v) : value(v) {}
+  int value;
+  IntrusiveListNode node;
+};
+
+using ItemList = IntrusiveList<Item, &Item::node>;
+
+TEST(IntrusiveListTest, StartsEmpty) {
+  ItemList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.Front(), nullptr);
+  EXPECT_EQ(list.PopFront(), nullptr);
+}
+
+TEST(IntrusiveListTest, PushPopFifo) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 2);
+  EXPECT_EQ(list.PopFront()->value, 3);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListTest, PushFrontLifo) {
+  ItemList list;
+  Item a(1), b(2);
+  list.PushFront(&a);
+  list.PushFront(&b);
+  EXPECT_EQ(list.Front()->value, 2);
+  EXPECT_EQ(list.Back()->value, 1);
+  list.Clear();
+}
+
+TEST(IntrusiveListTest, RemoveFromMiddle) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  ItemList::Remove(&b);
+  EXPECT_FALSE(ItemList::IsLinked(&b));
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 3);
+}
+
+TEST(IntrusiveListTest, UnlinkIsIdempotent) {
+  ItemList list;
+  Item a(1);
+  list.PushBack(&a);
+  ItemList::Remove(&a);
+  ItemList::Remove(&a);  // no-op
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListTest, Iteration) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  std::vector<int> seen;
+  for (Item& item : list) {
+    seen.push_back(item.value);
+  }
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+  list.Clear();
+}
+
+TEST(IntrusiveListTest, MoveBetweenLists) {
+  ItemList l1, l2;
+  Item a(1);
+  l1.PushBack(&a);
+  ItemList::Remove(&a);
+  l2.PushBack(&a);
+  EXPECT_TRUE(l1.empty());
+  EXPECT_EQ(l2.Front(), &a);
+  l2.Clear();
+}
+
+TEST(IntrusiveListTest, PopBack) {
+  ItemList list;
+  Item a(1), b(2);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  EXPECT_EQ(list.PopBack()->value, 2);
+  EXPECT_EQ(list.PopBack()->value, 1);
+  EXPECT_EQ(list.PopBack(), nullptr);
+}
+
+}  // namespace
+}  // namespace norman

@@ -1,0 +1,178 @@
+// Server-side socket tests: listen/accept, auto-installed inbound
+// connections with listener-stamped identity, and full client/server
+// round trips between two simulated hosts.
+#include <gtest/gtest.h>
+
+#include "src/norman/socket.h"
+#include "src/workload/testbed.h"
+
+namespace norman {
+namespace {
+
+using kernel::ConnectOptions;
+using net::Ipv4Address;
+
+constexpr auto kPeerIp = Ipv4Address::FromOctets(10, 0, 0, 2);
+
+class ListenAcceptTest : public ::testing::Test {
+ protected:
+  ListenAcceptTest() {
+    bed_.kernel().processes().AddUser(1000, "svc");
+    server_pid_ = *bed_.kernel().processes().Spawn(1000, "server");
+  }
+
+  workload::TestBed bed_;
+  kernel::Pid server_pid_ = 0;
+};
+
+TEST_F(ListenAcceptTest, InboundPacketCreatesAcceptableConnection) {
+  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080).ok());
+  // Nothing pending yet.
+  EXPECT_EQ(Socket::Accept(&bed_.kernel(), server_pid_, 8080).status().code(),
+            StatusCode::kNotFound);
+
+  // A peer sends the first datagram of a new flow to :8080.
+  bed_.InjectUdpFromPeer(/*src_port=*/5555, /*dst_port=*/8080, 64, 100);
+  bed_.sim().Run();
+
+  auto conn = Socket::Accept(&bed_.kernel(), server_pid_, 8080);
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  EXPECT_EQ(conn->tuple().src_port, 8080);
+  EXPECT_EQ(conn->tuple().dst_port, 5555);
+  EXPECT_EQ(conn->tuple().dst_ip, kPeerIp);
+
+  // The trigger packet is waiting in the RX ring.
+  auto data = conn->Recv();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 64u);
+}
+
+TEST_F(ListenAcceptTest, ConnectionStampedWithListenerIdentity) {
+  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080).ok());
+  bed_.InjectUdpFromPeer(5555, 8080, 10, 100);
+  bed_.sim().Run();
+  auto conn = Socket::Accept(&bed_.kernel(), server_pid_, 8080);
+  ASSERT_TRUE(conn.ok());
+  const auto* entry =
+      bed_.kernel().nic_control().LookupFlow(conn->conn_id());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->owner.owner_pid, server_pid_);
+  EXPECT_EQ(entry->owner.owner_uid, 1000u);
+  EXPECT_EQ(entry->comm, "server");
+}
+
+TEST_F(ListenAcceptTest, SubsequentPacketsMatchInHardware) {
+  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080).ok());
+  bed_.InjectUdpFromPeer(5555, 8080, 10, 100);
+  bed_.sim().Run();
+  auto conn = Socket::Accept(&bed_.kernel(), server_pid_, 8080);
+  ASSERT_TRUE(conn.ok());
+  (void)conn->Recv();
+
+  const uint64_t unmatched_before = bed_.nic().stats().rx_unmatched;
+  // Second packet of the same flow: NIC flow table match, no host involvement.
+  bed_.InjectUdpFromPeer(5555, 8080, 20, bed_.sim().Now() + 100);
+  bed_.sim().Run();
+  EXPECT_EQ(bed_.nic().stats().rx_unmatched, unmatched_before);
+  auto data = conn->Recv();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 20u);
+}
+
+TEST_F(ListenAcceptTest, DistinctPeersDistinctConnections) {
+  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080).ok());
+  bed_.InjectUdpFromPeer(1111, 8080, 10, 100);
+  bed_.InjectUdpFromPeer(2222, 8080, 10, 200);
+  bed_.sim().Run();
+  auto c1 = Socket::Accept(&bed_.kernel(), server_pid_, 8080);
+  auto c2 = Socket::Accept(&bed_.kernel(), server_pid_, 8080);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_NE(c1->conn_id(), c2->conn_id());
+  EXPECT_EQ(c1->tuple().dst_port, 1111);
+  EXPECT_EQ(c2->tuple().dst_port, 2222);
+  EXPECT_EQ(Socket::Accept(&bed_.kernel(), server_pid_, 8080).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ListenAcceptTest, ServerCanReplyOnAcceptedConnection) {
+  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080).ok());
+  bed_.InjectUdpFromPeer(5555, 8080, 16, 100);
+  bed_.sim().Run();
+  auto conn = Socket::Accept(&bed_.kernel(), server_pid_, 8080);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->Send("response").ok());
+  bed_.sim().Run();
+  ASSERT_EQ(bed_.egress_frames(), 1u);
+  auto parsed = net::ParseFrame(bed_.egress()[0]->bytes());
+  EXPECT_EQ(parsed->flow()->src_port, 8080);
+  EXPECT_EQ(parsed->flow()->dst_port, 5555);
+}
+
+TEST_F(ListenAcceptTest, OnlyListenerMayAccept) {
+  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080).ok());
+  bed_.InjectUdpFromPeer(5555, 8080, 10, 100);
+  bed_.sim().Run();
+  const auto other = *bed_.kernel().processes().Spawn(1000, "other");
+  EXPECT_EQ(Socket::Accept(&bed_.kernel(), other, 8080).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(ListenAcceptTest, PortCollisionRejected) {
+  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080).ok());
+  EXPECT_EQ(bed_.kernel()
+                .Listen(server_pid_, 8080, net::IpProto::kUdp, {})
+                .code(),
+            StatusCode::kAlreadyExists);
+  // Different proto on the same port is fine.
+  EXPECT_TRUE(
+      bed_.kernel().Listen(server_pid_, 8080, net::IpProto::kTcp, {}).ok());
+}
+
+TEST_F(ListenAcceptTest, StopListeningDropsNewPeers) {
+  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080).ok());
+  ASSERT_TRUE(bed_.kernel().StopListening(server_pid_, 8080).ok());
+  bed_.InjectUdpFromPeer(5555, 8080, 10, 100);
+  bed_.sim().Run();
+  EXPECT_EQ(Socket::Accept(&bed_.kernel(), server_pid_, 8080).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(bed_.kernel().StopListening(server_pid_, 8080).ok());
+}
+
+TEST_F(ListenAcceptTest, TrafficToUnboundPortIsDropped) {
+  bed_.InjectUdpFromPeer(5555, 9999, 10, 100);
+  bed_.sim().Run();
+  EXPECT_EQ(bed_.nic().stats().rx_unmatched, 1u);
+  // No connection appeared.
+  EXPECT_TRUE(bed_.kernel().ListConnections().empty());
+}
+
+TEST_F(ListenAcceptTest, ListenUnknownPidFails) {
+  EXPECT_EQ(Socket::Listen(&bed_.kernel(), 424242, 8080).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ListenAcceptTest, AcceptedConnectionSupportsNotifications) {
+  kernel::ConnectOptions accept_opts;
+  accept_opts.notify_rx = true;
+  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080,
+                             net::IpProto::kUdp, accept_opts)
+                  .ok());
+  bed_.InjectUdpFromPeer(5555, 8080, 10, 100);
+  bed_.sim().Run();
+  auto conn = Socket::Accept(&bed_.kernel(), server_pid_, 8080);
+  ASSERT_TRUE(conn.ok());
+  (void)conn->Recv();  // drain the trigger packet
+
+  bool woke = false;
+  ASSERT_TRUE(conn->RecvBlocking([&](std::vector<uint8_t> data) {
+                    woke = true;
+                    EXPECT_EQ(data.size(), 32u);
+                  })
+                  .ok());
+  bed_.InjectUdpFromPeer(5555, 8080, 32, bed_.sim().Now() + 1000);
+  bed_.sim().Run();
+  EXPECT_TRUE(woke);
+}
+
+}  // namespace
+}  // namespace norman

@@ -1,0 +1,199 @@
+// Deeper qdisc property suites: byte-based WFQ fairness with heterogeneous
+// packet sizes, DRR quantum proportionality, token-bucket sliding-window
+// conformance, and cross-discipline no-loss/no-reorder invariants.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "src/common/rng.h"
+#include "src/dataplane/qdisc.h"
+#include "src/nic/fifo_scheduler.h"
+#include "tests/test_util.h"
+
+namespace norman::dataplane {
+namespace {
+
+using overlay::ConnMetadata;
+
+overlay::PacketContext CtxForUid(uint32_t uid) {
+  overlay::PacketContext ctx;
+  ctx.conn = ConnMetadata{uid, uid, uid + 100, 1, 0};
+  return ctx;
+}
+
+net::PacketPtr SizedPacket(size_t bytes) {
+  return std::make_unique<net::Packet>(std::vector<uint8_t>(bytes, 0x3c));
+}
+
+// WFQ must divide *bytes*, not packets: a class sending small packets and a
+// class sending jumbo packets with equal weights get equal byte shares.
+TEST(WfqPropertyTest, ByteFairnessWithHeterogeneousSizes) {
+  WfqQdisc wfq(ClassifyByUid({{1, 1}, {2, 2}}));
+  wfq.SetWeight(1, 1.0);
+  wfq.SetWeight(2, 1.0);
+  const auto ctx1 = CtxForUid(1);
+  const auto ctx2 = CtxForUid(2);
+  // Class 1: 100B packets; class 2: 1500B packets. Keep both backlogged.
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(wfq.Enqueue(SizedPacket(100), ctx1));
+  }
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(wfq.Enqueue(SizedPacket(1500), ctx2));
+  }
+  uint64_t served_bytes = 0;
+  while (served_bytes < 200'000) {
+    auto p = wfq.Dequeue(0);
+    ASSERT_NE(p, nullptr);
+    served_bytes += p->size();
+  }
+  const double a = static_cast<double>(wfq.dequeued_bytes(1));
+  const double b = static_cast<double>(wfq.dequeued_bytes(2));
+  EXPECT_NEAR(a / b, 1.0, 0.1);
+}
+
+struct DrrCase {
+  uint64_t quantum_a;
+  uint64_t quantum_b;
+};
+
+// DRR with per-class quanta... our DrrQdisc uses a single quantum (classic
+// Shreedhar-Varghese equal-share). Verify equal byte shares under size
+// heterogeneity instead.
+TEST(DrrPropertyTest, EqualByteSharesWithHeterogeneousSizes) {
+  DrrQdisc drr(ClassifyByUid({{1, 1}, {2, 2}}), 1514,
+               /*per_class_capacity=*/4096);
+  const auto ctx1 = CtxForUid(1);
+  const auto ctx2 = CtxForUid(2);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(drr.Enqueue(SizedPacket(120), ctx1));
+  }
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(drr.Enqueue(SizedPacket(1200), ctx2));
+  }
+  uint64_t bytes_a = 0, bytes_b = 0, served = 0;
+  while (served < 300'000) {
+    auto p = drr.Dequeue(0);
+    ASSERT_NE(p, nullptr);
+    served += p->size();
+    (p->size() == 120 ? bytes_a : bytes_b) += p->size();
+  }
+  EXPECT_NEAR(static_cast<double>(bytes_a) / static_cast<double>(bytes_b),
+              1.0, 0.15);
+}
+
+// Token bucket conformance: over ANY window [t1, t2] the released bytes
+// must not exceed burst + rate * (t2 - t1).
+TEST(TokenBucketPropertyTest, SlidingWindowConformance) {
+  const BitsPerSecond rate = 100'000'000;  // 12.5 MB/s
+  const uint64_t burst = 5000;
+  TokenBucketQdisc tbf(rate, burst, 100000);
+  const auto ctx = CtxForUid(1);
+  Rng rng(99);
+
+  struct Release {
+    Nanos when;
+    uint64_t bytes;
+  };
+  std::vector<Release> releases;
+  Nanos now = 0;
+  for (int step = 0; step < 5000; ++step) {
+    // Random offered load, bursty.
+    if (rng.NextBool(0.6)) {
+      for (uint64_t i = 0; i < rng.NextBounded(5); ++i) {
+        (void)tbf.Enqueue(SizedPacket(200 + rng.NextBounded(1300)), ctx);
+      }
+    }
+    while (auto p = tbf.Dequeue(now)) {
+      releases.push_back({now, p->size()});
+    }
+    now += static_cast<Nanos>(rng.NextBounded(20'000));
+  }
+  ASSERT_GT(releases.size(), 100u);
+  // Check conformance over every window ending at each release (sampled).
+  for (size_t end = 0; end < releases.size(); end += 7) {
+    uint64_t bytes = 0;
+    for (size_t start = end + 1; start-- > 0;) {
+      bytes += releases[start].bytes;
+      const double window_s =
+          static_cast<double>(releases[end].when - releases[start].when) /
+          1e9;
+      const double allowed = static_cast<double>(burst) +
+                             window_s * static_cast<double>(rate) / 8.0 +
+                             1500;  // one packet of slack (quantization)
+      ASSERT_LE(static_cast<double>(bytes), allowed)
+          << "window [" << start << "," << end << "]";
+      if (start == 0) {
+        break;
+      }
+    }
+  }
+}
+
+// No discipline may lose or duplicate accepted packets, and FIFO must not
+// reorder within a class.
+TEST(QdiscInvariantTest, ConservationAndPerClassOrder) {
+  Rng rng(1234);
+  const std::vector<std::function<std::unique_ptr<nic::Scheduler>()>>
+      factories = {
+          [] { return std::make_unique<nic::FifoScheduler>(); },
+          [] {
+            return std::make_unique<PrioQdisc>(
+                2, ClassifyByUid({{1, 0}, {2, 1}}));
+          },
+          [] {
+            return std::make_unique<DrrQdisc>(
+                ClassifyByUid({{1, 1}, {2, 2}}), 1514);
+          },
+          [] {
+            auto q = std::make_unique<WfqQdisc>(
+                ClassifyByUid({{1, 1}, {2, 2}}));
+            q->SetWeight(1, 3.0);
+            return q;
+          },
+      };
+  for (const auto& make : factories) {
+    auto qdisc = make();
+    // Tag packets with per-class sequence numbers in the payload.
+    std::map<uint32_t, uint32_t> next_seq;
+    std::map<uint32_t, uint32_t> last_dequeued;
+    uint64_t enqueued = 0, dropped = 0;
+    for (int i = 0; i < 2000; ++i) {
+      const uint32_t uid = rng.NextBool(0.5) ? 1 : 2;
+      auto ctx = CtxForUid(uid);
+      auto p = SizedPacket(64);
+      const uint32_t seq = next_seq[uid]++;
+      auto bytes = p->mutable_bytes();
+      bytes[0] = static_cast<uint8_t>(uid);
+      bytes[1] = static_cast<uint8_t>(seq >> 16);
+      bytes[2] = static_cast<uint8_t>(seq >> 8);
+      bytes[3] = static_cast<uint8_t>(seq);
+      if (qdisc->Enqueue(std::move(p), ctx)) {
+        ++enqueued;
+      } else {
+        ++dropped;
+        --next_seq[uid];
+      }
+    }
+    uint64_t dequeued = 0;
+    while (auto p = qdisc->Dequeue(0)) {
+      ++dequeued;
+      const auto bytes = p->bytes();
+      const uint32_t uid = bytes[0];
+      const uint32_t seq = (uint32_t{bytes[1]} << 16) |
+                           (uint32_t{bytes[2]} << 8) | bytes[3];
+      // Per-class FIFO order preserved by every discipline.
+      if (last_dequeued.contains(uid)) {
+        EXPECT_EQ(seq, last_dequeued[uid] + 1)
+            << qdisc->name() << " reordered class " << uid;
+      } else {
+        EXPECT_EQ(seq, 0u) << qdisc->name();
+      }
+      last_dequeued[uid] = seq;
+    }
+    EXPECT_EQ(dequeued, enqueued) << qdisc->name() << " lost packets";
+    EXPECT_EQ(qdisc->backlog_packets(), 0u) << qdisc->name();
+  }
+}
+
+}  // namespace
+}  // namespace norman::dataplane

@@ -1,0 +1,95 @@
+#include "src/sim/resource.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/cost_model.h"
+
+namespace norman::sim {
+namespace {
+
+TEST(ResourceTest, IdleResourceServesImmediately) {
+  Resource r("core0");
+  EXPECT_EQ(r.Serve(/*arrival=*/100, /*service=*/50), 150);
+  EXPECT_EQ(r.busy_ns(), 50);
+  EXPECT_EQ(r.items_served(), 1u);
+}
+
+TEST(ResourceTest, BackToBackWorkQueues) {
+  Resource r("core0");
+  EXPECT_EQ(r.Serve(0, 100), 100);
+  // Arrives while busy: waits.
+  EXPECT_EQ(r.Serve(10, 100), 200);
+  // Arrives after idle period: starts at arrival.
+  EXPECT_EQ(r.Serve(500, 100), 600);
+  EXPECT_EQ(r.busy_ns(), 300);
+}
+
+TEST(ResourceTest, UtilizationOverHorizon) {
+  Resource r("core0");
+  r.Serve(0, 250);
+  r.Serve(250, 250);
+  EXPECT_DOUBLE_EQ(r.Utilization(1000), 0.5);
+  EXPECT_DOUBLE_EQ(r.Utilization(500), 1.0);
+  EXPECT_DOUBLE_EQ(r.Utilization(0), 0.0);
+}
+
+TEST(ResourceTest, AddBusyAccountsPolling) {
+  Resource r("core0");
+  r.AddBusy(1000);
+  EXPECT_DOUBLE_EQ(r.Utilization(1000), 1.0);
+  EXPECT_EQ(r.items_served(), 0u);
+}
+
+TEST(ResourceTest, ResetClears) {
+  Resource r("core0");
+  r.Serve(0, 10);
+  r.Reset();
+  EXPECT_EQ(r.busy_ns(), 0);
+  EXPECT_EQ(r.next_free(), 0);
+  EXPECT_EQ(r.items_served(), 0u);
+}
+
+TEST(CostModelTest, CopyCostScalesWithBytes) {
+  CostModel cm;
+  EXPECT_EQ(cm.CopyCost(0), 0);
+  EXPECT_GT(cm.CopyCost(1500), cm.CopyCost(64));
+  EXPECT_EQ(cm.CopyCost(16000), static_cast<Nanos>(16000 * cm.copy_ns_per_byte));
+}
+
+TEST(CostModelTest, DdioMissCostsMoreThanHit) {
+  CostModel cm;
+  EXPECT_GT(cm.DmaCost(1500, /*ddio_hit=*/false),
+            cm.DmaCost(1500, /*ddio_hit=*/true));
+  // Both include the fixed setup cost.
+  EXPECT_GE(cm.DmaCost(0, true), cm.dma_setup_ns);
+}
+
+TEST(CostModelTest, WireCostMatchesLinkRate) {
+  CostModel cm;
+  cm.link_rate_bps = 100 * kGbps;
+  // 1500B at 100Gbps = 120ns.
+  EXPECT_EQ(cm.WireCost(1500), 120);
+  // 64B at 100Gbps = 5.12ns -> rounds up to 6.
+  EXPECT_EQ(cm.WireCost(64), 6);
+}
+
+TEST(CostModelTest, PipelineOccupancyPositive) {
+  CostModel cm;
+  EXPECT_GT(cm.NicPipelineOccupancy(), 0);
+  // 150 Mpps -> ~6.7ns, stored as integer ceil-ish.
+  EXPECT_LE(cm.NicPipelineOccupancy(), 8);
+}
+
+TEST(UnitsTest, TransmissionDelayRoundsUp) {
+  EXPECT_EQ(TransmissionDelay(1, 8 * 1'000'000'000ULL), 1);  // 1B at 8Gbps
+  EXPECT_EQ(TransmissionDelay(0, kGbps), 0);
+  EXPECT_EQ(TransmissionDelay(100, 0), 0);  // zero rate guarded
+}
+
+TEST(UnitsTest, AchievedBps) {
+  EXPECT_DOUBLE_EQ(AchievedBps(1250, 100), 1e11);  // 1250B in 100ns = 100Gbps
+  EXPECT_DOUBLE_EQ(AchievedBps(100, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace norman::sim

@@ -1,0 +1,103 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace norman::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZeroIdle) {
+  Simulator s;
+  EXPECT_EQ(s.Now(), 0);
+  EXPECT_TRUE(s.Idle());
+  EXPECT_FALSE(s.Step());
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(30, [&] { order.push_back(3); });
+  s.ScheduleAt(10, [&] { order.push_back(1); });
+  s.ScheduleAt(20, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), 30);
+  EXPECT_EQ(s.events_processed(), 3u);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(5, [&] { order.push_back(1); });
+  s.ScheduleAt(5, [&] { order.push_back(2); });
+  s.ScheduleAt(5, [&] { order.push_back(3); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator s;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) {
+      s.ScheduleAfter(10, chain);
+    }
+  };
+  s.ScheduleAfter(10, chain);
+  s.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(s.Now(), 50);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.ScheduleAt(10, [&] { ++fired; });
+  s.ScheduleAt(100, [&] { ++fired; });
+  s.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.Now(), 50);       // advanced to deadline
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesTimeWhenQueueEmpty) {
+  Simulator s;
+  s.RunUntil(1000);
+  EXPECT_EQ(s.Now(), 1000);
+}
+
+TEST(SimulatorTest, ScheduleAtBoundaryIncluded) {
+  Simulator s;
+  bool fired = false;
+  s.ScheduleAt(50, [&] { fired = true; });
+  s.RunUntil(50);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorDeathTest, SchedulingInPastAborts) {
+  Simulator s;
+  s.ScheduleAt(100, [] {});
+  s.Run();
+  EXPECT_DEATH(s.ScheduleAt(50, [] {}), "cannot schedule into the past");
+}
+
+TEST(SimulatorTest, ZeroDelaySelfScheduleMakesProgress) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> f = [&] {
+    if (++count < 100) {
+      s.ScheduleAfter(0, f);
+    }
+  };
+  s.ScheduleAfter(0, f);
+  s.Run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(s.Now(), 0);
+}
+
+}  // namespace
+}  // namespace norman::sim

@@ -1,0 +1,356 @@
+// End-to-end tests of the SmartNic device: TX path through doorbell ->
+// DMA -> pipeline -> scheduler -> wire, RX path wire -> flow match -> ring,
+// control-plane privilege, overlay slots, and notification delivery.
+#include "src/nic/smart_nic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/packet_builder.h"
+#include "src/nic/fifo_scheduler.h"
+
+namespace norman::nic {
+namespace {
+
+using net::ConnectionId;
+using net::Direction;
+using net::FiveTuple;
+using net::FrameEndpoints;
+using net::IpProto;
+using net::Ipv4Address;
+using net::MacAddress;
+using net::Packet;
+using net::PacketPtr;
+
+constexpr auto kLocalIp = Ipv4Address::FromOctets(10, 0, 0, 1);
+constexpr auto kRemoteIp = Ipv4Address::FromOctets(10, 0, 0, 2);
+
+class SmartNicTest : public ::testing::Test {
+ protected:
+  SmartNicTest() : nic_(&sim_, SmartNic::Options{}) {
+    cp_ = nic_.TakeControlPlane();
+    nic_.SetWireSink([this](PacketPtr p) { wire_out_.push_back(std::move(p)); });
+    cp_->SetFallbackSink([this](PacketPtr p, Direction d) {
+      fallback_.emplace_back(std::move(p), d);
+    });
+  }
+
+  FlowEntry MakeFlow(ConnectionId conn, uint16_t src_port,
+                     uint32_t pid = 100) {
+    FlowEntry e;
+    e.conn_id = conn;
+    e.tuple = FiveTuple{kLocalIp, kRemoteIp, src_port, 80, IpProto::kUdp};
+    e.owner = overlay::ConnMetadata{conn, 1000, pid, 1};
+    e.comm = "app";
+    e.tx_ring_bytes = kHotWorkingSetBytes;
+    e.rx_ring_bytes = kHotWorkingSetBytes;
+    return e;
+  }
+
+  PacketPtr MakeTxPacket(uint16_t src_port, size_t payload = 64) {
+    FrameEndpoints ep{MacAddress::ForHost(1), MacAddress::ForHost(2),
+                      kLocalIp, kRemoteIp};
+    return std::make_unique<Packet>(
+        BuildUdpFrame(ep, src_port, 80, std::vector<uint8_t>(payload, 0xaa)));
+  }
+
+  PacketPtr MakeRxPacket(uint16_t dst_port, size_t payload = 64) {
+    FrameEndpoints ep{MacAddress::ForHost(2), MacAddress::ForHost(1),
+                      kRemoteIp, kLocalIp};
+    return std::make_unique<Packet>(
+        BuildUdpFrame(ep, 80, dst_port, std::vector<uint8_t>(payload, 0xbb)));
+  }
+
+  // Pushes a packet into the connection's TX ring and rings the doorbell.
+  void SendOne(ConnectionId conn, uint16_t src_port) {
+    RingPair* rings = cp_->GetRings(conn);
+    ASSERT_NE(rings, nullptr);
+    ASSERT_TRUE(rings->tx().TryPush(MakeTxPacket(src_port)));
+    ASSERT_TRUE(nic_.Doorbell(conn, sim_.Now()).ok());
+  }
+
+  sim::Simulator sim_;
+  SmartNic nic_;
+  std::unique_ptr<SmartNic::ControlPlane> cp_;
+  std::vector<PacketPtr> wire_out_;
+  std::vector<std::pair<PacketPtr, Direction>> fallback_;
+};
+
+TEST_F(SmartNicTest, ControlPlaneIsSingleton) {
+  EXPECT_EQ(nic_.TakeControlPlane(), nullptr);
+}
+
+TEST_F(SmartNicTest, TxPathReachesWire) {
+  ASSERT_TRUE(cp_->InstallFlow(MakeFlow(1, 1234)).ok());
+  SendOne(1, 1234);
+  sim_.Run();
+  ASSERT_EQ(wire_out_.size(), 1u);
+  EXPECT_EQ(nic_.stats().tx_seen, 1u);
+  EXPECT_EQ(nic_.stats().tx_accepted, 1u);
+  EXPECT_GT(wire_out_[0]->meta().completed_at, 0);
+  EXPECT_EQ(wire_out_[0]->meta().connection, 1u);
+}
+
+TEST_F(SmartNicTest, DoorbellForUnknownConnectionFails) {
+  EXPECT_EQ(nic_.Doorbell(99, 0).code(), StatusCode::kNotFound);
+}
+
+TEST_F(SmartNicTest, TxLatencyIncludesDmaPipelineWire) {
+  ASSERT_TRUE(cp_->InstallFlow(MakeFlow(1, 1234)).ok());
+  SendOne(1, 1234);
+  sim_.Run();
+  ASSERT_EQ(wire_out_.size(), 1u);
+  const auto& cm = nic_.cost();
+  const auto& m = wire_out_[0]->meta();
+  // First packet: cold DDIO miss.
+  const Nanos expected = cm.DmaCost(wire_out_[0]->size(), false) +
+                         cm.NicPipelineOccupancy() +
+                         cm.WireCost(wire_out_[0]->size());
+  EXPECT_EQ(m.completed_at - m.nic_arrival, expected);
+}
+
+TEST_F(SmartNicTest, SecondPacketHitsDdio) {
+  ASSERT_TRUE(cp_->InstallFlow(MakeFlow(1, 1234)).ok());
+  SendOne(1, 1234);
+  sim_.Run();
+  const uint64_t misses_after_first = nic_.ddio().misses();
+  SendOne(1, 1234);
+  sim_.Run();
+  EXPECT_EQ(nic_.ddio().misses(), misses_after_first);
+  EXPECT_GE(nic_.ddio().hits(), 1u);
+}
+
+TEST_F(SmartNicTest, MultiplePacketsSerializeOnWire) {
+  ASSERT_TRUE(cp_->InstallFlow(MakeFlow(1, 1234)).ok());
+  RingPair* rings = cp_->GetRings(1);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(rings->tx().TryPush(MakeTxPacket(1234)));
+  }
+  ASSERT_TRUE(nic_.Doorbell(1, 0).ok());
+  sim_.Run();
+  ASSERT_EQ(wire_out_.size(), 10u);
+  // Wire completions are strictly increasing and at least wire-time apart.
+  for (size_t i = 1; i < wire_out_.size(); ++i) {
+    const Nanos gap = wire_out_[i]->meta().completed_at -
+                      wire_out_[i - 1]->meta().completed_at;
+    EXPECT_GE(gap, nic_.cost().WireCost(wire_out_[i]->size()));
+  }
+}
+
+TEST_F(SmartNicTest, RxPathDeliversToRing) {
+  FlowEntry flow = MakeFlow(1, 5555);
+  flow.notify_rx = false;
+  ASSERT_TRUE(cp_->InstallFlow(flow).ok());
+  nic_.DeliverFromWire(MakeRxPacket(5555), 0);
+  sim_.Run();
+  RingPair* rings = cp_->GetRings(1);
+  EXPECT_EQ(rings->rx().size(), 1u);
+  auto pkt = rings->rx().TryPop();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ((*pkt)->meta().connection, 1u);
+  EXPECT_EQ(nic_.stats().rx_accepted, 1u);
+}
+
+TEST_F(SmartNicTest, RxUnmatchedGoesToFallback) {
+  nic_.DeliverFromWire(MakeRxPacket(4444), 0);  // no flow installed
+  sim_.Run();
+  EXPECT_EQ(nic_.stats().rx_unmatched, 1u);
+  ASSERT_EQ(fallback_.size(), 1u);
+  EXPECT_EQ(fallback_[0].second, Direction::kRx);
+}
+
+TEST_F(SmartNicTest, RxRingOverflowDropsAndCounts) {
+  SmartNic::Options opts;
+  opts.ring_entries = 4;
+  sim::Simulator sim;
+  SmartNic nic(&sim, opts);
+  auto cp = nic.TakeControlPlane();
+  ASSERT_TRUE(cp->InstallFlow(MakeFlow(1, 5555)).ok());
+  for (int i = 0; i < 6; ++i) {
+    nic.DeliverFromWire(MakeRxPacket(5555), sim.Now());
+    sim.Run();
+  }
+  EXPECT_EQ(cp->GetRings(1)->rx().size(), 4u);
+  EXPECT_EQ(nic.stats().rx_ring_overflow, 2u);
+}
+
+TEST_F(SmartNicTest, RxNotificationPosted) {
+  FlowEntry flow = MakeFlow(1, 5555, /*pid=*/777);
+  flow.notify_rx = true;
+  ASSERT_TRUE(cp_->InstallFlow(flow).ok());
+  NotificationQueue* q = cp_->RegisterNotificationQueue(777);
+  nic_.DeliverFromWire(MakeRxPacket(5555), 0);
+  sim_.Run();
+  auto n = q->Poll();
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->kind, NotificationKind::kRxData);
+  EXPECT_EQ(n->conn_id, 1u);
+}
+
+TEST_F(SmartNicTest, TxDrainNotificationPosted) {
+  FlowEntry flow = MakeFlow(1, 1234, /*pid=*/888);
+  flow.notify_tx_drain = true;
+  ASSERT_TRUE(cp_->InstallFlow(flow).ok());
+  NotificationQueue* q = cp_->RegisterNotificationQueue(888);
+  SendOne(1, 1234);
+  sim_.Run();
+  auto n = q->Poll();
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->kind, NotificationKind::kTxDrained);
+}
+
+TEST_F(SmartNicTest, DropStageDropsTx) {
+  class DropAll : public PipelineStage {
+   public:
+    std::string_view name() const override { return "drop_all"; }
+    StageResult Process(Packet&, const overlay::PacketContext&) override {
+      return StageResult{Verdict::kDrop, 0};
+    }
+  };
+  DropAll stage;
+  cp_->AddTxStage(&stage);
+  ASSERT_TRUE(cp_->InstallFlow(MakeFlow(1, 1234)).ok());
+  SendOne(1, 1234);
+  sim_.Run();
+  EXPECT_TRUE(wire_out_.empty());
+  EXPECT_EQ(nic_.stats().tx_dropped, 1u);
+  EXPECT_EQ(nic_.stats().tx_accepted, 0u);
+}
+
+TEST_F(SmartNicTest, StagesSeeOwnerMetadataOnTx) {
+  // The crux of KOPI: a stage matching on owner_uid, which only works
+  // because the kernel stamped the flow table.
+  class CaptureUid : public PipelineStage {
+   public:
+    std::string_view name() const override { return "capture"; }
+    StageResult Process(Packet&, const overlay::PacketContext& ctx) override {
+      seen_uid = ctx.conn.owner_uid;
+      seen_pid = ctx.conn.owner_pid;
+      return {};
+    }
+    uint32_t seen_uid = 0;
+    uint32_t seen_pid = 0;
+  };
+  CaptureUid stage;
+  cp_->AddTxStage(&stage);
+  FlowEntry flow = MakeFlow(1, 1234, /*pid=*/4242);
+  ASSERT_TRUE(cp_->InstallFlow(flow).ok());
+  SendOne(1, 1234);
+  sim_.Run();
+  EXPECT_EQ(stage.seen_uid, 1000u);
+  EXPECT_EQ(stage.seen_pid, 4242u);
+}
+
+TEST_F(SmartNicTest, FallbackVerdictDivertsTx) {
+  class DivertAll : public PipelineStage {
+   public:
+    std::string_view name() const override { return "divert"; }
+    StageResult Process(Packet&, const overlay::PacketContext&) override {
+      return StageResult{Verdict::kSoftwareFallback, 0};
+    }
+  };
+  DivertAll stage;
+  cp_->AddTxStage(&stage);
+  ASSERT_TRUE(cp_->InstallFlow(MakeFlow(1, 1234)).ok());
+  SendOne(1, 1234);
+  sim_.Run();
+  EXPECT_TRUE(wire_out_.empty());
+  ASSERT_EQ(fallback_.size(), 1u);
+  EXPECT_TRUE(fallback_[0].first->meta().software_fallback);
+  EXPECT_EQ(nic_.stats().tx_fallback, 1u);
+}
+
+TEST_F(SmartNicTest, OverlaySlotLoadAndGenerations) {
+  overlay::Program prog{overlay::Instruction::RetImm(1)};
+  auto t = cp_->LoadOverlay(0, prog);
+  ASSERT_TRUE(t.ok());
+  EXPECT_GT(*t, 0);
+  EXPECT_EQ(cp_->overlay_generation(0), 1u);
+  ASSERT_NE(cp_->OverlaySlot(0), nullptr);
+  EXPECT_EQ(cp_->OverlaySlot(0)->size(), 1u);
+
+  // Larger program costs more to load.
+  overlay::Program big(100, overlay::Instruction::Ldi(1, 0));
+  big.push_back(overlay::Instruction::RetImm(0));
+  auto t2 = cp_->LoadOverlay(1, big);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_GT(*t2, *t);
+}
+
+TEST_F(SmartNicTest, OverlayLoadRejectsInvalidProgram) {
+  overlay::Program bad{overlay::Instruction::Ldi(1, 0)};  // falls off end
+  EXPECT_FALSE(cp_->LoadOverlay(0, bad).ok());
+  EXPECT_EQ(cp_->OverlaySlot(0), nullptr);
+}
+
+TEST_F(SmartNicTest, OverlayLoadRejectsBadSlot) {
+  overlay::Program prog{overlay::Instruction::RetImm(1)};
+  EXPECT_FALSE(cp_->LoadOverlay(kNumOverlaySlots, prog).ok());
+}
+
+TEST_F(SmartNicTest, BitstreamReloadWipesOverlaysAndIsSlow) {
+  overlay::Program prog{overlay::Instruction::RetImm(1)};
+  ASSERT_TRUE(cp_->LoadOverlay(0, prog).ok());
+  const Nanos reload = cp_->ReloadBitstream();
+  EXPECT_GE(reload, 1 * kSecond);
+  EXPECT_EQ(cp_->OverlaySlot(0), nullptr);
+}
+
+TEST_F(SmartNicTest, FlowInstallChargesSramAndRemoveRefunds) {
+  const uint64_t before = cp_->sram().used();
+  ASSERT_TRUE(cp_->InstallFlow(MakeFlow(1, 1234)).ok());
+  EXPECT_GT(cp_->sram().used(), before);
+  ASSERT_TRUE(cp_->RemoveFlow(1).ok());
+  EXPECT_EQ(cp_->sram().used(), before);
+}
+
+TEST_F(SmartNicTest, SchedulerSwapRequiresEmptyBacklog) {
+  EXPECT_TRUE(cp_->SetScheduler(std::make_unique<FifoScheduler>()).ok());
+  EXPECT_FALSE(cp_->SetScheduler(nullptr).ok());
+}
+
+TEST_F(SmartNicTest, RemoveFlowInvalidatesDdio) {
+  ASSERT_TRUE(cp_->InstallFlow(MakeFlow(1, 1234)).ok());
+  SendOne(1, 1234);
+  sim_.Run();
+  ASSERT_TRUE(cp_->RemoveFlow(1).ok());
+  // Reinstall and send: must miss again (residency was invalidated).
+  ASSERT_TRUE(cp_->InstallFlow(MakeFlow(1, 1234)).ok());
+  const uint64_t misses_before = nic_.ddio().misses();
+  SendOne(1, 1234);
+  sim_.Run();
+  EXPECT_EQ(nic_.ddio().misses(), misses_before + 1);
+}
+
+TEST_F(SmartNicTest, RxQueueOverrideBeatsRss) {
+  // Flow-table rx_queue pins a connection to a queue ("virtual interface"
+  // partitioning); flows without a pin spread via RSS.
+  FlowEntry pinned = MakeFlow(1, 5555);
+  pinned.rx_queue = 5;
+  ASSERT_TRUE(cp_->InstallFlow(pinned).ok());
+  nic_.DeliverFromWire(MakeRxPacket(5555), 0);
+  sim_.Run();
+  auto pkt = cp_->GetRings(1)->rx().TryPop();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ((*pkt)->meta().rx_queue, 5);
+
+  FlowEntry spread = MakeFlow(2, 6666);
+  spread.rx_queue = 0;  // RSS decides
+  ASSERT_TRUE(cp_->InstallFlow(spread).ok());
+  nic_.DeliverFromWire(MakeRxPacket(6666), sim_.Now());
+  sim_.Run();
+  auto pkt2 = cp_->GetRings(2)->rx().TryPop();
+  ASSERT_TRUE(pkt2.has_value());
+  const net::FiveTuple inbound{kRemoteIp, kLocalIp, 80, 6666,
+                               net::IpProto::kUdp};
+  EXPECT_EQ((*pkt2)->meta().rx_queue, cp_->rss().Steer(inbound));
+}
+
+TEST_F(SmartNicTest, MmioDoorbellWindowMapsToConnection) {
+  ASSERT_TRUE(cp_->InstallFlow(MakeFlow(5, 1234)).ok());
+  DoorbellWindow win = cp_->MapDoorbell(5);
+  ASSERT_TRUE(win.Write(kRegTxHead, 42).ok());
+  EXPECT_EQ(cp_->mmio().Read(DoorbellAddr(5, kRegTxHead)), 42u);
+}
+
+}  // namespace
+}  // namespace norman::nic

@@ -1,0 +1,142 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace norman {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(LatencyHistogramTest, EmptyPercentilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50(), 0);
+  EXPECT_EQ(h.p99(), 0);
+}
+
+TEST(LatencyHistogramTest, SingleValue) {
+  LatencyHistogram h;
+  h.Add(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+  // Bucketed value is within the bucket's relative error (1/16).
+  EXPECT_NEAR(static_cast<double>(h.p50()), 1234.0, 1234.0 / 16 + 1);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (int i = 0; i < 32; ++i) {
+    h.Add(i);
+  }
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 31);
+  EXPECT_EQ(h.Percentile(1.0), 31);
+}
+
+TEST(LatencyHistogramTest, PercentileOrderingInvariant) {
+  Rng rng(7);
+  LatencyHistogram h;
+  for (int i = 0; i < 10000; ++i) {
+    h.Add(static_cast<int64_t>(rng.NextBounded(1'000'000)));
+  }
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+  EXPECT_LE(h.p99(), h.p999());
+  EXPECT_LE(h.p999(), h.max());
+  EXPECT_GE(h.p50(), h.min());
+}
+
+TEST(LatencyHistogramTest, UniformPercentilesAreClose) {
+  Rng rng(11);
+  LatencyHistogram h;
+  for (int i = 0; i < 100000; ++i) {
+    h.Add(static_cast<int64_t>(rng.NextBounded(1'000'000)));
+  }
+  // p50 of U[0,1e6) should land near 5e5 within bucket resolution + noise.
+  EXPECT_NEAR(static_cast<double>(h.p50()), 5e5, 5e4);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 9.9e5, 7e4);
+}
+
+TEST(LatencyHistogramTest, MergeEqualsCombinedStream) {
+  Rng rng(3);
+  LatencyHistogram a, b, combined;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextBounded(1 << 20));
+    combined.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_EQ(a.p50(), combined.p50());
+  EXPECT_EQ(a.p99(), combined.p99());
+}
+
+TEST(LatencyHistogramTest, MeanMatchesRunningStats) {
+  Rng rng(5);
+  LatencyHistogram h;
+  RunningStats s;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextBounded(1'000'000));
+    h.Add(v);
+    s.Add(static_cast<double>(v));
+  }
+  EXPECT_NEAR(h.mean(), s.mean(), std::abs(s.mean()) * 1e-9);
+}
+
+TEST(LatencyHistogramTest, LargeValuesDoNotOverflow) {
+  LatencyHistogram h;
+  h.Add(int64_t{1} << 62);
+  h.Add(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.Percentile(1.0), (int64_t{1} << 62) / 2);
+}
+
+TEST(FormatTest, Nanos) {
+  EXPECT_EQ(FormatNanos(17), "17ns");
+  EXPECT_EQ(FormatNanos(1500), "1.50us");
+  EXPECT_EQ(FormatNanos(2'500'000), "2.50ms");
+  EXPECT_EQ(FormatNanos(3'000'000'000LL), "3.00s");
+}
+
+TEST(FormatTest, Bps) {
+  EXPECT_EQ(FormatBps(94.3e9), "94.30 Gbps");
+  EXPECT_EQ(FormatBps(1.5e6), "1.50 Mbps");
+  EXPECT_EQ(FormatBps(2e3), "2.00 Kbps");
+  EXPECT_EQ(FormatBps(10), "10 bps");
+}
+
+}  // namespace
+}  // namespace norman

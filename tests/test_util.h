@@ -1,0 +1,76 @@
+// Shared helpers for Norman tests: canned frames, contexts, and an echo
+// network that loops TX frames back as RX.
+#ifndef NORMAN_TESTS_TEST_UTIL_H_
+#define NORMAN_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/net/packet_builder.h"
+#include "src/net/parsed_packet.h"
+#include "src/overlay/packet_context.h"
+
+namespace norman::test {
+
+inline constexpr auto kLocalIp = net::Ipv4Address::FromOctets(10, 0, 0, 1);
+inline constexpr auto kRemoteIp = net::Ipv4Address::FromOctets(10, 0, 0, 2);
+
+inline net::FrameEndpoints LocalToRemote() {
+  return {net::MacAddress::ForHost(1), net::MacAddress::ForHost(2), kLocalIp,
+          kRemoteIp};
+}
+
+inline net::FrameEndpoints RemoteToLocal() {
+  return {net::MacAddress::ForHost(2), net::MacAddress::ForHost(1), kRemoteIp,
+          kLocalIp};
+}
+
+// A frame + parse + context bundle whose lifetimes are tied together.
+struct ContextBundle {
+  std::vector<uint8_t> frame;
+  net::Packet packet;
+  net::ParsedPacket parsed;
+  overlay::PacketContext ctx;
+};
+
+inline std::unique_ptr<ContextBundle> MakeUdpContext(
+    uint16_t src_port, uint16_t dst_port, net::Direction dir,
+    overlay::ConnMetadata owner = {}, size_t payload = 32,
+    uint8_t dscp = 0) {
+  auto b = std::make_unique<ContextBundle>();
+  const auto ep =
+      dir == net::Direction::kTx ? LocalToRemote() : RemoteToLocal();
+  b->frame = net::BuildUdpFrame(ep, src_port, dst_port,
+                                std::vector<uint8_t>(payload, 0xcc), dscp);
+  b->packet = net::Packet(b->frame);
+  b->parsed = *net::ParseFrame(b->packet.bytes());
+  b->ctx.frame = b->packet.bytes();
+  b->ctx.parsed = &b->parsed;
+  b->ctx.conn = owner;
+  b->ctx.direction = dir;
+  b->packet.meta().direction = dir;
+  return b;
+}
+
+inline std::unique_ptr<ContextBundle> MakeTcpContext(
+    uint16_t src_port, uint16_t dst_port, uint8_t flags, net::Direction dir,
+    overlay::ConnMetadata owner = {}, size_t payload = 0) {
+  auto b = std::make_unique<ContextBundle>();
+  const auto ep =
+      dir == net::Direction::kTx ? LocalToRemote() : RemoteToLocal();
+  b->frame = net::BuildTcpFrame(ep, src_port, dst_port, 1, 1, flags,
+                                std::vector<uint8_t>(payload, 0xdd));
+  b->packet = net::Packet(b->frame);
+  b->parsed = *net::ParseFrame(b->packet.bytes());
+  b->ctx.frame = b->packet.bytes();
+  b->ctx.parsed = &b->parsed;
+  b->ctx.conn = owner;
+  b->ctx.direction = dir;
+  b->packet.meta().direction = dir;
+  return b;
+}
+
+}  // namespace norman::test
+
+#endif  // NORMAN_TESTS_TEST_UTIL_H_
