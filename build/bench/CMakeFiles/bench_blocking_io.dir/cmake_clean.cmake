@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blocking_io.dir/bench_blocking_io.cc.o"
+  "CMakeFiles/bench_blocking_io.dir/bench_blocking_io.cc.o.d"
+  "bench_blocking_io"
+  "bench_blocking_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocking_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

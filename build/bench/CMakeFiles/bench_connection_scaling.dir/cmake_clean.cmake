@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_connection_scaling.dir/bench_connection_scaling.cc.o"
+  "CMakeFiles/bench_connection_scaling.dir/bench_connection_scaling.cc.o.d"
+  "bench_connection_scaling"
+  "bench_connection_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_connection_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

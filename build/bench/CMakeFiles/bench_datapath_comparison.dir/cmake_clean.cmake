@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datapath_comparison.dir/bench_datapath_comparison.cc.o"
+  "CMakeFiles/bench_datapath_comparison.dir/bench_datapath_comparison.cc.o.d"
+  "bench_datapath_comparison"
+  "bench_datapath_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datapath_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

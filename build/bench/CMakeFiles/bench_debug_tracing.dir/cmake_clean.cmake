@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_debug_tracing.dir/bench_debug_tracing.cc.o"
+  "CMakeFiles/bench_debug_tracing.dir/bench_debug_tracing.cc.o.d"
+  "bench_debug_tracing"
+  "bench_debug_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_debug_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

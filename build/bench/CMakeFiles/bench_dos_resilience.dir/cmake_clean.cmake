@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dos_resilience.dir/bench_dos_resilience.cc.o"
+  "CMakeFiles/bench_dos_resilience.dir/bench_dos_resilience.cc.o.d"
+  "bench_dos_resilience"
+  "bench_dos_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dos_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_validation.dir/bench_e2_validation.cc.o"
+  "CMakeFiles/bench_e2_validation.dir/bench_e2_validation.cc.o.d"
+  "bench_e2_validation"
+  "bench_e2_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enforcement.dir/bench_enforcement.cc.o"
+  "CMakeFiles/bench_enforcement.dir/bench_enforcement.cc.o.d"
+  "bench_enforcement"
+  "bench_enforcement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enforcement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fct.dir/bench_fct.cc.o"
+  "CMakeFiles/bench_fct.dir/bench_fct.cc.o.d"
+  "bench_fct"
+  "bench_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

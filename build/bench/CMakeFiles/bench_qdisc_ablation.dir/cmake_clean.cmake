@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qdisc_ablation.dir/bench_qdisc_ablation.cc.o"
+  "CMakeFiles/bench_qdisc_ablation.dir/bench_qdisc_ablation.cc.o.d"
+  "bench_qdisc_ablation"
+  "bench_qdisc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qdisc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qos_wfq.dir/bench_qos_wfq.cc.o"
+  "CMakeFiles/bench_qos_wfq.dir/bench_qos_wfq.cc.o.d"
+  "bench_qos_wfq"
+  "bench_qos_wfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qos_wfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_qos_wfq.
+# This may be replaced when dependencies are built.

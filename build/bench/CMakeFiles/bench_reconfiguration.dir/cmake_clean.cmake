@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reconfiguration.dir/bench_reconfiguration.cc.o"
+  "CMakeFiles/bench_reconfiguration.dir/bench_reconfiguration.cc.o.d"
+  "bench_reconfiguration"
+  "bench_reconfiguration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconfiguration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

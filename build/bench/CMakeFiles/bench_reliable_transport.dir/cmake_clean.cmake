@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reliable_transport.dir/bench_reliable_transport.cc.o"
+  "CMakeFiles/bench_reliable_transport.dir/bench_reliable_transport.cc.o.d"
+  "bench_reliable_transport"
+  "bench_reliable_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reliable_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resource_exhaustion.dir/bench_resource_exhaustion.cc.o"
+  "CMakeFiles/bench_resource_exhaustion.dir/bench_resource_exhaustion.cc.o.d"
+  "bench_resource_exhaustion"
+  "bench_resource_exhaustion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resource_exhaustion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_scenario_matrix.cc" "bench/CMakeFiles/bench_scenario_matrix.dir/bench_scenario_matrix.cc.o" "gcc" "bench/CMakeFiles/bench_scenario_matrix.dir/bench_scenario_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/norman_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/norman_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/norman_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/norman_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/norman_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/norman_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/norman_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario_matrix.dir/bench_scenario_matrix.cc.o"
+  "CMakeFiles/bench_scenario_matrix.dir/bench_scenario_matrix.cc.o.d"
+  "bench_scenario_matrix"
+  "bench_scenario_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arp_debugging.dir/arp_debugging.cpp.o"
+  "CMakeFiles/arp_debugging.dir/arp_debugging.cpp.o.d"
+  "arp_debugging"
+  "arp_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arp_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for arp_debugging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_echo_server.dir/blocking_echo_server.cpp.o"
+  "CMakeFiles/blocking_echo_server.dir/blocking_echo_server.cpp.o.d"
+  "blocking_echo_server"
+  "blocking_echo_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_echo_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

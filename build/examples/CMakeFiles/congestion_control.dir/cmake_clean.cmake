@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_control.dir/congestion_control.cpp.o"
+  "CMakeFiles/congestion_control.dir/congestion_control.cpp.o.d"
+  "congestion_control"
+  "congestion_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_partitioning.dir/port_partitioning.cpp.o"
+  "CMakeFiles/port_partitioning.dir/port_partitioning.cpp.o.d"
+  "port_partitioning"
+  "port_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("overlay")
+subdirs("nic")
+subdirs("dataplane")
+subdirs("kernel")
+subdirs("norman")
+subdirs("baseline")
+subdirs("workload")
+subdirs("tools")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norman_baseline.dir/perf_model.cc.o"
+  "CMakeFiles/norman_baseline.dir/perf_model.cc.o.d"
+  "CMakeFiles/norman_baseline.dir/scenarios.cc.o"
+  "CMakeFiles/norman_baseline.dir/scenarios.cc.o.d"
+  "libnorman_baseline.a"
+  "libnorman_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norman_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

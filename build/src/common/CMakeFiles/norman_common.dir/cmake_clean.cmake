@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norman_common.dir/logging.cc.o"
+  "CMakeFiles/norman_common.dir/logging.cc.o.d"
+  "CMakeFiles/norman_common.dir/stats.cc.o"
+  "CMakeFiles/norman_common.dir/stats.cc.o.d"
+  "CMakeFiles/norman_common.dir/status.cc.o"
+  "CMakeFiles/norman_common.dir/status.cc.o.d"
+  "libnorman_common.a"
+  "libnorman_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norman_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/arp_service.cc" "src/dataplane/CMakeFiles/norman_dataplane.dir/arp_service.cc.o" "gcc" "src/dataplane/CMakeFiles/norman_dataplane.dir/arp_service.cc.o.d"
+  "/root/repo/src/dataplane/conntrack.cc" "src/dataplane/CMakeFiles/norman_dataplane.dir/conntrack.cc.o" "gcc" "src/dataplane/CMakeFiles/norman_dataplane.dir/conntrack.cc.o.d"
+  "/root/repo/src/dataplane/filter_engine.cc" "src/dataplane/CMakeFiles/norman_dataplane.dir/filter_engine.cc.o" "gcc" "src/dataplane/CMakeFiles/norman_dataplane.dir/filter_engine.cc.o.d"
+  "/root/repo/src/dataplane/icmp_responder.cc" "src/dataplane/CMakeFiles/norman_dataplane.dir/icmp_responder.cc.o" "gcc" "src/dataplane/CMakeFiles/norman_dataplane.dir/icmp_responder.cc.o.d"
+  "/root/repo/src/dataplane/nat.cc" "src/dataplane/CMakeFiles/norman_dataplane.dir/nat.cc.o" "gcc" "src/dataplane/CMakeFiles/norman_dataplane.dir/nat.cc.o.d"
+  "/root/repo/src/dataplane/overlay_stage.cc" "src/dataplane/CMakeFiles/norman_dataplane.dir/overlay_stage.cc.o" "gcc" "src/dataplane/CMakeFiles/norman_dataplane.dir/overlay_stage.cc.o.d"
+  "/root/repo/src/dataplane/qdisc.cc" "src/dataplane/CMakeFiles/norman_dataplane.dir/qdisc.cc.o" "gcc" "src/dataplane/CMakeFiles/norman_dataplane.dir/qdisc.cc.o.d"
+  "/root/repo/src/dataplane/rate_limiter.cc" "src/dataplane/CMakeFiles/norman_dataplane.dir/rate_limiter.cc.o" "gcc" "src/dataplane/CMakeFiles/norman_dataplane.dir/rate_limiter.cc.o.d"
+  "/root/repo/src/dataplane/sniffer.cc" "src/dataplane/CMakeFiles/norman_dataplane.dir/sniffer.cc.o" "gcc" "src/dataplane/CMakeFiles/norman_dataplane.dir/sniffer.cc.o.d"
+  "/root/repo/src/dataplane/spoof_guard.cc" "src/dataplane/CMakeFiles/norman_dataplane.dir/spoof_guard.cc.o" "gcc" "src/dataplane/CMakeFiles/norman_dataplane.dir/spoof_guard.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nic/CMakeFiles/norman_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/norman_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/norman_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/norman_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/norman_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

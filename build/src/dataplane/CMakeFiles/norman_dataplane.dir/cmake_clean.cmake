@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norman_dataplane.dir/arp_service.cc.o"
+  "CMakeFiles/norman_dataplane.dir/arp_service.cc.o.d"
+  "CMakeFiles/norman_dataplane.dir/conntrack.cc.o"
+  "CMakeFiles/norman_dataplane.dir/conntrack.cc.o.d"
+  "CMakeFiles/norman_dataplane.dir/filter_engine.cc.o"
+  "CMakeFiles/norman_dataplane.dir/filter_engine.cc.o.d"
+  "CMakeFiles/norman_dataplane.dir/icmp_responder.cc.o"
+  "CMakeFiles/norman_dataplane.dir/icmp_responder.cc.o.d"
+  "CMakeFiles/norman_dataplane.dir/nat.cc.o"
+  "CMakeFiles/norman_dataplane.dir/nat.cc.o.d"
+  "CMakeFiles/norman_dataplane.dir/overlay_stage.cc.o"
+  "CMakeFiles/norman_dataplane.dir/overlay_stage.cc.o.d"
+  "CMakeFiles/norman_dataplane.dir/qdisc.cc.o"
+  "CMakeFiles/norman_dataplane.dir/qdisc.cc.o.d"
+  "CMakeFiles/norman_dataplane.dir/rate_limiter.cc.o"
+  "CMakeFiles/norman_dataplane.dir/rate_limiter.cc.o.d"
+  "CMakeFiles/norman_dataplane.dir/sniffer.cc.o"
+  "CMakeFiles/norman_dataplane.dir/sniffer.cc.o.d"
+  "CMakeFiles/norman_dataplane.dir/spoof_guard.cc.o"
+  "CMakeFiles/norman_dataplane.dir/spoof_guard.cc.o.d"
+  "libnorman_dataplane.a"
+  "libnorman_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norman_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norman_kernel.dir/kernel.cc.o"
+  "CMakeFiles/norman_kernel.dir/kernel.cc.o.d"
+  "libnorman_kernel.a"
+  "libnorman_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norman_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

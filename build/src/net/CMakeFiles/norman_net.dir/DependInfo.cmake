@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/norman_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/norman_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/headers.cc" "src/net/CMakeFiles/norman_net.dir/headers.cc.o" "gcc" "src/net/CMakeFiles/norman_net.dir/headers.cc.o.d"
+  "/root/repo/src/net/packet_builder.cc" "src/net/CMakeFiles/norman_net.dir/packet_builder.cc.o" "gcc" "src/net/CMakeFiles/norman_net.dir/packet_builder.cc.o.d"
+  "/root/repo/src/net/parsed_packet.cc" "src/net/CMakeFiles/norman_net.dir/parsed_packet.cc.o" "gcc" "src/net/CMakeFiles/norman_net.dir/parsed_packet.cc.o.d"
+  "/root/repo/src/net/pcap_writer.cc" "src/net/CMakeFiles/norman_net.dir/pcap_writer.cc.o" "gcc" "src/net/CMakeFiles/norman_net.dir/pcap_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/norman_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

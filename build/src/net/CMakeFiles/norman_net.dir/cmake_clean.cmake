@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norman_net.dir/checksum.cc.o"
+  "CMakeFiles/norman_net.dir/checksum.cc.o.d"
+  "CMakeFiles/norman_net.dir/headers.cc.o"
+  "CMakeFiles/norman_net.dir/headers.cc.o.d"
+  "CMakeFiles/norman_net.dir/packet_builder.cc.o"
+  "CMakeFiles/norman_net.dir/packet_builder.cc.o.d"
+  "CMakeFiles/norman_net.dir/parsed_packet.cc.o"
+  "CMakeFiles/norman_net.dir/parsed_packet.cc.o.d"
+  "CMakeFiles/norman_net.dir/pcap_writer.cc.o"
+  "CMakeFiles/norman_net.dir/pcap_writer.cc.o.d"
+  "libnorman_net.a"
+  "libnorman_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norman_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

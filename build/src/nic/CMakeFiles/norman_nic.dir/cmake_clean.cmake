@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norman_nic.dir/smart_nic.cc.o"
+  "CMakeFiles/norman_nic.dir/smart_nic.cc.o.d"
+  "libnorman_nic.a"
+  "libnorman_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norman_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norman_api.dir/reliable.cc.o"
+  "CMakeFiles/norman_api.dir/reliable.cc.o.d"
+  "CMakeFiles/norman_api.dir/socket.cc.o"
+  "CMakeFiles/norman_api.dir/socket.cc.o.d"
+  "libnorman_api.a"
+  "libnorman_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norman_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

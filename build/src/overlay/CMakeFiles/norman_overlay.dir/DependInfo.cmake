@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/assembler.cc" "src/overlay/CMakeFiles/norman_overlay.dir/assembler.cc.o" "gcc" "src/overlay/CMakeFiles/norman_overlay.dir/assembler.cc.o.d"
+  "/root/repo/src/overlay/interpreter.cc" "src/overlay/CMakeFiles/norman_overlay.dir/interpreter.cc.o" "gcc" "src/overlay/CMakeFiles/norman_overlay.dir/interpreter.cc.o.d"
+  "/root/repo/src/overlay/isa.cc" "src/overlay/CMakeFiles/norman_overlay.dir/isa.cc.o" "gcc" "src/overlay/CMakeFiles/norman_overlay.dir/isa.cc.o.d"
+  "/root/repo/src/overlay/packet_context.cc" "src/overlay/CMakeFiles/norman_overlay.dir/packet_context.cc.o" "gcc" "src/overlay/CMakeFiles/norman_overlay.dir/packet_context.cc.o.d"
+  "/root/repo/src/overlay/verifier.cc" "src/overlay/CMakeFiles/norman_overlay.dir/verifier.cc.o" "gcc" "src/overlay/CMakeFiles/norman_overlay.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/norman_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/norman_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

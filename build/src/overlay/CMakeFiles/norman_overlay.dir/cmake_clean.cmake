@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norman_overlay.dir/assembler.cc.o"
+  "CMakeFiles/norman_overlay.dir/assembler.cc.o.d"
+  "CMakeFiles/norman_overlay.dir/interpreter.cc.o"
+  "CMakeFiles/norman_overlay.dir/interpreter.cc.o.d"
+  "CMakeFiles/norman_overlay.dir/isa.cc.o"
+  "CMakeFiles/norman_overlay.dir/isa.cc.o.d"
+  "CMakeFiles/norman_overlay.dir/packet_context.cc.o"
+  "CMakeFiles/norman_overlay.dir/packet_context.cc.o.d"
+  "CMakeFiles/norman_overlay.dir/verifier.cc.o"
+  "CMakeFiles/norman_overlay.dir/verifier.cc.o.d"
+  "libnorman_overlay.a"
+  "libnorman_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norman_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

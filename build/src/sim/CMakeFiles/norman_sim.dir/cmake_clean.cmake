@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norman_sim.dir/simulator.cc.o"
+  "CMakeFiles/norman_sim.dir/simulator.cc.o.d"
+  "libnorman_sim.a"
+  "libnorman_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norman_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norman_tools.dir/tools.cc.o"
+  "CMakeFiles/norman_tools.dir/tools.cc.o.d"
+  "libnorman_tools.a"
+  "libnorman_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norman_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

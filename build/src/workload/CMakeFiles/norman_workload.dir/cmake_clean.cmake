@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norman_workload.dir/duplex.cc.o"
+  "CMakeFiles/norman_workload.dir/duplex.cc.o.d"
+  "CMakeFiles/norman_workload.dir/pcap_replay.cc.o"
+  "CMakeFiles/norman_workload.dir/pcap_replay.cc.o.d"
+  "CMakeFiles/norman_workload.dir/testbed.cc.o"
+  "CMakeFiles/norman_workload.dir/testbed.cc.o.d"
+  "libnorman_workload.a"
+  "libnorman_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norman_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnorman_workload.a"
+)

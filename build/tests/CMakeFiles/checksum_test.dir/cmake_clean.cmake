@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checksum_test.dir/checksum_test.cc.o"
+  "CMakeFiles/checksum_test.dir/checksum_test.cc.o.d"
+  "checksum_test"
+  "checksum_test.pdb"
+  "checksum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checksum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataplane_stages_test.dir/dataplane_stages_test.cc.o"
+  "CMakeFiles/dataplane_stages_test.dir/dataplane_stages_test.cc.o.d"
+  "dataplane_stages_test"
+  "dataplane_stages_test.pdb"
+  "dataplane_stages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataplane_stages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

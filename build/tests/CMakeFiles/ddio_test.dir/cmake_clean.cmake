@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddio_test.dir/ddio_test.cc.o"
+  "CMakeFiles/ddio_test.dir/ddio_test.cc.o.d"
+  "ddio_test"
+  "ddio_test.pdb"
+  "ddio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

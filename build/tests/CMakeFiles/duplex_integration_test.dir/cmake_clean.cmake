@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplex_integration_test.dir/duplex_integration_test.cc.o"
+  "CMakeFiles/duplex_integration_test.dir/duplex_integration_test.cc.o.d"
+  "duplex_integration_test"
+  "duplex_integration_test.pdb"
+  "duplex_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplex_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

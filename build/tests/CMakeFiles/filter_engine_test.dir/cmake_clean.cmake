@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_engine_test.dir/filter_engine_test.cc.o"
+  "CMakeFiles/filter_engine_test.dir/filter_engine_test.cc.o.d"
+  "filter_engine_test"
+  "filter_engine_test.pdb"
+  "filter_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

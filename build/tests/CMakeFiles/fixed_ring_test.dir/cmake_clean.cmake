@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixed_ring_test.dir/fixed_ring_test.cc.o"
+  "CMakeFiles/fixed_ring_test.dir/fixed_ring_test.cc.o.d"
+  "fixed_ring_test"
+  "fixed_ring_test.pdb"
+  "fixed_ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixed_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headers_test.dir/headers_test.cc.o"
+  "CMakeFiles/headers_test.dir/headers_test.cc.o.d"
+  "headers_test"
+  "headers_test.pdb"
+  "headers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

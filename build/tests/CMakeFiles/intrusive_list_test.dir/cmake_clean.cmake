@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intrusive_list_test.dir/intrusive_list_test.cc.o"
+  "CMakeFiles/intrusive_list_test.dir/intrusive_list_test.cc.o.d"
+  "intrusive_list_test"
+  "intrusive_list_test.pdb"
+  "intrusive_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intrusive_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listen_accept_test.dir/listen_accept_test.cc.o"
+  "CMakeFiles/listen_accept_test.dir/listen_accept_test.cc.o.d"
+  "listen_accept_test"
+  "listen_accept_test.pdb"
+  "listen_accept_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listen_accept_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

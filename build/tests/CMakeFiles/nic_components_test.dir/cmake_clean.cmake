@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_components_test.dir/nic_components_test.cc.o"
+  "CMakeFiles/nic_components_test.dir/nic_components_test.cc.o.d"
+  "nic_components_test"
+  "nic_components_test.pdb"
+  "nic_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

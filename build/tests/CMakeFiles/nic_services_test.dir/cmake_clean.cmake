@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_services_test.dir/nic_services_test.cc.o"
+  "CMakeFiles/nic_services_test.dir/nic_services_test.cc.o.d"
+  "nic_services_test"
+  "nic_services_test.pdb"
+  "nic_services_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_services_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

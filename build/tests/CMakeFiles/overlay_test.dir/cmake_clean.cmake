@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_test.dir/overlay_test.cc.o"
+  "CMakeFiles/overlay_test.dir/overlay_test.cc.o.d"
+  "overlay_test"
+  "overlay_test.pdb"
+  "overlay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

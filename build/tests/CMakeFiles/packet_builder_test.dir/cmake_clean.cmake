@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_builder_test.dir/packet_builder_test.cc.o"
+  "CMakeFiles/packet_builder_test.dir/packet_builder_test.cc.o.d"
+  "packet_builder_test"
+  "packet_builder_test.pdb"
+  "packet_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

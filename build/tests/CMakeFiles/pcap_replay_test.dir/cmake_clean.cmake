@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_replay_test.dir/pcap_replay_test.cc.o"
+  "CMakeFiles/pcap_replay_test.dir/pcap_replay_test.cc.o.d"
+  "pcap_replay_test"
+  "pcap_replay_test.pdb"
+  "pcap_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

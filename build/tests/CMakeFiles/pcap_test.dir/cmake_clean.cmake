@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_test.dir/pcap_test.cc.o"
+  "CMakeFiles/pcap_test.dir/pcap_test.cc.o.d"
+  "pcap_test"
+  "pcap_test.pdb"
+  "pcap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdisc_property_test.dir/qdisc_property_test.cc.o"
+  "CMakeFiles/qdisc_property_test.dir/qdisc_property_test.cc.o.d"
+  "qdisc_property_test"
+  "qdisc_property_test.pdb"
+  "qdisc_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdisc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdisc_test.dir/qdisc_test.cc.o"
+  "CMakeFiles/qdisc_test.dir/qdisc_test.cc.o.d"
+  "qdisc_test"
+  "qdisc_test.pdb"
+  "qdisc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdisc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

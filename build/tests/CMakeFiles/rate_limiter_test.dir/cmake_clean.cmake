@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_limiter_test.dir/rate_limiter_test.cc.o"
+  "CMakeFiles/rate_limiter_test.dir/rate_limiter_test.cc.o.d"
+  "rate_limiter_test"
+  "rate_limiter_test.pdb"
+  "rate_limiter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_limiter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_test.dir/reliable_test.cc.o"
+  "CMakeFiles/reliable_test.dir/reliable_test.cc.o.d"
+  "reliable_test"
+  "reliable_test.pdb"
+  "reliable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_nic_test.dir/smart_nic_test.cc.o"
+  "CMakeFiles/smart_nic_test.dir/smart_nic_test.cc.o.d"
+  "smart_nic_test"
+  "smart_nic_test.pdb"
+  "smart_nic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_nic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_test.dir/socket_test.cc.o"
+  "CMakeFiles/socket_test.dir/socket_test.cc.o.d"
+  "socket_test"
+  "socket_test.pdb"
+  "socket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

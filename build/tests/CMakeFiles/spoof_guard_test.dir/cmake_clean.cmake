@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoof_guard_test.dir/spoof_guard_test.cc.o"
+  "CMakeFiles/spoof_guard_test.dir/spoof_guard_test.cc.o.d"
+  "spoof_guard_test"
+  "spoof_guard_test.pdb"
+  "spoof_guard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoof_guard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
