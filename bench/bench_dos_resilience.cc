@@ -18,6 +18,7 @@
 #include "src/norman/socket.h"
 #include "src/workload/generators.h"
 #include "src/workload/testbed.h"
+#include "src/net/packet_pool.h"
 
 namespace {
 
@@ -65,7 +66,7 @@ int main() {
     auto syn = net::BuildTcpFrame(
         ep, static_cast<uint16_t>(rng.NextInRange(1024, 65535)), 443,
         rng.NextU32(), 0, net::TcpFlags::kSyn, {});
-    bed.InjectFromNetwork(std::make_unique<net::Packet>(std::move(syn)),
+    bed.InjectFromNetwork(net::MakePacket(std::move(syn)),
                           1000 + i * 1000);
   }
   // Legit traffic runs concurrently through the flood window.

@@ -7,6 +7,12 @@
 // the bench_* experiment binaries.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
 #include "src/dataplane/filter_engine.h"
 #include "src/dataplane/qdisc.h"
 #include "src/net/checksum.h"
@@ -14,7 +20,33 @@
 #include "src/net/parsed_packet.h"
 #include "src/nic/ddio.h"
 #include "src/nic/rss.h"
+#include "src/norman/socket.h"
 #include "src/overlay/interpreter.h"
+#include "src/sim/simulator.h"
+#include "src/workload/generators.h"
+#include "src/workload/testbed.h"
+
+// Process-wide heap-allocation counter, used to report allocs/packet for
+// the end-to-end forwarding loop (the number the pooled hot path drives to
+// ~0). Counting covers every operator-new path the simulator can take.
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -103,7 +135,7 @@ void BM_WfqEnqueueDequeue(benchmark::State& state) {
   wfq.SetWeight(1, 4.0);
   wfq.SetWeight(2, 1.0);
   for (auto _ : state) {
-    wfq.Enqueue(std::make_unique<net::Packet>(fx.frame), fx.ctx);
+    wfq.Enqueue(net::MakePacket(fx.frame), fx.ctx);
     auto p = wfq.Dequeue(0);
     benchmark::DoNotOptimize(p);
   }
@@ -132,6 +164,33 @@ void BM_RssSteer(benchmark::State& state) {
 }
 BENCHMARK(BM_RssSteer);
 
+void BM_BuildUdpPacketPooled(benchmark::State& state) {
+  net::FrameEndpoints ep{net::MacAddress::ForHost(1),
+                         net::MacAddress::ForHost(2),
+                         net::Ipv4Address::FromOctets(10, 0, 0, 1),
+                         net::Ipv4Address::FromOctets(10, 0, 0, 2)};
+  const std::vector<uint8_t> payload(1000, 0xab);
+  for (auto _ : state) {
+    auto p = net::BuildUdpPacket(ep, 1, 2, payload);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_BuildUdpPacketPooled);
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  // Schedule/dispatch throughput of the pooled event loop: a self-renewing
+  // chain, all nodes recycled through the free list after warmup.
+  sim::Simulator sim;
+  uint64_t fired = 0;
+  for (auto _ : state) {
+    sim.ScheduleAfter(1, [&fired] { ++fired; });
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorEventChurn);
+
 void BM_BuildUdpFrame(benchmark::State& state) {
   net::FrameEndpoints ep{net::MacAddress::ForHost(1),
                          net::MacAddress::ForHost(2),
@@ -145,6 +204,60 @@ void BM_BuildUdpFrame(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildUdpFrame);
 
+// End-to-end packet-forwarding loop (the tentpole acceptance metric): one
+// host with two CBR senders against an echoing peer, identical to the
+// pre-pooling baseline workload. Prints one machine-readable JSON line.
+void RunForwardingReport() {
+  workload::TestBedOptions opts;
+  opts.echo = true;
+  workload::TestBed bed(opts);
+  bed.DiscardEgress();
+  auto& k = bed.kernel();
+  k.processes().AddUser(1, "u");
+  const auto pid = *k.processes().Spawn(1, "app");
+  const auto peer = net::Ipv4Address::FromOctets(10, 0, 0, 2);
+  auto s1 = Socket::Connect(&k, pid, peer, 1000, {});
+  auto s2 = Socket::Connect(&k, pid, peer, 2000, {});
+  workload::CbrSender c1(&bed.sim(), &*s1, 512, 2 * kMicrosecond);
+  workload::CbrSender c2(&bed.sim(), &*s2, 200, 3 * kMicrosecond);
+  c1.Start(0, 200 * kMillisecond);
+  c2.Start(0, 200 * kMillisecond);
+
+  const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  bed.sim().Run();
+  const auto t1 = std::chrono::steady_clock::now();
+  const uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) -
+                          allocs_before;
+
+  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+  const uint64_t events = bed.sim().events_processed();
+  const uint64_t packets = bed.nic().stats().tx_seen + bed.nic().stats().rx_seen;
+  const auto& ppool = net::PacketPool::Default().counters();
+  const auto& epool = bed.sim().event_pool();
+  std::printf(
+      "{\"bench\":\"forwarding_loop\",\"wall_s\":%.6f,"
+      "\"events\":%llu,\"events_per_s\":%.0f,"
+      "\"packets\":%llu,\"allocs\":%llu,\"allocs_per_packet\":%.4f,"
+      "\"packet_pool_hit_rate\":%.4f,\"event_pool_hit_rate\":%.4f}\n",
+      wall_s, static_cast<unsigned long long>(events),
+      static_cast<double>(events) / wall_s,
+      static_cast<unsigned long long>(packets),
+      static_cast<unsigned long long>(allocs),
+      packets != 0 ? static_cast<double>(allocs) / static_cast<double>(packets)
+                   : 0.0,
+      ppool.HitRate(), epool.HitRate());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  RunForwardingReport();
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "src/baseline/scenarios.h"
 
+#include "src/net/packet_pool.h"
+
 #include <map>
 #include <optional>
 #include <vector>
@@ -194,9 +196,9 @@ ScenarioOutcome RunQosScenario(Architecture arch) {
   productive.conn = overlay::ConnMetadata{1, 1001, 301, 1, 0};
   game.conn = overlay::ConnMetadata{2, 1002, 302, 1, 0};
   for (int i = 0; i < 500; ++i) {
-    wfq.Enqueue(std::make_unique<net::Packet>(std::vector<uint8_t>(1000)),
+    wfq.Enqueue(net::MakePacket(1000),
                 productive);
-    wfq.Enqueue(std::make_unique<net::Packet>(std::vector<uint8_t>(1000)),
+    wfq.Enqueue(net::MakePacket(1000),
                 game);
   }
   for (int i = 0; i < 500; ++i) {

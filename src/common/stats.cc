@@ -31,6 +31,45 @@ double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 void RunningStats::Reset() { *this = RunningStats(); }
 
+double PoolCounters::HitRate() const {
+  const uint64_t total = acquisitions();
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+void PoolCounters::RecordAcquire(bool from_free_list) {
+  if (from_free_list) {
+    ++hits;
+  } else {
+    ++misses;
+  }
+  ++outstanding;
+  high_water = std::max(high_water, outstanding);
+}
+
+void PoolCounters::RecordRelease(bool kept) {
+  ++releases;
+  if (!kept) {
+    ++dropped;
+  }
+  if (outstanding > 0) {
+    --outstanding;
+  }
+}
+
+std::string PoolCounters::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "hits=%llu misses=%llu hit_rate=%.1f%% dropped=%llu "
+                "outstanding=%llu high_water=%llu",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses), HitRate() * 100.0,
+                static_cast<unsigned long long>(dropped),
+                static_cast<unsigned long long>(outstanding),
+                static_cast<unsigned long long>(high_water));
+  return buf;
+}
+
 LatencyHistogram::LatencyHistogram()
     : buckets_(static_cast<size_t>(kDecades) * kSubBuckets, 0) {}
 

@@ -78,6 +78,29 @@ class LatencyHistogram {
   double sum_ = 0.0;
 };
 
+// Recycling counters shared by the hot-path object pools (PacketPool,
+// Simulator event-node pool). A "hit" is an acquisition served from the
+// free list; a "miss" required a fresh heap allocation; "dropped" counts
+// releases discarded because the free list was at capacity (exhaustion
+// fallback). `outstanding` tracks live objects, `high_water` its maximum.
+struct PoolCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t releases = 0;
+  uint64_t dropped = 0;
+  uint64_t outstanding = 0;
+  uint64_t high_water = 0;
+
+  uint64_t acquisitions() const { return hits + misses; }
+  double HitRate() const;
+
+  void RecordAcquire(bool from_free_list);
+  void RecordRelease(bool kept);
+
+  // "hits=120 misses=8 hit_rate=93.8% outstanding=4 high_water=12"
+  std::string Summary() const;
+};
+
 // Pretty-print a nanosecond quantity with an adaptive unit ("1.25us").
 std::string FormatNanos(int64_t ns);
 

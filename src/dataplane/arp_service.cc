@@ -45,8 +45,8 @@ nic::StageResult ArpService::Process(net::Packet& packet,
       std::find(local_ips_.begin(), local_ips_.end(), arp.target_ip) !=
           local_ips_.end()) {
     if (inject_) {
-      auto reply = std::make_unique<net::Packet>(net::BuildArpReply(
-          local_mac_, arp.target_ip, arp.sender_mac, arp.sender_ip));
+      auto reply = net::BuildArpReplyPacket(local_mac_, arp.target_ip,
+                                            arp.sender_mac, arp.sender_ip);
       reply->meta().created_at = now;
       inject_(std::move(reply));
     }

@@ -17,9 +17,9 @@ nic::StageResult IcmpResponder::Process(net::Packet& packet,
     const auto payload =
         packet.bytes().subspan(p.payload_offset);
     net::FrameEndpoints ep{local_mac_, p.eth.src, local_ip_, p.ipv4->src};
-    auto reply = std::make_unique<net::Packet>(net::BuildIcmpEchoFrame(
-        ep, net::IcmpType::kEchoReply, p.icmp->identifier, p.icmp->sequence,
-        payload));
+    auto reply = net::BuildIcmpEchoPacket(ep, net::IcmpType::kEchoReply,
+                                          p.icmp->identifier,
+                                          p.icmp->sequence, payload);
     inject_(std::move(reply));
   }
   ++echo_replies_;

@@ -511,11 +511,10 @@ Status Kernel::SoftwareTransmit(net::ConnectionId conn_id,
   // through a temporary flow-less injection, tagging fallback in metadata.
   packet->meta().software_fallback = true;
   packet->meta().connection = conn_id;
-  auto* raw = packet.release();
-  sim_->ScheduleAt(ready, [this, raw] {
+  sim_->ScheduleAt(ready, [this, p = std::move(packet)]() mutable {
     // Software-path packets still traverse the NIC TX pipeline — they are
     // not exempt from interposition — via the host injection port.
-    nic_->InjectHostPacket(net::PacketPtr(raw), sim_->Now());
+    nic_->InjectHostPacket(std::move(p), sim_->Now());
   });
   return OkStatus();
 }

@@ -1,17 +1,57 @@
 #include "src/net/checksum.h"
 
+#include <bit>
+#include <cstring>
+
 #include "src/net/byte_io.h"
 
 namespace norman::net {
 
+// Sums 64-bit chunks natively and converts the folded result to the
+// big-endian word convention at the end. Valid because the ones-complement
+// sum is byte-order independent (RFC 1071 §2B): byte-swapping every 16-bit
+// operand and the folded result yields the same value, so we can defer the
+// swap out of the loop. Each chunk starts at even parity within `data`, and
+// the caller-visible contract (a uint32 partial folded by ChecksumFinish)
+// is unchanged — ones-complement addition lets partials be folded early.
 uint32_t ChecksumPartial(std::span<const uint8_t> data, uint32_t sum) {
-  size_t i = 0;
-  for (; i + 1 < data.size(); i += 2) {
-    sum += LoadBe16(&data[i]);
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  uint64_t acc = 0;
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    acc += (w & 0xffffffffULL) + (w >> 32);
+    p += 8;
+    n -= 8;
   }
-  if (i < data.size()) {
+  if (n >= 4) {
+    uint32_t w;
+    std::memcpy(&w, p, 4);
+    acc += w;
+    p += 4;
+    n -= 4;
+  }
+  if (n >= 2) {
+    uint16_t w;
+    std::memcpy(&w, p, 2);
+    acc += w;
+    p += 2;
+    n -= 2;
+  }
+  // Fold 64 -> 16 bits with end-around carries, in native word order.
+  acc = (acc & 0xffffffffULL) + (acc >> 32);
+  acc = (acc & 0xffffffffULL) + (acc >> 32);
+  uint32_t folded = static_cast<uint32_t>(acc);
+  folded = (folded & 0xffff) + (folded >> 16);
+  folded = (folded & 0xffff) + (folded >> 16);
+  if constexpr (std::endian::native == std::endian::little) {
+    folded = ((folded & 0xff) << 8) | (folded >> 8);
+  }
+  sum += folded;
+  if (n != 0) {
     // Odd trailing byte is padded with zero on the right.
-    sum += static_cast<uint32_t>(data[i]) << 8;
+    sum += static_cast<uint32_t>(*p) << 8;
   }
   return sum;
 }

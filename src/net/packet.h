@@ -38,6 +38,8 @@ struct PacketMeta {
   bool software_fallback = false;  // diverted through host slow path (E7)
 };
 
+class PacketPool;
+
 class Packet {
  public:
   Packet() = default;
@@ -53,11 +55,25 @@ class Packet {
   const PacketMeta& meta() const { return meta_; }
 
  private:
+  friend class PacketPool;
+  friend struct PacketDeleter;
+
   std::vector<uint8_t> bytes_;
   PacketMeta meta_;
+  // Owning pool, or nullptr for plain heap/stack packets. Set by PacketPool
+  // on acquisition; PacketDeleter routes the buffer back through it.
+  PacketPool* pool_ = nullptr;
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+// Deleter for pooled packets: returns the buffer to its owning pool (which
+// recycles Packet + vector capacity) or plain-deletes unpooled packets.
+struct PacketDeleter {
+  void operator()(Packet* p) const noexcept;
+};
+
+// Owning packet handle. The deleter is stateless, so PacketPtr can still be
+// constructed directly from a raw pointer (release()/re-wrap round trips).
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
 
 }  // namespace norman::net
 

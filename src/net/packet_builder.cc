@@ -4,6 +4,7 @@
 
 #include "src/net/byte_io.h"
 #include "src/net/checksum.h"
+#include "src/net/packet_pool.h"
 #include "src/net/parsed_packet.h"
 
 namespace norman::net {
@@ -15,11 +16,14 @@ uint16_t NextIpId() {
   return ++id;
 }
 
-std::vector<uint8_t> BuildIpv4Frame(const FrameEndpoints& ep, IpProto proto,
-                                    size_t l4_size, uint8_t dscp,
-                                    uint8_t ttl) {
-  std::vector<uint8_t> frame(kEthernetHeaderSize + kIpv4MinHeaderSize +
-                             l4_size);
+// Writers fill a caller-provided frame of exactly the right size, so both
+// the std::vector builders and the pooled-packet builders share one
+// serialization path (the pooled path reuses recycled buffer capacity and
+// never allocates on a steady-state hot path).
+
+void WriteIpv4Header(std::span<uint8_t> frame, const FrameEndpoints& ep,
+                     IpProto proto, size_t l4_size, uint8_t dscp,
+                     uint8_t ttl) {
   EthernetHeader eth;
   eth.dst = ep.dst_mac;
   eth.src = ep.src_mac;
@@ -34,42 +38,46 @@ std::vector<uint8_t> BuildIpv4Frame(const FrameEndpoints& ep, IpProto proto,
   ip.protocol = proto;
   ip.src = ep.src_ip;
   ip.dst = ep.dst_ip;
-  ip.Serialize(std::span<uint8_t>(frame).subspan(kEthernetHeaderSize));
-  return frame;
+  ip.Serialize(frame.subspan(kEthernetHeaderSize));
 }
 
-}  // namespace
+size_t UdpFrameSize(std::span<const uint8_t> payload) {
+  return kEthernetHeaderSize + kIpv4MinHeaderSize + kUdpHeaderSize +
+         payload.size();
+}
 
-std::vector<uint8_t> BuildUdpFrame(const FrameEndpoints& ep, uint16_t src_port,
-                                   uint16_t dst_port,
-                                   std::span<const uint8_t> payload,
-                                   uint8_t dscp, uint8_t ttl) {
+void WriteUdpFrame(std::span<uint8_t> frame, const FrameEndpoints& ep,
+                   uint16_t src_port, uint16_t dst_port,
+                   std::span<const uint8_t> payload, uint8_t dscp,
+                   uint8_t ttl) {
   const size_t l4_size = kUdpHeaderSize + payload.size();
-  auto frame = BuildIpv4Frame(ep, IpProto::kUdp, l4_size, dscp, ttl);
-  auto l4 = std::span<uint8_t>(frame).subspan(kEthernetHeaderSize +
-                                              kIpv4MinHeaderSize);
+  WriteIpv4Header(frame, ep, IpProto::kUdp, l4_size, dscp, ttl);
+  auto l4 = frame.subspan(kEthernetHeaderSize + kIpv4MinHeaderSize);
   UdpHeader udp;
   udp.src_port = src_port;
   udp.dst_port = dst_port;
   udp.length = static_cast<uint16_t>(l4_size);
   udp.checksum = 0;
   udp.Serialize(l4);
-  std::memcpy(l4.data() + kUdpHeaderSize, payload.data(), payload.size());
+  if (!payload.empty()) {
+    std::memcpy(l4.data() + kUdpHeaderSize, payload.data(), payload.size());
+  }
   udp.checksum = TransportChecksum(ep.src_ip, ep.dst_ip, IpProto::kUdp, l4);
   StoreBe16(l4.data() + 6, udp.checksum);
-  return frame;
 }
 
-std::vector<uint8_t> BuildTcpFrame(const FrameEndpoints& ep, uint16_t src_port,
-                                   uint16_t dst_port, uint32_t seq,
-                                   uint32_t ack, uint8_t flags,
-                                   std::span<const uint8_t> payload,
-                                   uint16_t window) {
+size_t TcpFrameSize(std::span<const uint8_t> payload) {
+  return kEthernetHeaderSize + kIpv4MinHeaderSize + kTcpMinHeaderSize +
+         payload.size();
+}
+
+void WriteTcpFrame(std::span<uint8_t> frame, const FrameEndpoints& ep,
+                   uint16_t src_port, uint16_t dst_port, uint32_t seq,
+                   uint32_t ack, uint8_t flags,
+                   std::span<const uint8_t> payload, uint16_t window) {
   const size_t l4_size = kTcpMinHeaderSize + payload.size();
-  auto frame = BuildIpv4Frame(ep, IpProto::kTcp, l4_size, /*dscp=*/0,
-                              /*ttl=*/64);
-  auto l4 = std::span<uint8_t>(frame).subspan(kEthernetHeaderSize +
-                                              kIpv4MinHeaderSize);
+  WriteIpv4Header(frame, ep, IpProto::kTcp, l4_size, /*dscp=*/0, /*ttl=*/64);
+  auto l4 = frame.subspan(kEthernetHeaderSize + kIpv4MinHeaderSize);
   TcpHeader tcp;
   tcp.src_port = src_port;
   tcp.dst_port = dst_port;
@@ -79,37 +87,42 @@ std::vector<uint8_t> BuildTcpFrame(const FrameEndpoints& ep, uint16_t src_port,
   tcp.window = window;
   tcp.checksum = 0;
   tcp.Serialize(l4);
-  std::memcpy(l4.data() + kTcpMinHeaderSize, payload.data(), payload.size());
+  if (!payload.empty()) {
+    std::memcpy(l4.data() + kTcpMinHeaderSize, payload.data(), payload.size());
+  }
   tcp.checksum = TransportChecksum(ep.src_ip, ep.dst_ip, IpProto::kTcp, l4);
   StoreBe16(l4.data() + 16, tcp.checksum);
-  return frame;
 }
 
-std::vector<uint8_t> BuildIcmpEchoFrame(const FrameEndpoints& ep,
-                                        IcmpType type, uint16_t identifier,
-                                        uint16_t sequence,
-                                        std::span<const uint8_t> payload) {
+size_t IcmpFrameSize(std::span<const uint8_t> payload) {
+  return kEthernetHeaderSize + kIpv4MinHeaderSize + kIcmpHeaderSize +
+         payload.size();
+}
+
+void WriteIcmpEchoFrame(std::span<uint8_t> frame, const FrameEndpoints& ep,
+                        IcmpType type, uint16_t identifier, uint16_t sequence,
+                        std::span<const uint8_t> payload) {
   const size_t l4_size = kIcmpHeaderSize + payload.size();
-  auto frame = BuildIpv4Frame(ep, IpProto::kIcmp, l4_size, /*dscp=*/0,
-                              /*ttl=*/64);
-  auto l4 = std::span<uint8_t>(frame).subspan(kEthernetHeaderSize +
-                                              kIpv4MinHeaderSize);
+  WriteIpv4Header(frame, ep, IpProto::kIcmp, l4_size, /*dscp=*/0,
+                  /*ttl=*/64);
+  auto l4 = frame.subspan(kEthernetHeaderSize + kIpv4MinHeaderSize);
   IcmpHeader icmp;
   icmp.type = type;
   icmp.identifier = identifier;
   icmp.sequence = sequence;
   icmp.checksum = 0;
   icmp.Serialize(l4);
-  std::memcpy(l4.data() + kIcmpHeaderSize, payload.data(), payload.size());
+  if (!payload.empty()) {
+    std::memcpy(l4.data() + kIcmpHeaderSize, payload.data(), payload.size());
+  }
   icmp.checksum = InternetChecksum(l4);
   StoreBe16(l4.data() + 2, icmp.checksum);
-  return frame;
 }
 
-std::vector<uint8_t> BuildArpRequest(MacAddress sender_mac,
-                                     Ipv4Address sender_ip,
-                                     Ipv4Address target_ip) {
-  std::vector<uint8_t> frame(kEthernetHeaderSize + kArpBodySize);
+constexpr size_t kArpFrameSize = kEthernetHeaderSize + kArpBodySize;
+
+void WriteArpRequest(std::span<uint8_t> frame, MacAddress sender_mac,
+                     Ipv4Address sender_ip, Ipv4Address target_ip) {
   EthernetHeader eth;
   eth.dst = MacAddress::Broadcast();
   eth.src = sender_mac;
@@ -121,15 +134,12 @@ std::vector<uint8_t> BuildArpRequest(MacAddress sender_mac,
   arp.sender_ip = sender_ip;
   arp.target_mac = MacAddress::Zero();
   arp.target_ip = target_ip;
-  arp.Serialize(std::span<uint8_t>(frame).subspan(kEthernetHeaderSize));
-  return frame;
+  arp.Serialize(frame.subspan(kEthernetHeaderSize));
 }
 
-std::vector<uint8_t> BuildArpReply(MacAddress sender_mac,
-                                   Ipv4Address sender_ip,
-                                   MacAddress requester_mac,
-                                   Ipv4Address requester_ip) {
-  std::vector<uint8_t> frame(kEthernetHeaderSize + kArpBodySize);
+void WriteArpReply(std::span<uint8_t> frame, MacAddress sender_mac,
+                   Ipv4Address sender_ip, MacAddress requester_mac,
+                   Ipv4Address requester_ip) {
   EthernetHeader eth;
   eth.dst = requester_mac;
   eth.src = sender_mac;
@@ -141,8 +151,99 @@ std::vector<uint8_t> BuildArpReply(MacAddress sender_mac,
   arp.sender_ip = sender_ip;
   arp.target_mac = requester_mac;
   arp.target_ip = requester_ip;
-  arp.Serialize(std::span<uint8_t>(frame).subspan(kEthernetHeaderSize));
+  arp.Serialize(frame.subspan(kEthernetHeaderSize));
+}
+
+}  // namespace
+
+std::vector<uint8_t> BuildUdpFrame(const FrameEndpoints& ep, uint16_t src_port,
+                                   uint16_t dst_port,
+                                   std::span<const uint8_t> payload,
+                                   uint8_t dscp, uint8_t ttl) {
+  std::vector<uint8_t> frame(UdpFrameSize(payload));
+  WriteUdpFrame(frame, ep, src_port, dst_port, payload, dscp, ttl);
   return frame;
+}
+
+PacketPtr BuildUdpPacket(const FrameEndpoints& ep, uint16_t src_port,
+                         uint16_t dst_port, std::span<const uint8_t> payload,
+                         uint8_t dscp, uint8_t ttl) {
+  PacketPtr p = PacketPool::Default().AcquireUninitialized(UdpFrameSize(payload));
+  WriteUdpFrame(p->mutable_bytes(), ep, src_port, dst_port, payload, dscp,
+                ttl);
+  return p;
+}
+
+std::vector<uint8_t> BuildTcpFrame(const FrameEndpoints& ep, uint16_t src_port,
+                                   uint16_t dst_port, uint32_t seq,
+                                   uint32_t ack, uint8_t flags,
+                                   std::span<const uint8_t> payload,
+                                   uint16_t window) {
+  std::vector<uint8_t> frame(TcpFrameSize(payload));
+  WriteTcpFrame(frame, ep, src_port, dst_port, seq, ack, flags, payload,
+                window);
+  return frame;
+}
+
+PacketPtr BuildTcpPacket(const FrameEndpoints& ep, uint16_t src_port,
+                         uint16_t dst_port, uint32_t seq, uint32_t ack,
+                         uint8_t flags, std::span<const uint8_t> payload,
+                         uint16_t window) {
+  PacketPtr p = PacketPool::Default().AcquireUninitialized(TcpFrameSize(payload));
+  WriteTcpFrame(p->mutable_bytes(), ep, src_port, dst_port, seq, ack, flags,
+                payload, window);
+  return p;
+}
+
+std::vector<uint8_t> BuildIcmpEchoFrame(const FrameEndpoints& ep,
+                                        IcmpType type, uint16_t identifier,
+                                        uint16_t sequence,
+                                        std::span<const uint8_t> payload) {
+  std::vector<uint8_t> frame(IcmpFrameSize(payload));
+  WriteIcmpEchoFrame(frame, ep, type, identifier, sequence, payload);
+  return frame;
+}
+
+PacketPtr BuildIcmpEchoPacket(const FrameEndpoints& ep, IcmpType type,
+                              uint16_t identifier, uint16_t sequence,
+                              std::span<const uint8_t> payload) {
+  PacketPtr p = PacketPool::Default().AcquireUninitialized(IcmpFrameSize(payload));
+  WriteIcmpEchoFrame(p->mutable_bytes(), ep, type, identifier, sequence,
+                     payload);
+  return p;
+}
+
+std::vector<uint8_t> BuildArpRequest(MacAddress sender_mac,
+                                     Ipv4Address sender_ip,
+                                     Ipv4Address target_ip) {
+  std::vector<uint8_t> frame(kArpFrameSize);
+  WriteArpRequest(frame, sender_mac, sender_ip, target_ip);
+  return frame;
+}
+
+PacketPtr BuildArpRequestPacket(MacAddress sender_mac, Ipv4Address sender_ip,
+                                Ipv4Address target_ip) {
+  PacketPtr p = PacketPool::Default().AcquireUninitialized(kArpFrameSize);
+  WriteArpRequest(p->mutable_bytes(), sender_mac, sender_ip, target_ip);
+  return p;
+}
+
+std::vector<uint8_t> BuildArpReply(MacAddress sender_mac,
+                                   Ipv4Address sender_ip,
+                                   MacAddress requester_mac,
+                                   Ipv4Address requester_ip) {
+  std::vector<uint8_t> frame(kArpFrameSize);
+  WriteArpReply(frame, sender_mac, sender_ip, requester_mac, requester_ip);
+  return frame;
+}
+
+PacketPtr BuildArpReplyPacket(MacAddress sender_mac, Ipv4Address sender_ip,
+                              MacAddress requester_mac,
+                              Ipv4Address requester_ip) {
+  PacketPtr p = PacketPool::Default().AcquireUninitialized(kArpFrameSize);
+  WriteArpReply(p->mutable_bytes(), sender_mac, sender_ip, requester_mac,
+                requester_ip);
+  return p;
 }
 
 namespace {

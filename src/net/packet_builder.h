@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/net/headers.h"
+#include "src/net/packet_pool.h"
 #include "src/net/types.h"
 
 namespace norman::net {
@@ -49,6 +50,26 @@ std::vector<uint8_t> BuildArpReply(MacAddress sender_mac,
                                    Ipv4Address sender_ip,
                                    MacAddress requester_mac,
                                    Ipv4Address requester_ip);
+
+// Pooled-packet builders: identical wire frames, but the buffer comes from
+// PacketPool::Default() so steady-state construction performs no heap
+// allocation. These are the hot-path entry points; the std::vector builders
+// above remain for callers that want raw bytes.
+PacketPtr BuildUdpPacket(const FrameEndpoints& ep, uint16_t src_port,
+                         uint16_t dst_port, std::span<const uint8_t> payload,
+                         uint8_t dscp = 0, uint8_t ttl = 64);
+PacketPtr BuildTcpPacket(const FrameEndpoints& ep, uint16_t src_port,
+                         uint16_t dst_port, uint32_t seq, uint32_t ack,
+                         uint8_t flags, std::span<const uint8_t> payload,
+                         uint16_t window = 65535);
+PacketPtr BuildIcmpEchoPacket(const FrameEndpoints& ep, IcmpType type,
+                              uint16_t identifier, uint16_t sequence,
+                              std::span<const uint8_t> payload);
+PacketPtr BuildArpRequestPacket(MacAddress sender_mac, Ipv4Address sender_ip,
+                                Ipv4Address target_ip);
+PacketPtr BuildArpReplyPacket(MacAddress sender_mac, Ipv4Address sender_ip,
+                              MacAddress requester_mac,
+                              Ipv4Address requester_ip);
 
 // In-place rewrites used by the NAT stage: update addresses/ports and fix
 // IPv4 + transport checksums incrementally. Frame must be valid IPv4+UDP/TCP.

@@ -50,6 +50,10 @@ class Scheduler {
  public:
   virtual ~Scheduler() = default;
   virtual std::string_view name() const = 0;
+  // True if Enqueue reads ctx.parsed to classify packets. Disciplines that
+  // ignore the packet contents (FIFO) return false, letting the NIC skip
+  // re-parsing the (possibly stage-rewritten) frame before enqueue.
+  virtual bool NeedsClassification() const { return true; }
   // May drop (returns false) when its queues are full.
   virtual bool Enqueue(net::PacketPtr packet,
                        const overlay::PacketContext& ctx) = 0;

@@ -187,7 +187,9 @@ Status SmartNic::Doorbell(net::ConnectionId conn_id, Nanos now) {
   // The doorbell write starts (or pokes) this connection's descriptor
   // consumer; fetches are paced by the DMA engine, so an application that
   // outruns the NIC observes a full TX ring (backpressure).
-  if (tx_consumer_active_.insert(conn_id).second) {
+  bool& active = tx_consumer_active_[conn_id];
+  if (!active) {
+    active = true;
     sim_->ScheduleAt(std::max(now, sim_->Now()),
                      [this, conn_id] { ConsumeTxRing(conn_id); });
   }
@@ -195,26 +197,40 @@ Status SmartNic::Doorbell(net::ConnectionId conn_id, Nanos now) {
 }
 
 void SmartNic::ConsumeTxRing(net::ConnectionId conn_id) {
-  const auto it = rings_.find(conn_id);
-  if (it == rings_.end()) {
-    tx_consumer_active_.erase(conn_id);
-    return;  // connection torn down
-  }
-  auto pkt = it->second->tx().TryPop();
-  if (!pkt.has_value()) {
-    // Ring drained: stop the consumer and post the drain notification if
-    // the connection asked for it (blocking send support, §4.3).
-    tx_consumer_active_.erase(conn_id);
-    FlowEntry* entry = flow_table_.Lookup(conn_id);
-    if (entry != nullptr && entry->notify_tx_drain) {
-      PostNotification(*entry, NotificationKind::kTxDrained, sim_->Now());
+  // Batched descriptor fetch: each iteration is exactly one old-style
+  // consumer wake-up at virtual time `now`. The loop continues inline only
+  // when the simulator has nothing scheduled at or before the next fetch
+  // time — i.e. the re-arm event would have been the very next event to
+  // run — so eliding it cannot reorder resource serialization and the
+  // virtual-time trace stays bit-identical to unbatched execution.
+  Nanos now = sim_->Now();
+  const uint32_t batch = std::max<uint32_t>(1, options_.tx_fetch_batch);
+  for (uint32_t fetched = 0;;) {
+    const auto it = rings_.find(conn_id);
+    if (it == rings_.end()) {
+      tx_consumer_active_.erase(conn_id);  // teardown: drop the entry too
+      return;
     }
-    return;
+    auto pkt = it->second->tx().TryPop();
+    if (!pkt.has_value()) {
+      // Ring drained: stop the consumer and post the drain notification if
+      // the connection asked for it (blocking send support, §4.3).
+      tx_consumer_active_[conn_id] = false;
+      FlowEntry* entry = flow_table_.Lookup(conn_id);
+      if (entry != nullptr && entry->notify_tx_drain) {
+        PostNotification(*entry, NotificationKind::kTxDrained, now);
+      }
+      return;
+    }
+    ProcessTxDescriptor(std::move(*pkt), conn_id, now);
+    // Next descriptor fetch when the DMA engine frees up.
+    const Nanos next = std::max(dma_engine_.next_free(), now + 1);
+    if (++fetched >= batch || sim_->HasEventAtOrBefore(next)) {
+      sim_->ScheduleAt(next, [this, conn_id] { ConsumeTxRing(conn_id); });
+      return;
+    }
+    now = next;
   }
-  ProcessTxDescriptor(std::move(*pkt), conn_id, sim_->Now());
-  // Next descriptor fetch when the DMA engine frees up.
-  const Nanos next = std::max(dma_engine_.next_free(), sim_->Now() + 1);
-  sim_->ScheduleAt(next, [this, conn_id] { ConsumeTxRing(conn_id); });
 }
 
 void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
@@ -268,9 +284,7 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
     case Verdict::kSoftwareFallback: {
       ++stats_.tx_fallback;
       packet->meta().software_fallback = true;
-      auto* raw = packet.release();
-      sim_->ScheduleAt(stages_done, [this, raw] {
-        net::PacketPtr p(raw);
+      sim_->ScheduleAt(stages_done, [this, p = std::move(packet)]() mutable {
         if (fallback_sink_) {
           fallback_sink_(std::move(p), net::Direction::kTx);
         }
@@ -284,12 +298,16 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
 
   // 3) Hand to the queueing discipline at the time the pipeline finishes,
   // then keep the wire busy.
-  auto* raw = packet.release();
   const overlay::ConnMetadata conn_meta = ctx.conn;
-  sim_->ScheduleAt(stages_done, [this, raw, conn_meta] {
-    net::PacketPtr p(raw);
+  sim_->ScheduleAt(stages_done,
+                   [this, p = std::move(packet), conn_meta]() mutable {
     // Rebuild a minimal context for the scheduler (classification inputs).
-    auto reparsed = net::ParseFrame(p->bytes());
+    // Parse only for disciplines that actually classify; the frame must be
+    // re-parsed here (not reused from above) because stages may rewrite it.
+    std::optional<net::ParsedPacket> reparsed;
+    if (scheduler_->NeedsClassification()) {
+      reparsed = net::ParseFrame(p->bytes());
+    }
     overlay::PacketContext sched_ctx;
     sched_ctx.frame = p->bytes();
     sched_ctx.parsed = reparsed ? &*reparsed : nullptr;
@@ -344,9 +362,8 @@ void SmartNic::DrainWire() {
   const Nanos done = wire_.Serve(now, options_.cost.WireCost(pkt->size()));
   pkt->meta().completed_at = done;
   stats_.tx_bytes_wire += pkt->size();
-  auto* raw = pkt.release();
-  sim_->ScheduleAt(done, [this, raw] {
-    EmitToWire(net::PacketPtr(raw));
+  sim_->ScheduleAt(done, [this, p = std::move(pkt)]() mutable {
+    EmitToWire(std::move(p));
     DrainWire();
   });
 }
@@ -405,9 +422,7 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
       ++stats_.rx_fallback;
     }
     packet->meta().software_fallback = true;
-    auto* raw = packet.release();
-    sim_->ScheduleAt(ready, [this, raw] {
-      net::PacketPtr p(raw);
+    sim_->ScheduleAt(ready, [this, p = std::move(packet)]() mutable {
       if (fallback_sink_) {
         fallback_sink_(std::move(p), net::Direction::kRx);
       }
@@ -437,9 +452,8 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
   ++stats_.dma_transfers;
 
   const net::ConnectionId conn_id = entry->conn_id;
-  auto* raw = packet.release();
-  sim_->ScheduleAt(dma_done, [this, raw, conn_id] {
-    net::PacketPtr p(raw);
+  sim_->ScheduleAt(dma_done,
+                   [this, p = std::move(packet), conn_id]() mutable {
     const auto it = rings_.find(conn_id);
     FlowEntry* e = flow_table_.Lookup(conn_id);
     if (it == rings_.end() || e == nullptr) {

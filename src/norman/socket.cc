@@ -3,6 +3,19 @@
 #include "src/net/parsed_packet.h"
 
 namespace norman {
+namespace {
+
+// Reusable all-zero payload for AllocFrame (the app writes the real payload
+// afterwards through Payload()); grows monotonically, simulator-threaded.
+std::span<const uint8_t> ZeroPayload(size_t n) {
+  static std::vector<uint8_t> zeros;
+  if (zeros.size() < n) {
+    zeros.resize(n, 0);
+  }
+  return std::span<const uint8_t>(zeros).first(n);
+}
+
+}  // namespace
 
 StatusOr<Socket> Socket::Connect(kernel::Kernel* kernel, kernel::Pid pid,
                                  net::Ipv4Address remote_ip,
@@ -33,16 +46,14 @@ net::FrameEndpoints Socket::Endpoints() const {
 
 net::PacketPtr Socket::AllocFrame(size_t payload_size) {
   const auto& t = port_.tuple();
-  std::vector<uint8_t> zero(payload_size, 0);
-  std::vector<uint8_t> bytes;
+  const auto zero = ZeroPayload(payload_size);
   if (t.proto == net::IpProto::kTcp) {
-    bytes = net::BuildTcpFrame(Endpoints(), t.src_port, t.dst_port,
-                               next_tcp_seq_, 0, net::TcpFlags::kAck, zero);
+    auto p = net::BuildTcpPacket(Endpoints(), t.src_port, t.dst_port,
+                                 next_tcp_seq_, 0, net::TcpFlags::kAck, zero);
     next_tcp_seq_ += static_cast<uint32_t>(payload_size);
-  } else {
-    bytes = net::BuildUdpFrame(Endpoints(), t.src_port, t.dst_port, zero);
+    return p;
   }
-  return std::make_unique<net::Packet>(std::move(bytes));
+  return net::BuildUdpPacket(Endpoints(), t.src_port, t.dst_port, zero);
 }
 
 std::span<uint8_t> Socket::Payload(net::Packet& frame) {
@@ -81,16 +92,16 @@ Status Socket::Send(std::span<const uint8_t> payload) {
     return FailedPreconditionError("socket not connected");
   }
   const auto& t = port_.tuple();
-  const std::vector<uint8_t> data(payload.begin(), payload.end());
-  std::vector<uint8_t> bytes;
+  net::PacketPtr frame;
   if (t.proto == net::IpProto::kTcp) {
-    bytes = net::BuildTcpFrame(Endpoints(), t.src_port, t.dst_port,
-                               next_tcp_seq_, 0, net::TcpFlags::kAck, data);
+    frame = net::BuildTcpPacket(Endpoints(), t.src_port, t.dst_port,
+                                next_tcp_seq_, 0, net::TcpFlags::kAck,
+                                payload);
     next_tcp_seq_ += static_cast<uint32_t>(payload.size());
   } else {
-    bytes = net::BuildUdpFrame(Endpoints(), t.src_port, t.dst_port, data);
+    frame = net::BuildUdpPacket(Endpoints(), t.src_port, t.dst_port, payload);
   }
-  return SendFrame(std::make_unique<net::Packet>(std::move(bytes)));
+  return SendFrame(std::move(frame));
 }
 
 net::PacketPtr Socket::RecvFrame() {

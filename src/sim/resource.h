@@ -38,13 +38,19 @@ class Resource {
   Nanos busy_ns() const { return busy_ns_; }
   uint64_t items_served() const { return items_served_; }
 
-  // Fraction of [0, horizon] the resource was busy.
-  double Utilization(Nanos horizon) const {
-    if (horizon <= 0) {
+  // Fraction of [window_start, horizon] the resource was busy. Callers that
+  // Reset() mid-run and measure a trailing window must pass the window's
+  // start time: busy time only accumulates after a Reset(), so dividing by
+  // the full [0, horizon) span (the old behavior, window_start = 0) both
+  // under-reports utilization and, once busy_ns_ exceeds the window, lets
+  // pre-window time clamp incorrectly against the whole horizon.
+  double Utilization(Nanos horizon, Nanos window_start = 0) const {
+    const Nanos span = horizon - window_start;
+    if (span <= 0) {
       return 0.0;
     }
-    return static_cast<double>(std::min(busy_ns_, horizon)) /
-           static_cast<double>(horizon);
+    return static_cast<double>(std::min(busy_ns_, span)) /
+           static_cast<double>(span);
   }
 
   // Explicitly account busy time without serialization (used for polling

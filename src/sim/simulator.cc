@@ -1,26 +1,61 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 
 namespace norman::sim {
 
+Simulator::~Simulator() = default;
+
+Simulator::EventNode* Simulator::AcquireNode() {
+  if (!free_nodes_.empty()) {
+    EventNode* node = free_nodes_.back();
+    free_nodes_.pop_back();
+    node_counters_.RecordAcquire(/*from_free_list=*/true);
+    return node;
+  }
+  if (last_slab_used_ == kSlabNodes) {
+    slabs_.push_back(std::make_unique<EventNode[]>(kSlabNodes));
+    last_slab_used_ = 0;
+  }
+  EventNode* node = &slabs_.back()[last_slab_used_++];
+  node_counters_.RecordAcquire(/*from_free_list=*/false);
+  return node;
+}
+
+void Simulator::ReleaseNode(EventNode* node) {
+  // fn was moved out (or never set); the node returns to the free list and
+  // is never handed back to the allocator while the simulator lives.
+  free_nodes_.push_back(node);
+  node_counters_.RecordRelease(/*kept=*/true);
+}
+
 void Simulator::ScheduleAt(Nanos when, Callback fn) {
   NORMAN_CHECK(when >= now_) << "cannot schedule into the past: " << when
                              << " < " << now_;
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  EventNode* node = AcquireNode();
+  node->when = when;
+  node->seq = next_seq_++;
+  node->fn = std::move(fn);
+  heap_.push_back(node);
+  std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
 }
 
 bool Simulator::Step() {
-  if (queue_.empty()) {
+  if (heap_.empty()) {
     return false;
   }
-  // priority_queue::top() is const; move out via const_cast is safe because
-  // we pop immediately and never touch the moved-from element again.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.when;
+  std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
+  EventNode* node = heap_.back();
+  heap_.pop_back();
+  now_ = node->when;
   ++events_processed_;
-  ev.fn();
+  // Move the callback out and recycle the node *before* invoking, so events
+  // the callback schedules can reuse it immediately.
+  InlineCallback fn = std::move(node->fn);
+  ReleaseNode(node);
+  fn();
   return true;
 }
 
@@ -30,7 +65,7 @@ void Simulator::Run() {
 }
 
 void Simulator::RunUntil(Nanos deadline) {
-  while (!queue_.empty() && queue_.top().when <= deadline) {
+  while (!heap_.empty() && heap_.front()->when <= deadline) {
     Step();
   }
   if (now_ < deadline) {

@@ -1,29 +1,139 @@
 // Discrete-event simulation engine.
 //
-// All Norman experiments run in virtual time: the simulator owns a priority
-// queue of (time, sequence, callback) events. Ties are broken by insertion
-// sequence so runs are fully deterministic. There is no threading; the
-// "cores" of the simulated machine are Resource objects (see resource.h)
-// that serialize work in virtual time.
+// All Norman experiments run in virtual time: the simulator owns a binary
+// heap of (time, sequence, callback) event nodes. Ties are broken by
+// insertion sequence so runs are fully deterministic. There is no
+// threading; the "cores" of the simulated machine are Resource objects
+// (see resource.h) that serialize work in virtual time.
+//
+// The event hot path is allocation-free in steady state: callbacks use a
+// small-buffer-optimized InlineCallback (no std::function heap node for
+// the few-pointer lambdas that dominate scheduling), and event nodes are
+// recycled through a slab-backed free list inside the simulator.
 #ifndef NORMAN_SIM_SIMULATOR_H_
 #define NORMAN_SIM_SIMULATOR_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "src/common/stats.h"
 #include "src/common/units.h"
 
 namespace norman::sim {
 
+// Move-only type-erased void() callable with inline storage. Callables up
+// to kInlineBytes (the common case: lambdas capturing a few pointers and
+// integers) live inside the object; larger ones fall back to a single heap
+// allocation, counted by the owning simulator's pool stats.
+class InlineCallback {
+ public:
+  static constexpr size_t kInlineBytes = 64;
+
+  InlineCallback() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    Emplace(std::forward<F>(f));
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+  explicit operator bool() const { return ops_ != nullptr; }
+  // True when the callable overflowed the inline buffer onto the heap.
+  bool heap_allocated() const { return ops_ != nullptr && ops_->heap; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-construct `dst` storage from `src` storage, then destroy src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+    bool heap;
+  };
+
+  template <typename D>
+  static D*& HeapSlot(void* storage) {
+    return *std::launder(reinterpret_cast<D**>(storage));
+  }
+
+  template <typename F>
+  void Emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      static constexpr Ops kOps = {
+          [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+          [](void* dst, void* src) {
+            D* from = std::launder(reinterpret_cast<D*>(src));
+            ::new (dst) D(std::move(*from));
+            from->~D();
+          },
+          [](void* s) { std::launder(reinterpret_cast<D*>(s))->~D(); },
+          /*heap=*/false};
+      ops_ = &kOps;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          D*(new D(std::forward<F>(f)));
+      static constexpr Ops kOps = {
+          [](void* s) { (*HeapSlot<D>(s))(); },
+          [](void* dst, void* src) {
+            ::new (dst) D*(HeapSlot<D>(src));
+          },
+          [](void* s) { delete HeapSlot<D>(s); },
+          /*heap=*/true};
+      ops_ = &kOps;
+    }
+  }
+
+  void MoveFrom(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
 
   // Current virtual time.
   Nanos Now() const { return now_; }
@@ -46,29 +156,50 @@ class Simulator {
   // Run at most one event; returns false if the queue was empty.
   bool Step();
 
-  bool Idle() const { return queue_.empty(); }
+  bool Idle() const { return heap_.empty(); }
   uint64_t events_processed() const { return events_processed_; }
-  size_t pending_events() const { return queue_.size(); }
+  size_t pending_events() const { return heap_.size(); }
+
+  // True if an already-scheduled event would fire at or before `when`.
+  // Batched device loops use this to detect that an intermediate wake-up
+  // event can be elided without reordering anything (see SmartNic TX fetch).
+  bool HasEventAtOrBefore(Nanos when) const {
+    return !heap_.empty() && heap_.front()->when <= when;
+  }
+
+  // Event-node recycling stats (hits = reused nodes, misses = fresh slab
+  // carves/allocations).
+  const PoolCounters& event_pool() const { return node_counters_; }
 
  private:
-  struct Event {
-    Nanos when;
-    uint64_t seq;
-    Callback fn;
+  struct EventNode {
+    Nanos when = 0;
+    uint64_t seq = 0;
+    InlineCallback fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
+  // Min-heap on (when, seq): comparator says "a fires later than b".
+  struct FiresLater {
+    bool operator()(const EventNode* a, const EventNode* b) const {
+      if (a->when != b->when) {
+        return a->when > b->when;
       }
-      return a.seq > b.seq;
+      return a->seq > b->seq;
     }
   };
+
+  static constexpr size_t kSlabNodes = 256;
+
+  EventNode* AcquireNode();
+  void ReleaseNode(EventNode* node);
 
   Nanos now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventNode*> heap_;
+  std::vector<EventNode*> free_nodes_;
+  std::vector<std::unique_ptr<EventNode[]>> slabs_;
+  size_t last_slab_used_ = kSlabNodes;  // forces a slab on first acquire
+  PoolCounters node_counters_;
 };
 
 }  // namespace norman::sim

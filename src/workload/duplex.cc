@@ -36,9 +36,8 @@ void DuplexTestBed::Wire(Host* from, Host* to) {
       delay += static_cast<Nanos>(
           fault_rng_.NextBounded(static_cast<uint64_t>(options_.jitter_ns)));
     }
-    auto* raw = packet.release();
-    sim_.ScheduleAfter(delay, [this, to, raw] {
-      to->nic->DeliverFromWire(net::PacketPtr(raw), sim_.Now());
+    sim_.ScheduleAfter(delay, [this, to, p = std::move(packet)]() mutable {
+      to->nic->DeliverFromWire(std::move(p), sim_.Now());
     });
   });
 }

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/net/packet_builder.h"
@@ -23,7 +24,7 @@ class CbrSender {
             Nanos interval)
       : sim_(sim),
         socket_(socket),
-        payload_bytes_(payload_bytes),
+        payload_(payload_bytes, 0xab),
         interval_(interval) {}
 
   void Start(Nanos at, Nanos until) {
@@ -39,8 +40,7 @@ class CbrSender {
     if (sim_->Now() >= until_) {
       return;
     }
-    const std::vector<uint8_t> payload(payload_bytes_, 0xab);
-    if (socket_->Send(payload).ok()) {
+    if (socket_->Send(payload_).ok()) {
       ++sent_;
     } else {
       ++failed_;
@@ -50,7 +50,7 @@ class CbrSender {
 
   sim::Simulator* sim_;
   Socket* socket_;
-  size_t payload_bytes_;
+  std::vector<uint8_t> payload_;  // built once; Send copies it into frames
   Nanos interval_;
   Nanos until_ = 0;
   uint64_t sent_ = 0;
@@ -64,7 +64,7 @@ class PoissonSender {
                 Nanos mean_interval, uint64_t seed)
       : sim_(sim),
         socket_(socket),
-        payload_bytes_(payload_bytes),
+        payload_(payload_bytes, 0xcd),
         mean_interval_(mean_interval),
         rng_(seed) {}
 
@@ -80,8 +80,7 @@ class PoissonSender {
     if (sim_->Now() >= until_) {
       return;
     }
-    const std::vector<uint8_t> payload(payload_bytes_, 0xcd);
-    if (socket_->Send(payload).ok()) {
+    if (socket_->Send(payload_).ok()) {
       ++sent_;
     }
     const auto gap = static_cast<Nanos>(
@@ -91,7 +90,7 @@ class PoissonSender {
 
   sim::Simulator* sim_;
   Socket* socket_;
-  size_t payload_bytes_;
+  std::vector<uint8_t> payload_;  // built once; Send copies it into frames
   Nanos mean_interval_;
   Rng rng_;
   Nanos until_ = 0;
@@ -125,10 +124,10 @@ class ArpFlooder {
     if (sim_->Now() >= until_) {
       return;
     }
-    auto frame = std::make_unique<net::Packet>(net::BuildArpRequest(
+    auto frame = net::BuildArpRequestPacket(
         bogus_mac_, claimed_ip_,
         net::Ipv4Address::FromOctets(10, 0, 0,
-                                     static_cast<uint8_t>(sent_ % 250 + 1))));
+                                     static_cast<uint8_t>(sent_ % 250 + 1)));
     if (socket_->SendFrame(std::move(frame)).ok()) {
       ++sent_;
     }
@@ -152,7 +151,7 @@ class BulkSender {
              Nanos attempt_interval = 500)
       : sim_(sim),
         socket_(socket),
-        payload_bytes_(payload_bytes),
+        payload_(payload_bytes, 0xef),
         attempt_interval_(attempt_interval) {}
 
   void Start(Nanos at, Nanos until) {
@@ -168,10 +167,9 @@ class BulkSender {
     if (sim_->Now() >= until_) {
       return;
     }
-    const std::vector<uint8_t> payload(payload_bytes_, 0xef);
     // Publish a burst per tick to amortize scheduling overhead.
     for (int i = 0; i < 8; ++i) {
-      const Status s = socket_->Send(payload);
+      const Status s = socket_->Send(payload_);
       if (s.ok()) {
         ++sent_;
       } else {
@@ -184,7 +182,7 @@ class BulkSender {
 
   sim::Simulator* sim_;
   Socket* socket_;
-  size_t payload_bytes_;
+  std::vector<uint8_t> payload_;  // built once; Send copies it into frames
   Nanos attempt_interval_;
   Nanos until_ = 0;
   uint64_t sent_ = 0;

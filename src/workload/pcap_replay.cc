@@ -1,5 +1,7 @@
 #include "src/workload/pcap_replay.h"
 
+#include "src/net/packet_pool.h"
+
 #include <algorithm>
 
 namespace norman::workload {
@@ -26,10 +28,9 @@ StatusOr<ReplayReport> ReplayPcap(sim::Simulator* sim, nic::SmartNic* nic,
         options.start_at + static_cast<Nanos>(std::max(0.0, scaled));
     // Never schedule into the past (traces may start before Now()).
     const Nanos at = std::max(when, sim->Now());
-    auto packet = std::make_unique<net::Packet>(std::move(rec.bytes));
-    auto* raw = packet.release();
-    sim->ScheduleAt(at, [nic, raw, sim] {
-      nic->DeliverFromWire(net::PacketPtr(raw), sim->Now());
+    auto packet = net::MakePacket(std::move(rec.bytes));
+    sim->ScheduleAt(at, [nic, sim, p = std::move(packet)]() mutable {
+      nic->DeliverFromWire(std::move(p), sim->Now());
     });
     if (first) {
       report.first_at = at;

@@ -25,19 +25,16 @@ void TestBed::HandleEgress(net::PacketPtr packet) {
       auto flow = parsed->flow();
       net::FrameEndpoints ep{parsed->eth.dst, parsed->eth.src, flow->dst_ip,
                              flow->src_ip};
-      const auto payload_off = parsed->payload_offset;
-      std::vector<uint8_t> payload(
-          packet->bytes().begin() + static_cast<ptrdiff_t>(payload_off),
-          packet->bytes().end());
-      std::vector<uint8_t> reply =
+      const auto payload = packet->bytes().subspan(parsed->payload_offset);
+      net::PacketPtr reply =
           parsed->is_udp()
-              ? net::BuildUdpFrame(ep, flow->dst_port, flow->src_port,
-                                   payload)
-              : net::BuildTcpFrame(ep, flow->dst_port, flow->src_port,
-                                   parsed->tcp->ack, parsed->tcp->seq,
-                                   net::TcpFlags::kAck, payload);
+              ? net::BuildUdpPacket(ep, flow->dst_port, flow->src_port,
+                                    payload)
+              : net::BuildTcpPacket(ep, flow->dst_port, flow->src_port,
+                                    parsed->tcp->ack, parsed->tcp->seq,
+                                    net::TcpFlags::kAck, payload);
       // Round trip: propagation out + propagation back.
-      InjectFromNetwork(std::make_unique<net::Packet>(std::move(reply)),
+      InjectFromNetwork(std::move(reply),
                         sim_.Now() + 2 * options_.propagation_delay);
     }
   }
@@ -48,9 +45,8 @@ void TestBed::HandleEgress(net::PacketPtr packet) {
 
 void TestBed::InjectFromNetwork(net::PacketPtr packet, Nanos when) {
   packet->meta().created_at = when;
-  auto* raw = packet.release();
-  sim_.ScheduleAt(when, [this, raw] {
-    nic_->DeliverFromWire(net::PacketPtr(raw), sim_.Now());
+  sim_.ScheduleAt(when, [this, p = std::move(packet)]() mutable {
+    nic_->DeliverFromWire(std::move(p), sim_.Now());
   });
 }
 
@@ -60,9 +56,9 @@ void TestBed::InjectUdpFromPeer(uint16_t src_port, uint16_t dst_port,
                          options_.kernel.host_mac,
                          net::Ipv4Address::FromOctets(10, 0, 0, 2),
                          options_.kernel.host_ip};
-  auto frame = net::BuildUdpFrame(ep, src_port, dst_port,
-                                  std::vector<uint8_t>(payload_size, 0x5a));
-  InjectFromNetwork(std::make_unique<net::Packet>(std::move(frame)), when);
+  const std::vector<uint8_t> payload(payload_size, 0x5a);
+  InjectFromNetwork(net::BuildUdpPacket(ep, src_port, dst_port, payload),
+                    when);
 }
 
 }  // namespace norman::workload

@@ -61,6 +61,30 @@ TEST(DeterminismTest, IdenticalSeedsIdenticalTraces) {
   }
 }
 
+// Golden trace captured on the pre-pooling tree (fresh heap allocation for
+// every packet and event, unbatched TX fetch). The pooled/batched hot path
+// must reproduce the virtual-time behavior bit-for-bit: same frames, same
+// bytes, same final clock, and the same completion timestamp sequence
+// (FNV-1a-hashed here to keep the golden compact). events_processed is
+// deliberately NOT pinned — descriptor batching legitimately elides
+// intermediate fetch wake-ups without reordering any observable event.
+TEST(DeterminismTest, MatchesPrePoolingGoldenTrace) {
+  const RunTrace t = RunWorld(42);
+  EXPECT_EQ(t.egress_frames, 413u);
+  EXPECT_EQ(t.egress_bytes, 202446u);
+  EXPECT_EQ(t.final_time, 5052014);
+  ASSERT_EQ(t.completions.size(), 413u);
+  uint64_t hash = 1469598103934665603ULL;  // FNV-1a 64 offset basis
+  for (const Nanos c : t.completions) {
+    const auto v = static_cast<uint64_t>(c);
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (i * 8)) & 0xff;
+      hash *= 1099511628211ULL;
+    }
+  }
+  EXPECT_EQ(hash, 8587471973237143124ULL);
+}
+
 TEST(DeterminismTest, DifferentSeedsDifferentTraces) {
   const RunTrace a = RunWorld(42);
   const RunTrace b = RunWorld(43);

@@ -10,6 +10,7 @@
 #include "src/overlay/interpreter.h"
 #include "src/overlay/verifier.h"
 #include "src/workload/testbed.h"
+#include "src/net/packet_pool.h"
 
 namespace norman {
 namespace {
@@ -72,7 +73,7 @@ TEST(FuzzTest, GarbageThroughNicRxPathIsSafe) {
   for (int i = 0; i < 2000; ++i) {
     t += rng.NextBounded(1000) + 1;
     bed.InjectFromNetwork(
-        std::make_unique<net::Packet>(SemiValidFrame(rng)), t);
+        net::MakePacket(SemiValidFrame(rng)), t);
   }
   bed.sim().Run();
   // Everything was either dropped, unmatched, or (rarely) delivered —

@@ -6,6 +6,7 @@
 #include "src/norman/socket.h"
 #include "src/workload/generators.h"
 #include "src/workload/testbed.h"
+#include "src/net/packet_pool.h"
 
 namespace norman::kernel {
 namespace {
@@ -204,7 +205,7 @@ TEST_F(KernelEdgeTest, TcpSocketSequenceNumbersAdvance) {
 }
 
 TEST_F(KernelEdgeTest, PayloadViewOfNonIpFrameIsEmpty) {
-  auto frame = std::make_unique<net::Packet>(std::vector<uint8_t>(20, 0));
+  auto frame = net::MakePacket(std::vector<uint8_t>(20, 0));
   EXPECT_TRUE(norman::Socket::Payload(*frame).empty());
 }
 

@@ -7,6 +7,7 @@
 
 #include "src/norman/socket.h"
 #include "src/workload/testbed.h"
+#include "src/net/packet_pool.h"
 
 namespace norman::kernel {
 namespace {
@@ -188,7 +189,7 @@ TEST_F(KernelTest, SoftwareFallbackWhenNicSramExhausted) {
   EXPECT_EQ(d.status().code(), StatusCode::kResourceExhausted);
 
   // Fallback connection still transmits (through the host path + NIC).
-  auto frame = std::make_unique<net::Packet>(net::BuildUdpFrame(
+  auto frame = net::MakePacket(net::BuildUdpFrame(
       net::FrameEndpoints{bed.kernel().options().host_mac,
                           net::MacAddress::ForHost(2),
                           bed.kernel().options().host_ip, kPeerIp},
@@ -307,7 +308,7 @@ TEST_F(KernelTest, SnifferSeesDroppedTraffic) {
 
 TEST_F(KernelTest, ArpRequestsAnsweredFromNic) {
   // A peer ARPs for the host IP; the NIC answers without host involvement.
-  auto req = std::make_unique<net::Packet>(net::BuildArpRequest(
+  auto req = net::MakePacket(net::BuildArpRequest(
       net::MacAddress::ForHost(2), kPeerIp, bed_.kernel().options().host_ip));
   bed_.InjectFromNetwork(std::move(req), 100);
   bed_.sim().Run();

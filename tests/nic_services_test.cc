@@ -6,6 +6,7 @@
 #include "src/norman/socket.h"
 #include "src/overlay/assembler.h"
 #include "src/workload/testbed.h"
+#include "src/net/packet_pool.h"
 
 namespace norman {
 namespace {
@@ -27,7 +28,7 @@ class NicServicesTest : public ::testing::Test {
   net::PacketPtr PingFrame(uint16_t seq, Ipv4Address target) {
     net::FrameEndpoints ep{MacAddress::ForHost(2),
                            bed_.kernel().options().host_mac, kPeerIp, target};
-    return std::make_unique<net::Packet>(net::BuildIcmpEchoFrame(
+    return net::MakePacket(net::BuildIcmpEchoFrame(
         ep, net::IcmpType::kEchoRequest, /*id=*/7, seq,
         std::vector<uint8_t>(24, 0x42)));
   }
@@ -94,7 +95,7 @@ TEST_F(NicServicesTest, CustomTxPolicyDropsLowTtl) {
                                     std::vector<uint8_t>(8, 1), /*dscp=*/0,
                                     /*ttl=*/2);
   ASSERT_TRUE(
-      sock->SendFrame(std::make_unique<net::Packet>(std::move(low_ttl)))
+      sock->SendFrame(net::MakePacket(std::move(low_ttl)))
           .ok());
   bed_.sim().Run();
   EXPECT_EQ(bed_.egress_frames(), 1u);  // dropped by the custom policy

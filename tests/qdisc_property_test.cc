@@ -9,6 +9,7 @@
 #include "src/dataplane/qdisc.h"
 #include "src/nic/fifo_scheduler.h"
 #include "tests/test_util.h"
+#include "src/net/packet_pool.h"
 
 namespace norman::dataplane {
 namespace {
@@ -22,7 +23,7 @@ overlay::PacketContext CtxForUid(uint32_t uid) {
 }
 
 net::PacketPtr SizedPacket(size_t bytes) {
-  return std::make_unique<net::Packet>(std::vector<uint8_t>(bytes, 0x3c));
+  return net::MakePacket(std::vector<uint8_t>(bytes, 0x3c));
 }
 
 // WFQ must divide *bytes*, not packets: a class sending small packets and a

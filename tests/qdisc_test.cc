@@ -6,6 +6,7 @@
 
 #include "src/common/rng.h"
 #include "tests/test_util.h"
+#include "src/net/packet_pool.h"
 
 namespace norman::dataplane {
 namespace {
@@ -22,7 +23,7 @@ net::PacketPtr OwnedPacket(uint32_t uid, size_t payload,
                               ConnMetadata{uid, uid, uid + 100, 1, 0},
                               payload);
   *ctx_out = (*keepalive)->ctx;
-  return std::make_unique<net::Packet>(
+  return net::MakePacket(
       std::vector<uint8_t>((*keepalive)->frame));
 }
 

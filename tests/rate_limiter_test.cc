@@ -8,6 +8,7 @@
 #include "src/workload/generators.h"
 #include "src/workload/testbed.h"
 #include "tests/test_util.h"
+#include "src/net/packet_pool.h"
 
 namespace norman::dataplane {
 namespace {
@@ -18,7 +19,7 @@ using overlay::ConnMetadata;
 net::PacketPtr ConnPacket(net::ConnectionId conn, size_t bytes,
                           overlay::PacketContext* ctx) {
   ctx->conn = ConnMetadata{conn, 1000, 100, 1, 0};
-  return std::make_unique<net::Packet>(std::vector<uint8_t>(bytes, 0x77));
+  return net::MakePacket(std::vector<uint8_t>(bytes, 0x77));
 }
 
 TEST(PacedSchedulerTest, UnlimitedConnectionsPassStraightThrough) {

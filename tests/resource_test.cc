@@ -33,6 +33,24 @@ TEST(ResourceTest, UtilizationOverHorizon) {
   EXPECT_DOUBLE_EQ(r.Utilization(0), 0.0);
 }
 
+TEST(ResourceTest, UtilizationOverWindow) {
+  Resource r("core0");
+  r.Serve(0, 250);
+  r.Serve(250, 250);
+  // Measurement window [600, 1100): all 500ns of busy time landed before
+  // the window opened, but busy_ns is cumulative — the window denominator
+  // just rescales it. The cap keeps the ratio at 1.0 when accumulated busy
+  // time exceeds the window span.
+  EXPECT_DOUBLE_EQ(r.Utilization(1100, /*window_start=*/600), 1.0);
+  EXPECT_DOUBLE_EQ(r.Utilization(1500, 500), 0.5);
+  // Degenerate (empty or inverted) windows report 0 rather than dividing
+  // by zero.
+  EXPECT_DOUBLE_EQ(r.Utilization(600, 600), 0.0);
+  EXPECT_DOUBLE_EQ(r.Utilization(500, 600), 0.0);
+  // Default window_start = 0 preserves the original signature.
+  EXPECT_DOUBLE_EQ(r.Utilization(1000), 0.5);
+}
+
 TEST(ResourceTest, AddBusyAccountsPolling) {
   Resource r("core0");
   r.AddBusy(1000);

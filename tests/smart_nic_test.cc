@@ -49,14 +49,14 @@ class SmartNicTest : public ::testing::Test {
   PacketPtr MakeTxPacket(uint16_t src_port, size_t payload = 64) {
     FrameEndpoints ep{MacAddress::ForHost(1), MacAddress::ForHost(2),
                       kLocalIp, kRemoteIp};
-    return std::make_unique<Packet>(
+    return net::MakePacket(
         BuildUdpFrame(ep, src_port, 80, std::vector<uint8_t>(payload, 0xaa)));
   }
 
   PacketPtr MakeRxPacket(uint16_t dst_port, size_t payload = 64) {
     FrameEndpoints ep{MacAddress::ForHost(2), MacAddress::ForHost(1),
                       kRemoteIp, kLocalIp};
-    return std::make_unique<Packet>(
+    return net::MakePacket(
         BuildUdpFrame(ep, 80, dst_port, std::vector<uint8_t>(payload, 0xbb)));
   }
 

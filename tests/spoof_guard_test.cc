@@ -8,6 +8,7 @@
 #include "src/norman/socket.h"
 #include "src/tools/tools.h"
 #include "src/workload/testbed.h"
+#include "src/net/packet_pool.h"
 
 namespace norman {
 namespace {
@@ -30,7 +31,7 @@ class SpoofGuardTest : public ::testing::Test {
                                  10, 0, 0, 1)) {
     net::FrameEndpoints ep{bed_.kernel().options().host_mac,
                            MacAddress::ForHost(2), src_ip, kPeerIp};
-    return std::make_unique<net::Packet>(net::BuildUdpFrame(
+    return net::MakePacket(net::BuildUdpFrame(
         ep, src_port, dst_port, std::vector<uint8_t>(16, 0x66)));
   }
 
@@ -89,7 +90,7 @@ TEST_F(SpoofGuardTest, ForgedSourceAddressDropped) {
 TEST_F(SpoofGuardTest, GarbageBytesFromRingDropped) {
   auto sock = Socket::Connect(&bed_.kernel(), rogue_pid_, kPeerIp, 80, {});
   ASSERT_TRUE(sock.ok());
-  ASSERT_TRUE(sock->SendFrame(std::make_unique<net::Packet>(
+  ASSERT_TRUE(sock->SendFrame(net::MakePacket(
                       std::vector<uint8_t>(7, 0xff)))  // not even Ethernet
                   .ok());
   bed_.sim().Run();
@@ -102,7 +103,7 @@ TEST_F(SpoofGuardTest, AppArpIsObservableButAllowedByDefault) {
   // attributed — the guard does not silently fix the bug for Alice.
   auto sock = Socket::Connect(&bed_.kernel(), rogue_pid_, kPeerIp, 80, {});
   ASSERT_TRUE(sock.ok());
-  ASSERT_TRUE(sock->SendFrame(std::make_unique<net::Packet>(
+  ASSERT_TRUE(sock->SendFrame(net::MakePacket(
                       net::BuildArpRequest(MacAddress::ForHost(0xbad),
                                            Ipv4Address::FromOctets(
                                                10, 0, 0, 99),
@@ -139,7 +140,7 @@ TEST_F(SpoofGuardTest, StrictModeDropsAppArp) {
 TEST_F(SpoofGuardTest, KernelInjectedFramesExempt) {
   // NIC-generated ARP replies (no conn metadata) must pass: a peer ARPs
   // for the host and the reply reaches the wire.
-  auto req = std::make_unique<net::Packet>(net::BuildArpRequest(
+  auto req = net::MakePacket(net::BuildArpRequest(
       MacAddress::ForHost(2), kPeerIp, bed_.kernel().options().host_ip));
   bed_.InjectFromNetwork(std::move(req), 100);
   bed_.sim().Run();
