@@ -207,10 +207,13 @@ BENCHMARK(BM_BuildUdpFrame);
 // End-to-end packet-forwarding loop (the tentpole acceptance metric): one
 // host with two CBR senders against an echoing peer, identical to the
 // pre-pooling baseline workload. Prints one machine-readable JSON line.
-void RunForwardingReport() {
+// `trace_sample` sets the lifecycle tracer's 1-in-N sampling (0 = off), so
+// the report quantifies tracing overhead at off / 1-in-64 / 1-in-1.
+void RunForwardingReport(uint32_t trace_sample) {
   workload::TestBedOptions opts;
   opts.echo = true;
   workload::TestBed bed(opts);
+  bed.sim().tracer().set_sample_interval(trace_sample);
   bed.DiscardEgress();
   auto& k = bed.kernel();
   k.processes().AddUser(1, "u");
@@ -232,21 +235,28 @@ void RunForwardingReport() {
 
   const double wall_s = std::chrono::duration<double>(t1 - t0).count();
   const uint64_t events = bed.sim().events_processed();
-  const uint64_t packets = bed.nic().stats().tx_seen + bed.nic().stats().rx_seen;
+  const uint64_t packets = bed.nic().stats().tx_seen() + bed.nic().stats().rx_seen();
   const auto& ppool = net::PacketPool::Default().counters();
   const auto& epool = bed.sim().event_pool();
+  // Combined pool view through the real aggregation API, not hand-summing.
+  PoolCounters all{"all"};
+  all.Merge(ppool);
+  all.Merge(epool);
+  bed.sim().metrics().ImportPool(all);  // lands as "pool.all.*" gauges
   std::printf(
-      "{\"bench\":\"forwarding_loop\",\"wall_s\":%.6f,"
+      "{\"bench\":\"forwarding_loop\",\"trace_sample\":%u,\"wall_s\":%.6f,"
       "\"events\":%llu,\"events_per_s\":%.0f,"
       "\"packets\":%llu,\"allocs\":%llu,\"allocs_per_packet\":%.4f,"
-      "\"packet_pool_hit_rate\":%.4f,\"event_pool_hit_rate\":%.4f}\n",
-      wall_s, static_cast<unsigned long long>(events),
+      "\"packet_pool_hit_rate\":%.4f,\"event_pool_hit_rate\":%.4f,"
+      "\"pool_hit_rate_all\":%.4f,\"trace_spans\":%llu}\n",
+      trace_sample, wall_s, static_cast<unsigned long long>(events),
       static_cast<double>(events) / wall_s,
       static_cast<unsigned long long>(packets),
       static_cast<unsigned long long>(allocs),
       packets != 0 ? static_cast<double>(allocs) / static_cast<double>(packets)
                    : 0.0,
-      ppool.HitRate(), epool.HitRate());
+      ppool.HitRate(), epool.HitRate(), all.HitRate(),
+      static_cast<unsigned long long>(bed.sim().tracer().total_recorded()));
 }
 
 }  // namespace
@@ -258,6 +268,9 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  RunForwardingReport();
+  // Tracing overhead sweep: off, 1-in-64, every packet.
+  RunForwardingReport(0);
+  RunForwardingReport(64);
+  RunForwardingReport(1);
   return 0;
 }

@@ -103,7 +103,7 @@ int main() {
   // same TX pipeline.
   std::printf("\nfallback packets traversed the NIC interposition pipeline:"
               " %s\n",
-              bed.nic().stats().tx_seen >= 2 * kBurst ? "yes" : "NO");
+              bed.nic().stats().tx_seen() >= 2 * kBurst ? "yes" : "NO");
 
   std::printf(
       "\nPaper claim reproduced: NIC memory bounds the fast-path connection\n"

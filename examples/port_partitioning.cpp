@@ -67,7 +67,7 @@ int main() {
               static_cast<unsigned long long>(legit),
               static_cast<unsigned long long>(violations));
   std::printf("NIC filter drops: %llu\n\n",
-              static_cast<unsigned long long>(bed.nic().stats().tx_dropped));
+              static_cast<unsigned long long>(bed.nic().stats().tx_dropped()));
 
   std::printf("root# norman-iptables -L -v\n%s",
               tools::IptablesList(k).c_str());

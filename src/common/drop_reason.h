@@ -1,0 +1,60 @@
+// Tagged drop reasons for the interposition dataplane.
+//
+// Every point where the NIC, a dataplane stage, or the kernel slow path
+// discards a packet must attribute the drop to exactly one of these
+// reasons. The SmartNic is the single accounting point: stages report a
+// reason through StageResult, schedulers through last_drop_reason(), and
+// the NIC feeds the per-reason registry counters plus the owner-annotated
+// drop ledger shown by `norman-stat --drops` (paper §4: the administrator
+// must be able to account for every packet, even under kernel bypass).
+#ifndef NORMAN_COMMON_DROP_REASON_H_
+#define NORMAN_COMMON_DROP_REASON_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace norman {
+
+enum class DropReason : uint8_t {
+  kNone = 0,        // not a drop (accepted / fallback)
+  kFilterDeny,      // firewall filter verdict (iptables DROP)
+  kSpoof,           // source identity does not match the flow-table owner
+  kMalformed,       // frame failed to parse
+  kPolicy,          // overlay program verdict (custom policy stage)
+  kNicConsumed,     // terminated on the NIC by design (ARP/ICMP responder)
+  kSramExhausted,   // NIC SRAM / NAT port allocation exhausted
+  kSchedOverflow,   // scheduler / qdisc queue overflow
+  kRateLimited,     // pacer queue overflow (tc-style rate limit)
+  kRingFull,        // RX descriptor ring had no free slot
+  kTtl,             // TTL expired (reserved for a future routing stage)
+  kUnmatched,       // no flow entry and no listener wanted it
+  kCount,           // number of reasons (array sizing), not a reason
+};
+
+inline constexpr size_t kNumDropReasons = static_cast<size_t>(
+    DropReason::kCount);
+
+// Stable snake_case name used in metric names ("nic.tx.drop.filter_deny")
+// and tool output. Indexable in O(1); kCount/invalid map to "invalid".
+constexpr std::string_view DropReasonName(DropReason reason) {
+  switch (reason) {
+    case DropReason::kNone: return "none";
+    case DropReason::kFilterDeny: return "filter_deny";
+    case DropReason::kSpoof: return "spoof";
+    case DropReason::kMalformed: return "malformed";
+    case DropReason::kPolicy: return "policy";
+    case DropReason::kNicConsumed: return "nic_consumed";
+    case DropReason::kSramExhausted: return "sram_exhausted";
+    case DropReason::kSchedOverflow: return "sched_overflow";
+    case DropReason::kRateLimited: return "rate_limited";
+    case DropReason::kRingFull: return "ring_full";
+    case DropReason::kTtl: return "ttl";
+    case DropReason::kUnmatched: return "unmatched";
+    case DropReason::kCount: break;
+  }
+  return "invalid";
+}
+
+}  // namespace norman
+
+#endif  // NORMAN_COMMON_DROP_REASON_H_

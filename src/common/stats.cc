@@ -57,6 +57,15 @@ void PoolCounters::RecordRelease(bool kept) {
   }
 }
 
+void PoolCounters::Merge(const PoolCounters& other) {
+  hits += other.hits;
+  misses += other.misses;
+  releases += other.releases;
+  dropped += other.dropped;
+  outstanding += other.outstanding;
+  high_water += other.high_water;
+}
+
 std::string PoolCounters::Summary() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
@@ -143,7 +152,14 @@ int64_t LatencyHistogram::Percentile(double q) const {
   if (count_ == 0) {
     return 0;
   }
-  q = std::clamp(q, 0.0, 1.0);
+  // Boundary quantiles are exact, not bucket upper bounds: q=0 is the
+  // recorded minimum, q=1 the recorded maximum.
+  if (q <= 0.0) {
+    return min_;
+  }
+  if (q >= 1.0) {
+    return max_;
+  }
   const uint64_t target = static_cast<uint64_t>(
       std::ceil(q * static_cast<double>(count_)));
   uint64_t seen = 0;

@@ -49,7 +49,8 @@ class LatencyHistogram {
   double mean() const;
 
   // Value at quantile q in [0,1]; returns an upper bound of the containing
-  // bucket, matching HdrHistogram convention.
+  // bucket, matching HdrHistogram convention. Boundaries are exact: q<=0
+  // returns min(), q>=1 returns max(), and an empty histogram returns 0.
   int64_t Percentile(double q) const;
 
   int64_t p50() const { return Percentile(0.50); }
@@ -84,6 +85,10 @@ class LatencyHistogram {
 // releases discarded because the free list was at capacity (exhaustion
 // fallback). `outstanding` tracks live objects, `high_water` its maximum.
 struct PoolCounters {
+  // Registry key: counters import as "pool.<name>.*" gauges (see
+  // telemetry::MetricsRegistry::ImportPool). First member so pools can
+  // aggregate-initialize as PoolCounters{"packet"}.
+  std::string name;
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t releases = 0;
@@ -96,6 +101,12 @@ struct PoolCounters {
 
   void RecordAcquire(bool from_free_list);
   void RecordRelease(bool kept);
+
+  // Accumulate `other` into this aggregate: event counts and outstanding
+  // sum; high_water sums too (upper bound on combined peak live objects —
+  // the capacity-planning figure for "all pools together"). `name` is
+  // kept, so an aggregate like PoolCounters{"all"} keeps its own key.
+  void Merge(const PoolCounters& other);
 
   // "hits=120 misses=8 hit_rate=93.8% outstanding=4 high_water=12"
   std::string Summary() const;

@@ -53,6 +53,7 @@ nic::StageResult ArpService::Process(net::Packet& packet,
     ++replies_generated_;
     // The request was consumed by the NIC; no host delivery needed.
     result.verdict = nic::Verdict::kDrop;
+    result.drop_reason = DropReason::kNicConsumed;
   }
   return result;
 }

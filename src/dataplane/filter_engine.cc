@@ -194,6 +194,7 @@ nic::StageResult FilterEngine::Process(net::Packet& /*packet*/,
       break;
     case FilterAction::kDrop:
       result.verdict = nic::Verdict::kDrop;
+      result.drop_reason = DropReason::kFilterDeny;
       break;
     case FilterAction::kSoftwareFallback:
       result.verdict = nic::Verdict::kSoftwareFallback;

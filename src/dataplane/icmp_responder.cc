@@ -24,6 +24,7 @@ nic::StageResult IcmpResponder::Process(net::Packet& packet,
   }
   ++echo_replies_;
   result.verdict = nic::Verdict::kDrop;  // consumed by the NIC
+  result.drop_reason = DropReason::kNicConsumed;
   return result;
 }
 

@@ -57,6 +57,7 @@ nic::StageResult NatEngine::Process(net::Packet& packet,
         // un-NATed private addresses.
         ++exhausted_drops_;
         result.verdict = nic::Verdict::kDrop;
+        result.drop_reason = DropReason::kSramExhausted;
         return result;
       }
       const Mapping m{flow->src_ip, flow->src_port, public_port};

@@ -19,6 +19,7 @@ nic::StageResult OverlayStage::Process(net::Packet& /*packet*/,
   switch (exec->verdict) {
     case 0:
       result.verdict = nic::Verdict::kDrop;
+      result.drop_reason = DropReason::kPolicy;
       break;
     case 2:
       result.verdict = nic::Verdict::kSoftwareFallback;

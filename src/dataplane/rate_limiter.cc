@@ -82,11 +82,16 @@ bool PacedScheduler::Enqueue(net::PacketPtr packet,
                              const overlay::PacketContext& ctx) {
   const auto it = flows_.find(ctx.conn.conn_id);
   if (it == flows_.end()) {
-    return inner_->Enqueue(std::move(packet), ctx);  // unlimited
+    if (!inner_->Enqueue(std::move(packet), ctx)) {  // unlimited
+      last_drop_reason_ = inner_->last_drop_reason();
+      return false;
+    }
+    return true;
   }
   FlowPacer& pacer = it->second;
   if (pacer.queue.size() >= per_conn_capacity_) {
     ++paced_drops_;
+    last_drop_reason_ = DropReason::kRateLimited;
     return false;
   }
   pending_meta_[packet.get()] = ctx.conn;
@@ -112,7 +117,12 @@ void PacedScheduler::ReleaseConformant(Nanos now) {
         ctx.conn = meta->second;
         pending_meta_.erase(meta);
       }
-      (void)inner_->Enqueue(std::move(p), ctx);
+      if (!inner_->Enqueue(std::move(p), ctx)) {
+        // The inner discipline refused a packet the pacer had already
+        // admitted; the NIC cannot see this hand-off, so account it here.
+        ++inner_overflow_drops_;
+        last_drop_reason_ = inner_->last_drop_reason();
+      }
     }
   }
 }

@@ -52,8 +52,14 @@ class PacedScheduler : public nic::Scheduler {
   net::PacketPtr Dequeue(Nanos now) override;
   Nanos NextEligibleTime(Nanos now) const override;
   size_t backlog_packets() const override;
+  // A pacer-queue overflow is a rate-limit drop; a refusal by the inner
+  // discipline keeps the inner discipline's reason (queue overflow).
+  DropReason last_drop_reason() const override { return last_drop_reason_; }
 
   uint64_t paced_drops() const { return paced_drops_; }
+  // Packets the pacer released but the inner discipline refused (inner
+  // queue overflow at hand-off time).
+  uint64_t inner_overflow_drops() const { return inner_overflow_drops_; }
 
   // Backlog already released to the inner discipline (i.e. contending for
   // the link, not waiting on a pacer) — the congestion signal a kernel
@@ -83,6 +89,8 @@ class PacedScheduler : public nic::Scheduler {
   // conn metadata captured at enqueue.
   std::map<const net::Packet*, overlay::ConnMetadata> pending_meta_;
   uint64_t paced_drops_ = 0;
+  uint64_t inner_overflow_drops_ = 0;
+  DropReason last_drop_reason_ = DropReason::kSchedOverflow;
 };
 
 }  // namespace norman::dataplane

@@ -21,12 +21,14 @@ nic::StageResult SpoofGuard::Process(net::Packet& packet,
     // Unparseable bytes from an app ring: never let them out.
     ++spoofed_drops_;
     result.verdict = nic::Verdict::kDrop;
+    result.drop_reason = DropReason::kMalformed;
     return result;
   }
   if (ctx.parsed->is_arp()) {
     if (strict_arp_) {
       ++spoofed_drops_;
       result.verdict = nic::Verdict::kDrop;
+      result.drop_reason = DropReason::kSpoof;
     }
     return result;  // observable-but-allowed by default (§2 debugging)
   }
@@ -34,6 +36,7 @@ nic::StageResult SpoofGuard::Process(net::Packet& packet,
   if (!flow || *flow != entry->tuple) {
     ++spoofed_drops_;
     result.verdict = nic::Verdict::kDrop;
+    result.drop_reason = DropReason::kSpoof;
   }
   return result;
 }

@@ -6,6 +6,10 @@ namespace norman::kernel {
 
 Kernel::Kernel(sim::Simulator* sim, nic::SmartNic* nic, Options options)
     : sim_(sim), nic_(nic), options_(options) {
+  drop_malformed_ = sim_->metrics().GetCounter("kernel.drop.malformed");
+  drop_unmatched_ = sim_->metrics().GetCounter("kernel.drop.unmatched");
+  drop_sram_exhausted_ =
+      sim_->metrics().GetCounter("kernel.drop.sram_exhausted");
   nic_cp_ = nic_->TakeControlPlane();
   NORMAN_CHECK(nic_cp_ != nullptr)
       << "NIC control plane already taken: only the kernel may own it";
@@ -220,7 +224,7 @@ void Kernel::HandleHostPacket(net::PacketPtr packet, net::Direction dir) {
   // Unmatched RX: dispatch against the listen table.
   auto parsed = net::ParseFrame(packet->bytes());
   if (!parsed || !parsed->flow()) {
-    ++unmatched_rx_dropped_;
+    drop_malformed_->Increment();
     return;
   }
   const auto inbound = *parsed->flow();
@@ -228,13 +232,13 @@ void Kernel::HandleHostPacket(net::PacketPtr packet, net::Direction dir) {
                                   static_cast<uint8_t>(inbound.proto));
   const auto it = listeners_.find(key);
   if (it == listeners_.end() || inbound.dst_ip != options_.host_ip) {
-    ++unmatched_rx_dropped_;
+    drop_unmatched_->Increment();
     return;
   }
   ListenState& listener = it->second;
   Process* proc = processes_.Lookup(listener.pid);
   if (proc == nullptr || proc->state == ProcessState::kExited) {
-    ++unmatched_rx_dropped_;
+    drop_unmatched_->Increment();
     return;
   }
 
@@ -253,7 +257,7 @@ void Kernel::HandleHostPacket(net::PacketPtr packet, net::Direction dir) {
   entry.notify_tx_drain = listener.accept_opts.notify_tx_drain;
   const Status install = nic_cp_->InstallFlow(entry);
   if (!install.ok()) {
-    ++unmatched_rx_dropped_;  // NIC full and no fallback for servers (yet)
+    drop_sram_exhausted_->Increment();  // NIC full, no server fallback (yet)
     return;
   }
   if (entry.notify_rx || entry.notify_tx_drain) {

@@ -192,6 +192,13 @@ class Kernel {
   // On-demand housekeeping (conntrack GC). Tools call this before reads.
   void Housekeeping();
 
+  // Host-slow-path drops, itemized in the registry as "kernel.drop.*"
+  // (malformed / unmatched / sram_exhausted).
+  uint64_t slow_path_drops() const {
+    return drop_malformed_->value() + drop_unmatched_->value() +
+           drop_sram_exhausted_->value();
+  }
+
  private:
   struct FallbackConn {
     net::FiveTuple tuple;
@@ -246,7 +253,11 @@ class Kernel {
   };
   // (local_port, proto) -> listener.
   std::map<std::pair<uint16_t, uint8_t>, ListenState> listeners_;
-  uint64_t unmatched_rx_dropped_ = 0;
+  // Slow-path drop accounting ("kernel.drop.*" in the registry): packets
+  // the NIC diverted to the host that the kernel then had to discard.
+  telemetry::Counter* drop_malformed_ = nullptr;
+  telemetry::Counter* drop_unmatched_ = nullptr;
+  telemetry::Counter* drop_sram_exhausted_ = nullptr;
 
   // Handles packets the NIC diverted to the host (unmatched RX -> listen
   // dispatch; TX fallback completions).

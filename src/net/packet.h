@@ -36,6 +36,12 @@ struct PacketMeta {
   uint16_t rx_queue = 0;      // RSS result (RX only)
   uint32_t flow_hash = 0;
   bool software_fallback = false;  // diverted through host slow path (E7)
+  // Lifecycle tracing (telemetry::PacketTracer): nonzero when this packet
+  // was sampled at NIC arrival; spans are recorded under this id.
+  uint32_t trace_id = 0;
+  // When the TX scheduler accepted the packet (start of the qdisc-wait
+  // span; meaningful only while trace_id != 0).
+  Nanos sched_enqueued_at = 0;
 };
 
 class PacketPool;

@@ -71,7 +71,7 @@ class PacketPool {
 
   size_t max_free_per_bucket_;
   std::array<std::vector<Packet*>, kNumBuckets + 1> free_;  // +1: oversize
-  PoolCounters counters_;
+  PoolCounters counters_{"packet"};
 };
 
 // Pool-backed construction helpers (the replacements for

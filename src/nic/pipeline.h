@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "src/common/drop_reason.h"
 #include "src/common/units.h"
 #include "src/net/packet.h"
 #include "src/overlay/packet_context.h"
@@ -30,6 +31,9 @@ struct StageResult {
   Verdict verdict = Verdict::kAccept;
   // Overlay instructions executed (charged at overlay_instr_ns each).
   uint32_t overlay_instructions = 0;
+  // Why, when verdict == kDrop. Stages returning kDrop must tag a reason;
+  // the NIC attributes the drop to exactly one reason counter.
+  DropReason drop_reason = DropReason::kNone;
 };
 
 // A match/action stage (filter, sniffer, counter). Stages must not block;
@@ -65,6 +69,11 @@ class Scheduler {
   // empty or immediately eligible.
   virtual Nanos NextEligibleTime(Nanos now) const = 0;
   virtual size_t backlog_packets() const = 0;
+  // Why the most recent Enqueue() returned false. Plain queue overflow is
+  // the default; pacing disciplines override to report kRateLimited.
+  virtual DropReason last_drop_reason() const {
+    return DropReason::kSchedOverflow;
+  }
 };
 
 }  // namespace norman::nic

@@ -1,5 +1,6 @@
 #include "src/nic/smart_nic.h"
 
+#include <string>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -8,13 +9,122 @@
 
 namespace norman::nic {
 
+namespace {
+
+// Stages returning kDrop without tagging a reason (custom test stages,
+// overlay verdicts) are attributed to the policy bucket so every drop
+// still lands in exactly one reason counter.
+DropReason NormalizeDropReason(DropReason reason) {
+  return reason == DropReason::kNone ? DropReason::kPolicy : reason;
+}
+
+}  // namespace
+
+NicStats::NicStats(telemetry::MetricsRegistry* registry) {
+  tx_seen_ = registry->GetCounter("nic.tx.seen");
+  tx_accepted_ = registry->GetCounter("nic.tx.accepted");
+  tx_fallback_ = registry->GetCounter("nic.tx.fallback");
+  tx_bytes_wire_ = registry->GetCounter("nic.tx.bytes_wire");
+  rx_seen_ = registry->GetCounter("nic.rx.seen");
+  rx_accepted_ = registry->GetCounter("nic.rx.accepted");
+  rx_fallback_ = registry->GetCounter("nic.rx.fallback");
+  rx_unmatched_ = registry->GetCounter("nic.rx.unmatched");
+  dma_transfers_ = registry->GetCounter("nic.dma.transfers");
+  overlay_instructions_ = registry->GetCounter("nic.overlay.instructions");
+  // Register every reason eagerly (slot 0 / kNone stays null): the metric
+  // inventory is shape-stable whether or not a reason fired, which is what
+  // lets CI diff it against the checked-in manifest.
+  for (size_t r = 1; r < kNumDropReasons; ++r) {
+    const std::string suffix(DropReasonName(static_cast<DropReason>(r)));
+    tx_drop_[r] = registry->GetCounter("nic.tx.drop." + suffix);
+    rx_drop_[r] = registry->GetCounter("nic.rx.drop." + suffix);
+  }
+}
+
+// Scheduler-side reasons are accounted under tx_sched_dropped() /
+// rx_ring_overflow(), not the pipeline-verdict aggregates.
+uint64_t NicStats::tx_dropped() const {
+  uint64_t sum = 0;
+  for (size_t r = 1; r < kNumDropReasons; ++r) {
+    const auto reason = static_cast<DropReason>(r);
+    if (reason == DropReason::kSchedOverflow ||
+        reason == DropReason::kRateLimited ||
+        reason == DropReason::kRingFull) {
+      continue;
+    }
+    sum += tx_drop_[r]->value();
+  }
+  return sum;
+}
+
+uint64_t NicStats::rx_dropped() const {
+  uint64_t sum = 0;
+  for (size_t r = 1; r < kNumDropReasons; ++r) {
+    const auto reason = static_cast<DropReason>(r);
+    if (reason == DropReason::kSchedOverflow ||
+        reason == DropReason::kRateLimited ||
+        reason == DropReason::kRingFull) {
+      continue;
+    }
+    sum += rx_drop_[r]->value();
+  }
+  return sum;
+}
+
+uint64_t NicStats::total_drops() const {
+  uint64_t sum = 0;
+  for (size_t r = 1; r < kNumDropReasons; ++r) {
+    sum += tx_drop_[r]->value() + rx_drop_[r]->value();
+  }
+  return sum;
+}
+
+std::vector<NicStats::DropRecord> NicStats::DropLedger() const {
+  std::vector<DropRecord> out;
+  out.reserve(ledger_.size());
+  for (const auto& [key, count] : ledger_) {
+    out.push_back(DropRecord{static_cast<net::Direction>(std::get<0>(key)),
+                             static_cast<DropReason>(std::get<1>(key)),
+                             std::get<2>(key), count});
+  }
+  return out;
+}
+
+void NicStats::RecordDrop(net::Direction dir, DropReason reason,
+                          uint32_t owner_pid) {
+  const auto r = static_cast<size_t>(reason);
+  NORMAN_CHECK(r > 0 && r < kNumDropReasons);
+  (dir == net::Direction::kTx ? tx_drop_ : rx_drop_)[r]->Increment();
+  ++ledger_[{static_cast<uint8_t>(dir), static_cast<uint8_t>(reason),
+             owner_pid}];
+}
+
+void NicStats::Reset() {
+  tx_seen_->Reset();
+  tx_accepted_->Reset();
+  tx_fallback_->Reset();
+  tx_bytes_wire_->Reset();
+  rx_seen_->Reset();
+  rx_accepted_->Reset();
+  rx_fallback_->Reset();
+  rx_unmatched_->Reset();
+  dma_transfers_->Reset();
+  overlay_instructions_->Reset();
+  for (size_t r = 1; r < kNumDropReasons; ++r) {
+    tx_drop_[r]->Reset();
+    rx_drop_[r]->Reset();
+  }
+  ledger_.clear();
+}
+
 SmartNic::SmartNic(sim::Simulator* sim, Options options)
     : sim_(sim),
       options_(options),
       sram_(options.sram_bytes),
       flow_table_(&sram_),
       rss_(options.num_rx_queues),
-      scheduler_(std::make_unique<FifoScheduler>()) {}
+      scheduler_(std::make_unique<FifoScheduler>()),
+      stats_(&sim->metrics()) {}
 
 SmartNic::~SmartNic() = default;
 
@@ -167,13 +277,26 @@ overlay::PacketContext SmartNic::MakeContext(const net::Packet& packet,
 
 StageResult SmartNic::RunStages(const std::vector<PipelineStage*>& stages,
                                 net::Packet& packet,
-                                const overlay::PacketContext& ctx) {
+                                const overlay::PacketContext& ctx,
+                                Nanos stage_start, uint32_t trace_id) {
   StageResult aggregate;
   for (PipelineStage* stage : stages) {
     const StageResult r = stage->Process(packet, ctx);
     aggregate.overlay_instructions += r.overlay_instructions;
+    if (trace_id != 0) {
+      // Each executed stage occupies stage latency plus its own overlay
+      // instructions; spans are laid end to end from `stage_start` so the
+      // chain tiles exactly onto the cost model's stage window.
+      const Nanos span_end =
+          stage_start + options_.cost.nic_stage_latency_ns +
+          static_cast<Nanos>(r.overlay_instructions) *
+              options_.cost.overlay_instr_ns;
+      sim_->tracer().Record(trace_id, stage->name(), stage_start, span_end);
+      stage_start = span_end;
+    }
     if (r.verdict != Verdict::kAccept) {
       aggregate.verdict = r.verdict;
+      aggregate.drop_reason = r.drop_reason;
       return aggregate;
     }
   }
@@ -235,8 +358,12 @@ void SmartNic::ConsumeTxRing(net::ConnectionId conn_id) {
 
 void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
                                    net::ConnectionId conn_id, Nanos now) {
-  ++stats_.tx_seen;
+  stats_.tx_seen_->Increment();
   FlowEntry* entry = flow_table_.Lookup(conn_id);
+
+  // Lifecycle tracing: deterministic 1-in-N arrival sampling. A zero id
+  // makes every Record() below a no-op; virtual time is never touched.
+  const uint32_t trace_id = sim_->tracer().SampleArrival();
 
   // 1) DMA-fetch the payload from the host ring (DDIO hit or DRAM miss).
   const uint64_t ring_ws =
@@ -244,11 +371,13 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
   const bool ddio_hit = ddio_.Access(TxRingId(conn_id), ring_ws);
   const Nanos dma_done = dma_engine_.Serve(
       now, options_.cost.DmaCost(packet->size(), ddio_hit));
-  ++stats_.dma_transfers;
+  stats_.dma_transfers_->Increment();
+  sim_->tracer().Record(trace_id, "tx.dma", now, dma_done);
 
   // 2) Pipeline occupancy (line-rate cap) + per-stage latency.
   const Nanos pipe_done =
       pipeline_.Serve(dma_done, options_.cost.NicPipelineOccupancy());
+  sim_->tracer().Record(trace_id, "tx.pipeline", dma_done, pipe_done);
 
   auto parsed = net::ParseFrame(packet->bytes());
   const overlay::PacketContext ctx = MakeContext(
@@ -256,15 +385,17 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
   packet->meta().direction = net::Direction::kTx;
   packet->meta().connection = conn_id;
   packet->meta().nic_arrival = now;
+  packet->meta().trace_id = trace_id;
 
-  StageResult result = RunStages(tx_stages_, *packet, ctx);
+  StageResult result =
+      RunStages(tx_stages_, *packet, ctx, pipe_done, trace_id);
   // A packet already diverted once (software path) is not diverted again —
   // repeat FALLBACK verdicts pass through, preventing divert loops.
   if (result.verdict == Verdict::kSoftwareFallback &&
       packet->meta().software_fallback) {
     result.verdict = Verdict::kAccept;
   }
-  stats_.overlay_instructions += result.overlay_instructions;
+  stats_.overlay_instructions_->Increment(result.overlay_instructions);
   const Nanos stages_done =
       pipe_done +
       static_cast<Nanos>(tx_stages_.size()) *
@@ -279,10 +410,12 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
 
   switch (result.verdict) {
     case Verdict::kDrop:
-      ++stats_.tx_dropped;
+      stats_.RecordDrop(net::Direction::kTx,
+                        NormalizeDropReason(result.drop_reason),
+                        ctx.conn.owner_pid);
       return;
     case Verdict::kSoftwareFallback: {
-      ++stats_.tx_fallback;
+      stats_.tx_fallback_->Increment();
       packet->meta().software_fallback = true;
       sim_->ScheduleAt(stages_done, [this, p = std::move(packet)]() mutable {
         if (fallback_sink_) {
@@ -294,7 +427,7 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
     case Verdict::kAccept:
       break;
   }
-  ++stats_.tx_accepted;
+  stats_.tx_accepted_->Increment();
 
   // 3) Hand to the queueing discipline at the time the pipeline finishes,
   // then keep the wire busy.
@@ -313,8 +446,10 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
     sched_ctx.parsed = reparsed ? &*reparsed : nullptr;
     sched_ctx.conn = conn_meta;
     sched_ctx.direction = net::Direction::kTx;
+    p->meta().sched_enqueued_at = sim_->Now();
     if (!scheduler_->Enqueue(std::move(p), sched_ctx)) {
-      ++stats_.tx_sched_dropped;
+      stats_.RecordDrop(net::Direction::kTx, scheduler_->last_drop_reason(),
+                        conn_meta.owner_pid);
       return;
     }
     DrainWire();
@@ -360,8 +495,14 @@ void SmartNic::DrainWire() {
     return;
   }
   const Nanos done = wire_.Serve(now, options_.cost.WireCost(pkt->size()));
+  if (pkt->meta().trace_id != 0) {
+    // Time parked in the discipline, then serialization onto the wire.
+    sim_->tracer().Record(pkt->meta().trace_id, "tx.qdisc",
+                          pkt->meta().sched_enqueued_at, now);
+    sim_->tracer().Record(pkt->meta().trace_id, "tx.wire", now, done);
+  }
   pkt->meta().completed_at = done;
-  stats_.tx_bytes_wire += pkt->size();
+  stats_.tx_bytes_wire_->Increment(pkt->size());
   sim_->ScheduleAt(done, [this, p = std::move(pkt)]() mutable {
     EmitToWire(std::move(p));
     DrainWire();
@@ -384,12 +525,15 @@ void SmartNic::PostNotification(const FlowEntry& entry, NotificationKind kind,
 }
 
 void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
-  ++stats_.rx_seen;
+  stats_.rx_seen_->Increment();
   packet->meta().direction = net::Direction::kRx;
   packet->meta().nic_arrival = now;
+  const uint32_t trace_id = sim_->tracer().SampleArrival();
+  packet->meta().trace_id = trace_id;
 
   const Nanos pipe_done =
       pipeline_.Serve(now, options_.cost.NicPipelineOccupancy());
+  sim_->tracer().Record(trace_id, "rx.pipeline", now, pipe_done);
 
   auto parsed = net::ParseFrame(packet->bytes());
   FlowEntry* entry = nullptr;
@@ -401,8 +545,9 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
   const overlay::PacketContext ctx = MakeContext(
       *packet, parsed ? &*parsed : nullptr, entry, net::Direction::kRx);
 
-  StageResult result = RunStages(rx_stages_, *packet, ctx);
-  stats_.overlay_instructions += result.overlay_instructions;
+  StageResult result =
+      RunStages(rx_stages_, *packet, ctx, pipe_done, trace_id);
+  stats_.overlay_instructions_->Increment(result.overlay_instructions);
   Nanos ready = pipe_done +
                 static_cast<Nanos>(rx_stages_.size()) *
                     options_.cost.nic_stage_latency_ns +
@@ -410,16 +555,18 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
                     options_.cost.overlay_instr_ns;
 
   if (result.verdict == Verdict::kDrop) {
-    ++stats_.rx_dropped;
+    stats_.RecordDrop(net::Direction::kRx,
+                      NormalizeDropReason(result.drop_reason),
+                      ctx.conn.owner_pid);
     return;
   }
 
   if (entry == nullptr || result.verdict == Verdict::kSoftwareFallback) {
     // No registered connection (or explicitly diverted): host slow path.
     if (entry == nullptr) {
-      ++stats_.rx_unmatched;
+      stats_.rx_unmatched_->Increment();
     } else {
-      ++stats_.rx_fallback;
+      stats_.rx_fallback_->Increment();
     }
     packet->meta().software_fallback = true;
     sim_->ScheduleAt(ready, [this, p = std::move(packet)]() mutable {
@@ -437,6 +584,9 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
       queue = rss_.Steer(*flow);
     }
   }
+  // Steering is combinational (zero cost-model time); the zero-width span
+  // still marks the RSS decision point on a traced packet's track.
+  sim_->tracer().Record(trace_id, "rx.rss", ready, ready);
   packet->meta().rx_queue = queue;
   packet->meta().connection = entry->conn_id;
   ++entry->rx_packets;
@@ -449,7 +599,8 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
                                          : kHotWorkingSetBytes);
   const Nanos dma_done = dma_engine_.Serve(
       ready, options_.cost.DmaCost(packet->size(), ddio_hit));
-  ++stats_.dma_transfers;
+  stats_.dma_transfers_->Increment();
+  sim_->tracer().Record(trace_id, "rx.dma", ready, dma_done);
 
   const net::ConnectionId conn_id = entry->conn_id;
   sim_->ScheduleAt(dma_done,
@@ -460,11 +611,17 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
       return;  // connection torn down in flight
     }
     p->meta().completed_at = sim_->Now();
+    const uint32_t tid = p->meta().trace_id;
+    const Nanos ring_at = p->meta().completed_at;
     if (!it->second->rx().TryPush(std::move(p))) {
-      ++stats_.rx_ring_overflow;
+      stats_.RecordDrop(net::Direction::kRx, DropReason::kRingFull,
+                        e->owner.owner_pid);
       return;
     }
-    ++stats_.rx_accepted;
+    // Delivery into the app-visible ring (zero-width: the push itself is
+    // instantaneous in the cost model; the wait was charged to rx.dma).
+    sim_->tracer().Record(tid, "rx.ring", ring_at, ring_at);
+    stats_.rx_accepted_->Increment();
     if (e->notify_rx) {
       PostNotification(*e, NotificationKind::kRxData, sim_->Now());
     }

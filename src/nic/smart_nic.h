@@ -19,12 +19,16 @@
 
 #include <array>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/drop_reason.h"
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/net/packet.h"
@@ -48,21 +52,90 @@ namespace norman::nic {
 // scheduler parameters, spare).
 inline constexpr size_t kNumOverlaySlots = 4;
 
-struct NicStats {
-  uint64_t tx_seen = 0;
-  uint64_t tx_accepted = 0;
-  uint64_t tx_dropped = 0;           // by filter verdict
-  uint64_t tx_sched_dropped = 0;     // by scheduler queue overflow
-  uint64_t tx_fallback = 0;
-  uint64_t tx_bytes_wire = 0;
-  uint64_t rx_seen = 0;
-  uint64_t rx_accepted = 0;
-  uint64_t rx_dropped = 0;
-  uint64_t rx_fallback = 0;
-  uint64_t rx_ring_overflow = 0;
-  uint64_t rx_unmatched = 0;         // no flow entry -> host slow path
-  uint64_t dma_transfers = 0;
-  uint64_t overlay_instructions = 0;
+// NIC datapath statistics, registry-backed: every field is a
+// telemetry::Counter registered under "nic.*" in the owning simulator's
+// MetricsRegistry, so `norman-stat`, JSON export, and the CI manifest all
+// see the same numbers the accessors below return. Hot-path increments are
+// pointer-indirect adds — same cost as the bare struct this replaces.
+//
+// Drops are first-class: every discarded packet lands in exactly one
+// per-reason counter ("nic.tx.drop.<reason>" / "nic.rx.drop.<reason>")
+// plus an owner-annotated ledger keyed (direction, reason, owner pid) that
+// `norman-stat --drops` renders. The legacy aggregate fields (tx_dropped,
+// rx_ring_overflow, ...) are derived sums over those reason counters.
+class NicStats {
+ public:
+  explicit NicStats(telemetry::MetricsRegistry* registry);
+
+  uint64_t tx_seen() const { return tx_seen_->value(); }
+  uint64_t tx_accepted() const { return tx_accepted_->value(); }
+  // Pipeline-verdict drops (stage said kDrop), all reasons summed.
+  uint64_t tx_dropped() const;
+  // Scheduler-side drops: queue overflow + pacer rate limiting.
+  uint64_t tx_sched_dropped() const {
+    return tx_drops(DropReason::kSchedOverflow) +
+           tx_drops(DropReason::kRateLimited);
+  }
+  uint64_t tx_fallback() const { return tx_fallback_->value(); }
+  uint64_t tx_bytes_wire() const { return tx_bytes_wire_->value(); }
+  uint64_t rx_seen() const { return rx_seen_->value(); }
+  uint64_t rx_accepted() const { return rx_accepted_->value(); }
+  uint64_t rx_dropped() const;
+  uint64_t rx_fallback() const { return rx_fallback_->value(); }
+  uint64_t rx_ring_overflow() const {
+    return rx_drops(DropReason::kRingFull);
+  }
+  uint64_t rx_unmatched() const { return rx_unmatched_->value(); }
+  uint64_t dma_transfers() const { return dma_transfers_->value(); }
+  uint64_t overlay_instructions() const {
+    return overlay_instructions_->value();
+  }
+
+  uint64_t tx_drops(DropReason reason) const {
+    return tx_drop_[static_cast<size_t>(reason)]->value();
+  }
+  uint64_t rx_drops(DropReason reason) const {
+    return rx_drop_[static_cast<size_t>(reason)]->value();
+  }
+  uint64_t total_drops() const;
+
+  // One ledger row per (direction, reason, owning pid) with a nonzero
+  // count; pid 0 means "no registered owner" (unmatched wire traffic).
+  struct DropRecord {
+    net::Direction direction;
+    DropReason reason;
+    uint32_t owner_pid;
+    uint64_t count;
+  };
+  // Sorted by (direction, reason, pid) — deterministic render order.
+  std::vector<DropRecord> DropLedger() const;
+
+  // The single accounting point: bumps the per-reason counter and the
+  // owner ledger. `reason` must not be kNone.
+  void RecordDrop(net::Direction dir, DropReason reason, uint32_t owner_pid);
+
+  // Zero this NIC's counters and ledger (registrations survive; other
+  // metrics in the registry are untouched).
+  void Reset();
+
+ private:
+  friend class SmartNic;
+
+  telemetry::Counter* tx_seen_;
+  telemetry::Counter* tx_accepted_;
+  telemetry::Counter* tx_fallback_;
+  telemetry::Counter* tx_bytes_wire_;
+  telemetry::Counter* rx_seen_;
+  telemetry::Counter* rx_accepted_;
+  telemetry::Counter* rx_fallback_;
+  telemetry::Counter* rx_unmatched_;
+  telemetry::Counter* dma_transfers_;
+  telemetry::Counter* overlay_instructions_;
+  // Indexed by DropReason; slot 0 (kNone) is null — recording it is a bug.
+  std::array<telemetry::Counter*, kNumDropReasons> tx_drop_{};
+  std::array<telemetry::Counter*, kNumDropReasons> rx_drop_{};
+  // (direction, reason, pid) -> count. Ordered map for stable output.
+  std::map<std::tuple<uint8_t, uint8_t, uint32_t>, uint64_t> ledger_;
 };
 
 class SmartNic {
@@ -173,7 +246,7 @@ class SmartNic {
   uint64_t mmio_writes() const { return regs_.write_count(); }
   sim::Simulator* simulator() { return sim_; }
 
-  void ResetStats() { stats_ = NicStats{}; }
+  void ResetStats() { stats_.Reset(); }
 
  private:
   friend class ControlPlane;
@@ -192,9 +265,15 @@ class SmartNic {
                                      const FlowEntry* entry,
                                      net::Direction dir) const;
 
+  // Runs the chain, aggregating overlay instruction counts and stopping at
+  // the first non-Accept verdict. For traced packets (trace_id != 0) emits
+  // one span per executed stage starting at `stage_start`, each charged
+  // stage latency + its overlay instructions, so the spans tile exactly
+  // onto the pipeline's cost-model time.
   StageResult RunStages(const std::vector<PipelineStage*>& stages,
                         net::Packet& packet,
-                        const overlay::PacketContext& ctx);
+                        const overlay::PacketContext& ctx,
+                        Nanos stage_start, uint32_t trace_id);
 
   void ProcessTxDescriptor(net::PacketPtr packet, net::ConnectionId conn_id,
                            Nanos now);
@@ -243,7 +322,7 @@ class SmartNic {
   // cycle flips a bit in place instead of allocating/freeing a node per
   // packet; entries are erased only on connection teardown.
   std::unordered_map<net::ConnectionId, bool> tx_consumer_active_;
-  NicStats stats_;
+  NicStats stats_;  // registered in sim_->metrics(); see ctor
 };
 
 }  // namespace norman::nic

@@ -21,7 +21,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 #include "src/common/units.h"
 
 namespace norman::sim {
@@ -171,6 +173,14 @@ class Simulator {
   // carves/allocations).
   const PoolCounters& event_pool() const { return node_counters_; }
 
+  // Telemetry for this simulated world. The simulator owns the registry
+  // and tracer so every device reached through a Simulator* shares them,
+  // and separate worlds (tests, benches) stay isolated.
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+  const telemetry::MetricsRegistry& metrics() const { return metrics_; }
+  telemetry::PacketTracer& tracer() { return tracer_; }
+  const telemetry::PacketTracer& tracer() const { return tracer_; }
+
  private:
   struct EventNode {
     Nanos when = 0;
@@ -199,7 +209,9 @@ class Simulator {
   std::vector<EventNode*> free_nodes_;
   std::vector<std::unique_ptr<EventNode[]>> slabs_;
   size_t last_slab_used_ = kSlabNodes;  // forces a slab on first acquire
-  PoolCounters node_counters_;
+  PoolCounters node_counters_{"event"};
+  telemetry::MetricsRegistry metrics_;
+  telemetry::PacketTracer tracer_{&metrics_};
 };
 
 }  // namespace norman::sim

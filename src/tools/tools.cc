@@ -472,21 +472,54 @@ Status TcRateLimit(kernel::Kernel* k, kernel::Uid caller,
   return k->SetConnRateLimit(caller, conn, rate, burst);
 }
 
+namespace {
+
+// "pid=104 (postgres)" — owner annotation for drop ledger lines; pid 0 is
+// wire traffic with no registered owner.
+std::string OwnerLabel(const kernel::Kernel& k, uint32_t pid) {
+  if (pid == 0) {
+    return "pid=0 (-)";
+  }
+  const kernel::Process* proc = k.processes().Lookup(pid);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "pid=%u (%s)", pid,
+                proc != nullptr ? proc->comm.c_str() : "?");
+  return buf;
+}
+
+void RenderDropLedger(const kernel::Kernel& k, const nic::SmartNic& nic,
+                      std::ostringstream& out) {
+  const auto ledger = nic.stats().DropLedger();
+  if (ledger.empty()) {
+    out << "  drops: none\n";
+    return;
+  }
+  out << "  drops by reason (owner-annotated):\n";
+  for (const auto& rec : ledger) {
+    out << "    " << (rec.direction == net::Direction::kTx ? "tx" : "rx")
+        << " " << DropReasonName(rec.reason) << " "
+        << OwnerLabel(k, rec.owner_pid) << ": " << rec.count << "\n";
+  }
+}
+
+}  // namespace
+
 std::string NicStat(const kernel::Kernel& k, const nic::SmartNic& nic) {
   std::ostringstream out;
   const auto& s = nic.stats();
   const Nanos now = const_cast<kernel::Kernel&>(k).simulator()->Now();
   out << "NIC statistics (virtual time " << FormatNanos(now) << "):\n";
-  out << "  tx: seen " << s.tx_seen << ", accepted " << s.tx_accepted
-      << ", filtered " << s.tx_dropped << ", sched-drop "
-      << s.tx_sched_dropped << ", sw-fallback " << s.tx_fallback
-      << ", wire bytes " << s.tx_bytes_wire << "\n";
-  out << "  rx: seen " << s.rx_seen << ", accepted " << s.rx_accepted
-      << ", filtered " << s.rx_dropped << ", unmatched " << s.rx_unmatched
-      << ", ring-overflow " << s.rx_ring_overflow << ", sw-fallback "
-      << s.rx_fallback << "\n";
-  out << "  dma transfers " << s.dma_transfers
-      << ", overlay instructions " << s.overlay_instructions << "\n";
+  out << "  tx: seen " << s.tx_seen() << ", accepted " << s.tx_accepted()
+      << ", filtered " << s.tx_dropped() << ", sched-drop "
+      << s.tx_sched_dropped() << ", sw-fallback " << s.tx_fallback()
+      << ", wire bytes " << s.tx_bytes_wire() << "\n";
+  out << "  rx: seen " << s.rx_seen() << ", accepted " << s.rx_accepted()
+      << ", filtered " << s.rx_dropped() << ", unmatched " << s.rx_unmatched()
+      << ", ring-overflow " << s.rx_ring_overflow() << ", sw-fallback "
+      << s.rx_fallback() << "\n";
+  out << "  dma transfers " << s.dma_transfers()
+      << ", overlay instructions " << s.overlay_instructions() << "\n";
+  RenderDropLedger(k, nic, out);
   const auto& ddio = nic.ddio();
   char ddio_line[128];
   std::snprintf(ddio_line, sizeof(ddio_line),
@@ -515,6 +548,48 @@ std::string NicStat(const kernel::Kernel& k, const nic::SmartNic& nic) {
                   k.kernel_core().Utilization(now) * 100);
     out << util;
   }
+  return out.str();
+}
+
+std::string NicStatDrops(const kernel::Kernel& k, const nic::SmartNic& nic) {
+  std::ostringstream out;
+  const auto& s = nic.stats();
+  sim::Simulator* sim = const_cast<kernel::Kernel&>(k).simulator();
+  const Nanos now = sim->Now();
+  out << "Drop accounting (virtual time " << FormatNanos(now) << "):\n";
+  char header[96];
+  std::snprintf(header, sizeof(header), "  %-16s %9s %9s\n", "reason", "tx",
+                "rx");
+  out << header;
+  uint64_t tx_total = 0, rx_total = 0;
+  for (size_t r = 1; r < kNumDropReasons; ++r) {
+    const auto reason = static_cast<DropReason>(r);
+    const uint64_t tx = s.tx_drops(reason);
+    const uint64_t rx = s.rx_drops(reason);
+    tx_total += tx;
+    rx_total += rx;
+    if (tx == 0 && rx == 0) {
+      continue;  // only reasons that fired; totals keep the full picture
+    }
+    char line[96];
+    std::snprintf(line, sizeof(line), "  %-16s %9llu %9llu\n",
+                  std::string(DropReasonName(reason)).c_str(),
+                  static_cast<unsigned long long>(tx),
+                  static_cast<unsigned long long>(rx));
+    out << line;
+  }
+  char total[96];
+  std::snprintf(total, sizeof(total), "  %-16s %9llu %9llu\n", "total",
+                static_cast<unsigned long long>(tx_total),
+                static_cast<unsigned long long>(rx_total));
+  out << total;
+  RenderDropLedger(k, nic, out);
+  auto& m = sim->metrics();
+  out << "  kernel slow path: malformed "
+      << m.GetCounter("kernel.drop.malformed")->value() << ", unmatched "
+      << m.GetCounter("kernel.drop.unmatched")->value()
+      << ", sram_exhausted "
+      << m.GetCounter("kernel.drop.sram_exhausted")->value() << "\n";
   return out.str();
 }
 

@@ -62,9 +62,13 @@ Status TcRateLimit(kernel::Kernel* k, kernel::Uid caller,
                    const std::string& spec);
 
 // ---- norman-stat (ethtool -S equivalent) -----------------------------------
-// NIC datapath counters, SRAM occupancy by category, DDIO behavior, and
-// resource utilizations over the elapsed virtual time.
+// NIC datapath counters, SRAM occupancy by category, DDIO behavior, drop
+// accounting, and resource utilizations over the elapsed virtual time.
 std::string NicStat(const kernel::Kernel& k, const nic::SmartNic& nic);
+
+// The `norman-stat --drops` view: per-reason TX/RX drop table, the
+// owner-annotated ledger, and the kernel slow-path drop counters.
+std::string NicStatDrops(const kernel::Kernel& k, const nic::SmartNic& nic);
 
 // ---- norman-netstat --------------------------------------------------------
 // Connection table with owner annotations, like `netstat -tupn`.

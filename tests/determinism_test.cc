@@ -19,10 +19,11 @@ struct RunTrace {
   uint64_t events = 0;
 };
 
-RunTrace RunWorld(uint64_t seed) {
+RunTrace RunWorld(uint64_t seed, uint32_t trace_sample = 0) {
   workload::TestBedOptions opts;
   opts.echo = true;
   workload::TestBed bed(opts);
+  bed.sim().tracer().set_sample_interval(trace_sample);
   auto& k = bed.kernel();
   k.processes().AddUser(1, "u");
   const auto pid = *k.processes().Spawn(1, "app");
@@ -68,21 +69,36 @@ TEST(DeterminismTest, IdenticalSeedsIdenticalTraces) {
 // (FNV-1a-hashed here to keep the golden compact). events_processed is
 // deliberately NOT pinned — descriptor batching legitimately elides
 // intermediate fetch wake-ups without reordering any observable event.
-TEST(DeterminismTest, MatchesPrePoolingGoldenTrace) {
-  const RunTrace t = RunWorld(42);
-  EXPECT_EQ(t.egress_frames, 413u);
-  EXPECT_EQ(t.egress_bytes, 202446u);
-  EXPECT_EQ(t.final_time, 5052014);
-  ASSERT_EQ(t.completions.size(), 413u);
+uint64_t Fnv1aHash(const std::vector<Nanos>& completions) {
   uint64_t hash = 1469598103934665603ULL;  // FNV-1a 64 offset basis
-  for (const Nanos c : t.completions) {
+  for (const Nanos c : completions) {
     const auto v = static_cast<uint64_t>(c);
     for (int i = 0; i < 8; ++i) {
       hash ^= (v >> (i * 8)) & 0xff;
       hash *= 1099511628211ULL;
     }
   }
-  EXPECT_EQ(hash, 8587471973237143124ULL);
+  return hash;
+}
+
+void ExpectMatchesGolden(const RunTrace& t) {
+  EXPECT_EQ(t.egress_frames, 413u);
+  EXPECT_EQ(t.egress_bytes, 202446u);
+  EXPECT_EQ(t.final_time, 5052014);
+  ASSERT_EQ(t.completions.size(), 413u);
+  EXPECT_EQ(Fnv1aHash(t.completions), 8587471973237143124ULL);
+}
+
+TEST(DeterminismTest, MatchesPrePoolingGoldenTrace) {
+  ExpectMatchesGolden(RunWorld(42));
+}
+
+// Lifecycle tracing is pure observation: it schedules no events and draws
+// no randomness, so the virtual-time trajectory with sampling enabled —
+// at any interval — must still match the pre-telemetry golden bit-for-bit.
+TEST(DeterminismTest, TracingOnMatchesGoldenTrace) {
+  ExpectMatchesGolden(RunWorld(42, /*trace_sample=*/1));
+  ExpectMatchesGolden(RunWorld(42, /*trace_sample=*/64));
 }
 
 TEST(DeterminismTest, DifferentSeedsDifferentTraces) {

@@ -79,10 +79,10 @@ TEST(FuzzTest, GarbageThroughNicRxPathIsSafe) {
   // Everything was either dropped, unmatched, or (rarely) delivered —
   // but accounted for.
   const auto& stats = bed.nic().stats();
-  EXPECT_EQ(stats.rx_seen, 2000u);
-  EXPECT_EQ(stats.rx_seen, stats.rx_accepted + stats.rx_dropped +
-                               stats.rx_fallback + stats.rx_unmatched +
-                               stats.rx_ring_overflow);
+  EXPECT_EQ(stats.rx_seen(), 2000u);
+  EXPECT_EQ(stats.rx_seen(), stats.rx_accepted() + stats.rx_dropped() +
+                               stats.rx_fallback() + stats.rx_unmatched() +
+                               stats.rx_ring_overflow());
 }
 
 TEST(FuzzTest, OverlayInterpreterSafeOnRandomVerifiedPrograms) {
@@ -194,14 +194,14 @@ TEST(InvariantTest, TxPacketConservationUnderRandomWorkload) {
   const auto& stats = bed.nic().stats();
   // Fallback TX packets re-enter the pipeline once (marked), so tx_seen
   // counts them twice.
-  EXPECT_EQ(stats.tx_seen, static_cast<uint64_t>(sent) + stats.tx_fallback);
-  EXPECT_EQ(stats.tx_seen,
-            stats.tx_accepted + stats.tx_dropped + stats.tx_fallback +
-                stats.tx_sched_dropped);
+  EXPECT_EQ(stats.tx_seen(), static_cast<uint64_t>(sent) + stats.tx_fallback());
+  EXPECT_EQ(stats.tx_seen(),
+            stats.tx_accepted() + stats.tx_dropped() + stats.tx_fallback() +
+                stats.tx_sched_dropped());
   // Everything accepted eventually hit the wire (sim ran to quiescence).
-  EXPECT_EQ(bed.egress_frames(), stats.tx_accepted);
-  EXPECT_GT(stats.tx_dropped, 0u);
-  EXPECT_GT(stats.tx_fallback, 0u);
+  EXPECT_EQ(bed.egress_frames(), stats.tx_accepted());
+  EXPECT_GT(stats.tx_dropped(), 0u);
+  EXPECT_GT(stats.tx_fallback(), 0u);
 }
 
 TEST(InvariantTest, RandomSocketOpSequenceNeverWedges) {

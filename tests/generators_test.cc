@@ -106,7 +106,7 @@ TEST_F(GeneratorsTest, BulkSenderBacksOffOnFullRing) {
   // Offered load >> link capacity: backpressure shows up at the NIC
   // scheduler (the DMA engine drains the ring far faster than the 100Mbit
   // wire drains the scheduler), and the wire stays saturated.
-  EXPECT_GT(bed.nic().stats().tx_sched_dropped, 0u);
+  EXPECT_GT(bed.nic().stats().tx_sched_dropped(), 0u);
   EXPECT_GT(bed.nic().wire().Utilization(20 * kMillisecond), 0.95);
 }
 

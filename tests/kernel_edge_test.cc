@@ -185,7 +185,7 @@ TEST_F(KernelEdgeTest, InputChainMatchesDestinationOwner) {
   bed_.sim().Run();
   EXPECT_NE(s1->RecvFrame(), nullptr);  // uid 1: delivered
   EXPECT_EQ(s2->RecvFrame(), nullptr);  // uid 2: dropped on INPUT
-  EXPECT_EQ(bed_.nic().stats().rx_dropped, 1u);
+  EXPECT_EQ(bed_.nic().stats().rx_dropped(), 1u);
 }
 
 TEST_F(KernelEdgeTest, TcpSocketSequenceNumbersAdvance) {

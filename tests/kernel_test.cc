@@ -163,7 +163,7 @@ TEST_F(KernelTest, OutputFilterDropsOnTxPath) {
   bed_.sim().Run();
 
   EXPECT_EQ(bed_.egress_frames(), 1u);  // only the allowed one
-  EXPECT_EQ(bed_.nic().stats().tx_dropped, 1u);
+  EXPECT_EQ(bed_.nic().stats().tx_dropped(), 1u);
 }
 
 TEST_F(KernelTest, SoftwareFallbackWhenNicSramExhausted) {

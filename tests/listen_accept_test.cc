@@ -69,11 +69,11 @@ TEST_F(ListenAcceptTest, SubsequentPacketsMatchInHardware) {
   ASSERT_TRUE(conn.ok());
   (void)conn->Recv();
 
-  const uint64_t unmatched_before = bed_.nic().stats().rx_unmatched;
+  const uint64_t unmatched_before = bed_.nic().stats().rx_unmatched();
   // Second packet of the same flow: NIC flow table match, no host involvement.
   bed_.InjectUdpFromPeer(5555, 8080, 20, bed_.sim().Now() + 100);
   bed_.sim().Run();
-  EXPECT_EQ(bed_.nic().stats().rx_unmatched, unmatched_before);
+  EXPECT_EQ(bed_.nic().stats().rx_unmatched(), unmatched_before);
   auto data = conn->Recv();
   ASSERT_TRUE(data.ok());
   EXPECT_EQ(data->size(), 20u);
@@ -141,7 +141,7 @@ TEST_F(ListenAcceptTest, StopListeningDropsNewPeers) {
 TEST_F(ListenAcceptTest, TrafficToUnboundPortIsDropped) {
   bed_.InjectUdpFromPeer(5555, 9999, 10, 100);
   bed_.sim().Run();
-  EXPECT_EQ(bed_.nic().stats().rx_unmatched, 1u);
+  EXPECT_EQ(bed_.nic().stats().rx_unmatched(), 1u);
   // No connection appeared.
   EXPECT_TRUE(bed_.kernel().ListConnections().empty());
 }

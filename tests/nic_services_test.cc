@@ -51,7 +51,7 @@ TEST_F(NicServicesTest, NicAnswersPing) {
   EXPECT_EQ(reply->payload_size(), 24u);
   EXPECT_EQ(bed_.kernel().icmp().echo_replies(), 1u);
   // The request never reached the host slow path.
-  EXPECT_EQ(bed_.nic().stats().rx_unmatched, 0u);
+  EXPECT_EQ(bed_.nic().stats().rx_unmatched(), 0u);
 }
 
 TEST_F(NicServicesTest, PingForOtherAddressIgnored) {
@@ -60,7 +60,7 @@ TEST_F(NicServicesTest, PingForOtherAddressIgnored) {
   bed_.sim().Run();
   EXPECT_EQ(bed_.kernel().icmp().echo_replies(), 0u);
   EXPECT_TRUE(bed_.egress().empty());
-  EXPECT_EQ(bed_.nic().stats().rx_unmatched, 1u);  // fell to the host path
+  EXPECT_EQ(bed_.nic().stats().rx_unmatched(), 1u);  // fell to the host path
 }
 
 TEST_F(NicServicesTest, CustomTxPolicyDropsLowTtl) {
@@ -99,7 +99,7 @@ TEST_F(NicServicesTest, CustomTxPolicyDropsLowTtl) {
           .ok());
   bed_.sim().Run();
   EXPECT_EQ(bed_.egress_frames(), 1u);  // dropped by the custom policy
-  EXPECT_EQ(bed_.nic().stats().tx_dropped, 1u);
+  EXPECT_EQ(bed_.nic().stats().tx_dropped(), 1u);
 }
 
 TEST_F(NicServicesTest, CustomPolicyRequiresRoot) {
@@ -158,7 +158,7 @@ TEST_F(NicServicesTest, CustomRxPolicyFiltersInbound) {
   bed_.sim().Run();
   EXPECT_EQ(sock->RecvFrame() != nullptr, true);
   EXPECT_EQ(sock->RecvFrame(), nullptr);
-  EXPECT_EQ(bed_.nic().stats().rx_dropped, 1u);
+  EXPECT_EQ(bed_.nic().stats().rx_dropped(), 1u);
 }
 
 }  // namespace

@@ -60,7 +60,7 @@ TEST(PcapReplayTest, TimeScaleCompresses) {
   EXPECT_EQ(report->first_at, 500);
   EXPECT_EQ(report->last_at, 500);
   bed.sim().Run();
-  EXPECT_EQ(bed.nic().stats().rx_seen, 3u);
+  EXPECT_EQ(bed.nic().stats().rx_seen(), 3u);
 }
 
 TEST(PcapReplayTest, FilterSkipsFrames) {
@@ -115,7 +115,7 @@ TEST(PcapReplayTest, CaptureThenReplayRoundTrip) {
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->frames_injected, 5u);
   target.sim().Run();
-  EXPECT_EQ(target.nic().stats().rx_seen, 5u);
+  EXPECT_EQ(target.nic().stats().rx_seen(), 5u);
 }
 
 }  // namespace

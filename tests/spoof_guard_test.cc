@@ -59,7 +59,7 @@ TEST_F(SpoofGuardTest, ForgedSourcePortDropped) {
   bed_.sim().Run();
   EXPECT_EQ(bed_.egress_frames(), 0u);
   EXPECT_EQ(bed_.kernel().spoof_guard().spoofed_drops(), 1u);
-  EXPECT_EQ(bed_.nic().stats().tx_dropped, 1u);
+  EXPECT_EQ(bed_.nic().stats().tx_dropped(), 1u);
 }
 
 TEST_F(SpoofGuardTest, ForgedDestinationDropped) {

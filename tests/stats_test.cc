@@ -138,5 +138,63 @@ TEST(FormatTest, Bps) {
   EXPECT_EQ(FormatBps(10), "10 bps");
 }
 
+// Percentile boundary contract (relied on by the metrics exporter):
+// q <= 0 is the exact minimum, q >= 1 the exact maximum — not bucket
+// upper bounds — and an empty histogram reports 0 everywhere.
+TEST(LatencyHistogramTest, PercentileBoundaries) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  EXPECT_EQ(h.Percentile(1.0), 0);
+  h.Add(1000);
+  h.Add(5000);
+  h.Add(123456);
+  EXPECT_EQ(h.Percentile(0.0), 1000);
+  EXPECT_EQ(h.Percentile(-0.5), 1000);
+  EXPECT_EQ(h.Percentile(1.0), 123456);
+  EXPECT_EQ(h.Percentile(1.5), 123456);
+  // Interior quantiles stay within [min, max].
+  EXPECT_GE(h.Percentile(0.5), h.min());
+  EXPECT_LE(h.Percentile(0.5), h.max());
+}
+
+TEST(PoolCountersTest, NameAndAggregateInit) {
+  PoolCounters pc{"packet"};
+  EXPECT_EQ(pc.name, "packet");
+  EXPECT_EQ(pc.hits, 0u);
+  pc.RecordAcquire(true);
+  pc.RecordAcquire(false);
+  EXPECT_EQ(pc.acquisitions(), 2u);
+}
+
+TEST(PoolCountersTest, MergeSumsCountsAndKeepsName) {
+  PoolCounters a{"packet"};
+  a.hits = 10;
+  a.misses = 2;
+  a.releases = 9;
+  a.dropped = 1;
+  a.outstanding = 3;
+  a.high_water = 5;
+  PoolCounters b{"event"};
+  b.hits = 100;
+  b.misses = 20;
+  b.releases = 110;
+  b.dropped = 4;
+  b.outstanding = 6;
+  b.high_water = 8;
+
+  PoolCounters all{"all"};
+  all.Merge(a);
+  all.Merge(b);
+  EXPECT_EQ(all.name, "all");
+  EXPECT_EQ(all.hits, 110u);
+  EXPECT_EQ(all.misses, 22u);
+  EXPECT_EQ(all.releases, 119u);
+  EXPECT_EQ(all.dropped, 5u);
+  EXPECT_EQ(all.outstanding, 9u);
+  // high_water sums: an upper bound on the combined peak.
+  EXPECT_EQ(all.high_water, 13u);
+  EXPECT_EQ(all.acquisitions(), 132u);
+}
+
 }  // namespace
 }  // namespace norman

@@ -1,0 +1,282 @@
+// Lifecycle tracing: deterministic 1-in-N sampling, the span ring buffer,
+// Chrome trace export, and the tiling invariant — a traced packet's spans
+// are contiguous and sum exactly to its end-to-end latency. Plus the
+// drop-attribution invariant: every drop lands in exactly one reason
+// counter, and the per-reason counters reproduce the legacy aggregates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/common/drop_reason.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
+#include "src/net/packet_builder.h"
+#include "src/net/packet_pool.h"
+#include "src/norman/socket.h"
+#include "src/tools/tools.h"
+#include "src/workload/testbed.h"
+
+namespace norman {
+namespace {
+
+using telemetry::MetricsRegistry;
+using telemetry::PacketTracer;
+using telemetry::TraceSpan;
+
+constexpr auto kPeerIp = net::Ipv4Address::FromOctets(10, 0, 0, 2);
+
+TEST(PacketTracerTest, DisabledByDefault) {
+  MetricsRegistry reg;
+  PacketTracer tracer(&reg, 16);
+  EXPECT_FALSE(tracer.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(tracer.SampleArrival(), 0u);
+  }
+  tracer.Record(0, "tx.dma", 0, 10);  // id 0 -> no-op
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+}
+
+TEST(PacketTracerTest, SamplingCadenceIsDeterministicOneInN) {
+  MetricsRegistry reg;
+  PacketTracer tracer(&reg, 16);
+  tracer.set_sample_interval(4);
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(tracer.SampleArrival());
+  }
+  // Arrivals 0, 4, 8, 12 get fresh ids 1..4; everything else is 0.
+  for (int i = 0; i < 16; ++i) {
+    if (i % 4 == 0) {
+      EXPECT_EQ(ids[static_cast<size_t>(i)],
+                static_cast<uint32_t>(i / 4 + 1));
+    } else {
+      EXPECT_EQ(ids[static_cast<size_t>(i)], 0u);
+    }
+  }
+}
+
+TEST(PacketTracerTest, SampleEveryPacket) {
+  MetricsRegistry reg;
+  PacketTracer tracer(&reg, 16);
+  tracer.set_sample_interval(1);
+  for (uint32_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(tracer.SampleArrival(), i);
+  }
+}
+
+TEST(PacketTracerTest, RingWrapKeepsNewestSpans) {
+  MetricsRegistry reg;
+  PacketTracer tracer(&reg, 4);
+  for (uint32_t i = 1; i <= 10; ++i) {
+    tracer.Record(i, "tx.wire", i * 10, i * 10 + 5);
+  }
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  EXPECT_EQ(tracer.dropped_spans(), 6u);
+  const auto spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first among the survivors: ids 7, 8, 9, 10.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].trace_id, static_cast<uint32_t>(i + 7));
+  }
+}
+
+TEST(PacketTracerTest, RecordFeedsStageHistograms) {
+  MetricsRegistry reg;
+  PacketTracer tracer(&reg, 16);
+  tracer.Record(1, "tx.wire", 100, 350);
+  tracer.Record(2, "tx.wire", 100, 350);
+  tracer.Record(3, "rx.dma", 0, 40);
+  const auto* wire = tracer.StageHistogram("tx.wire");
+  ASSERT_NE(wire, nullptr);
+  EXPECT_EQ(wire->count(), 2u);
+  EXPECT_EQ(wire->min(), 250);
+  // The histogram lives in the registry under "trace.stage.<name>".
+  EXPECT_EQ(reg.FindHistogram("trace.stage.tx.wire"), wire);
+  EXPECT_EQ(tracer.StageHistogram("never.recorded"), nullptr);
+}
+
+TEST(PacketTracerTest, ChromeTraceJsonShape) {
+  MetricsRegistry reg;
+  PacketTracer tracer(&reg, 16);
+  tracer.Record(1, "tx.dma", 1000, 2500);
+  tracer.Record(1, "tx.wire", 2500, 9000);
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["), 0u)
+      << json;
+  EXPECT_EQ(json.back(), '}');
+  // Two complete events, microsecond timestamps, tid = trace id.
+  EXPECT_NE(json.find("\"name\":\"tx.dma\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":1.500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos) << json;
+}
+
+TEST(PacketTracerTest, ClearDropsSpansKeepsKnob) {
+  MetricsRegistry reg;
+  PacketTracer tracer(&reg, 8);
+  tracer.set_sample_interval(2);
+  (void)tracer.SampleArrival();
+  tracer.Record(1, "tx.dma", 0, 5);
+  tracer.Clear();
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+  EXPECT_TRUE(tracer.Spans().empty());
+  EXPECT_EQ(tracer.sample_interval(), 2u);
+  // Arrival counter restarts: the first arrival is sampled again.
+  EXPECT_NE(tracer.SampleArrival(), 0u);
+}
+
+// ---- End-to-end tiling invariant -----------------------------------------
+
+// Runs echo traffic with every packet sampled and checks, per trace id,
+// that the recorded spans are contiguous (no gaps, no overlaps) and that
+// for frames that reached the wire the last span ends exactly at
+// meta().completed_at — i.e. span durations sum to end-to-end latency.
+TEST(TraceIntegrationTest, SpansTileToEndToEndLatency) {
+  workload::TestBedOptions opts;
+  opts.echo = true;
+  workload::TestBed bed(opts);
+  bed.sim().tracer().set_sample_interval(1);
+
+  auto& k = bed.kernel();
+  k.processes().AddUser(1, "u");
+  const auto pid = *k.processes().Spawn(1, "app");
+  auto sock = Socket::Connect(&k, pid, kPeerIp, 6000, {});
+  ASSERT_TRUE(sock.ok());
+
+  // trace_id -> (arrival-side start, completed_at) for egressed frames.
+  std::map<uint32_t, Nanos> completed;
+  bed.SetEgressHook([&completed](const net::Packet& p) {
+    if (p.meta().trace_id != 0) {
+      completed[p.meta().trace_id] = p.meta().completed_at;
+    }
+  });
+
+  const std::vector<uint8_t> payload(400, 0x33);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(sock->Send(payload).ok());
+    bed.sim().Run();
+  }
+  EXPECT_FALSE(completed.empty());
+
+  std::map<uint32_t, std::vector<TraceSpan>> by_id;
+  for (const auto& span : bed.sim().tracer().Spans()) {
+    by_id[span.trace_id].push_back(span);
+  }
+  ASSERT_GE(by_id.size(), 20u);  // 10 TX frames + 10 RX echoes
+
+  for (auto& [id, spans] : by_id) {
+    std::sort(spans.begin(), spans.end(),
+              [](const TraceSpan& a, const TraceSpan& b) {
+                return a.start != b.start ? a.start < b.start : a.end < b.end;
+              });
+    Nanos sum = 0;
+    for (size_t i = 0; i < spans.size(); ++i) {
+      ASSERT_LE(spans[i].start, spans[i].end) << "id " << id;
+      if (i > 0) {
+        ASSERT_EQ(spans[i].start, spans[i - 1].end)
+            << "gap/overlap in trace " << id << " before stage "
+            << spans[i].stage;
+      }
+      sum += spans[i].end - spans[i].start;
+    }
+    // Contiguity means the durations tile the packet's whole lifetime.
+    EXPECT_EQ(sum, spans.back().end - spans.front().start) << "id " << id;
+    auto it = completed.find(id);
+    if (it != completed.end()) {
+      EXPECT_EQ(spans.back().end, it->second)
+          << "trace " << id << " does not end at wire completion";
+      EXPECT_EQ(sum, it->second - spans.front().start)
+          << "trace " << id << " span sum != end-to-end latency";
+    }
+  }
+}
+
+// ---- Drop attribution -----------------------------------------------------
+
+// Every drop must land in exactly one reason counter: the per-reason
+// counters reproduce the aggregate accessors, the conservation equation
+// still balances, and the owner ledger sums to the same total.
+TEST(DropAccountingTest, EveryDropHasExactlyOneReason) {
+  workload::TestBedOptions opts;
+  opts.echo = true;
+  workload::TestBed bed(opts);
+  auto& k = bed.kernel();
+  k.processes().AddUser(1001, "alice");
+  const auto pid = *k.processes().Spawn(1001, "app");
+
+  ASSERT_TRUE(tools::IptablesAppend(&k, kernel::kRootUid,
+                                    "-A OUTPUT -p udp --dport 9 -j DROP")
+                  .ok());
+
+  auto good = Socket::Connect(&k, pid, kPeerIp, 6000, {});
+  auto bad = Socket::Connect(&k, pid, kPeerIp, 9, {});
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(bad.ok());
+  const std::vector<uint8_t> payload(128, 0x11);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(good->Send(payload).ok());
+    ASSERT_TRUE(bad->Send(payload).ok());
+    bed.sim().Run();
+  }
+  // Unmatched + unparseable RX traffic, and an on-NIC ICMP echo response.
+  Nanos t = bed.sim().Now();
+  bed.InjectUdpFromPeer(1234, 4321, 64, t += kMicrosecond);
+  bed.InjectFromNetwork(net::MakePacket(std::vector<uint8_t>(6, 0xee)),
+                        t += kMicrosecond);
+  const net::FrameEndpoints peer_ep{net::MacAddress::ForHost(2),
+                                    k.options().host_mac, kPeerIp,
+                                    k.options().host_ip};
+  bed.InjectFromNetwork(
+      net::BuildIcmpEchoPacket(peer_ep, net::IcmpType::kEchoRequest, 7, 1,
+                               payload),
+      t += kMicrosecond);
+  bed.sim().Run();
+
+  const auto& s = bed.nic().stats();
+  // The scenario hit the reasons it was built to hit.
+  EXPECT_EQ(s.tx_drops(DropReason::kFilterDeny), 6u);
+  EXPECT_EQ(s.rx_drops(DropReason::kNicConsumed), 1u);
+  EXPECT_GE(s.rx_unmatched(), 2u);
+
+  // Per-reason counters reproduce the aggregates...
+  uint64_t tx_sum = 0;
+  uint64_t rx_sum = 0;
+  for (size_t r = 1; r < kNumDropReasons; ++r) {
+    tx_sum += s.tx_drops(static_cast<DropReason>(r));
+    rx_sum += s.rx_drops(static_cast<DropReason>(r));
+  }
+  EXPECT_EQ(tx_sum + rx_sum, s.total_drops());
+  EXPECT_EQ(s.tx_dropped() + s.tx_sched_dropped(), tx_sum);
+  EXPECT_EQ(s.rx_dropped() + s.rx_ring_overflow(), rx_sum);
+
+  // ...the conservation equations still balance...
+  EXPECT_EQ(s.tx_seen(), s.tx_accepted() + s.tx_dropped() + s.tx_fallback() +
+                             s.tx_sched_dropped());
+  EXPECT_EQ(s.rx_seen(), s.rx_accepted() + s.rx_dropped() + s.rx_fallback() +
+                             s.rx_unmatched() + s.rx_ring_overflow());
+
+  // ...and the owner ledger accounts for every drop exactly once.
+  uint64_t ledger_sum = 0;
+  for (const auto& rec : s.DropLedger()) {
+    EXPECT_NE(rec.reason, DropReason::kNone);
+    EXPECT_GT(rec.count, 0u);
+    ledger_sum += rec.count;
+  }
+  EXPECT_EQ(ledger_sum, s.total_drops());
+  // The filter drops are attributed to the owning process.
+  bool found_owner = false;
+  for (const auto& rec : s.DropLedger()) {
+    if (rec.direction == net::Direction::kTx &&
+        rec.reason == DropReason::kFilterDeny && rec.owner_pid == pid) {
+      found_owner = true;
+      EXPECT_EQ(rec.count, 6u);
+    }
+  }
+  EXPECT_TRUE(found_owner);
+}
+
+}  // namespace
+}  // namespace norman
