@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <new>
 
 #include "src/dataplane/filter_engine.h"
@@ -209,7 +210,10 @@ BENCHMARK(BM_BuildUdpFrame);
 // pre-pooling baseline workload. Prints one machine-readable JSON line.
 // `trace_sample` sets the lifecycle tracer's 1-in-N sampling (0 = off), so
 // the report quantifies tracing overhead at off / 1-in-64 / 1-in-1.
-void RunForwardingReport(uint32_t trace_sample) {
+// `monitor` turns on the continuous-monitoring stack (top-talkers table,
+// maintenance tick driving the sampler + watchdog) so its overhead is
+// quantified against the monitor-off line.
+void RunForwardingReport(uint32_t trace_sample, bool monitor) {
   workload::TestBedOptions opts;
   opts.echo = true;
   workload::TestBed bed(opts);
@@ -218,6 +222,10 @@ void RunForwardingReport(uint32_t trace_sample) {
   auto& k = bed.kernel();
   k.processes().AddUser(1, "u");
   const auto pid = *k.processes().Spawn(1, "app");
+  if (monitor) {
+    k.nic_control().EnableTopTalkers(64);
+    k.StartMaintenance();
+  }
   const auto peer = net::Ipv4Address::FromOctets(10, 0, 0, 2);
   auto s1 = Socket::Connect(&k, pid, peer, 1000, {});
   auto s2 = Socket::Connect(&k, pid, peer, 2000, {});
@@ -227,13 +235,19 @@ void RunForwardingReport(uint32_t trace_sample) {
   c2.Start(0, 200 * kMillisecond);
 
   const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const std::clock_t cpu0 = std::clock();
   const auto t0 = std::chrono::steady_clock::now();
   bed.sim().Run();
   const auto t1 = std::chrono::steady_clock::now();
+  const std::clock_t cpu1 = std::clock();
   const uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) -
                           allocs_before;
 
   const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+  // CPU seconds alongside wall seconds: the regression gate compares the
+  // monitor-on/off pairs on cpu_s, which scheduler preemption on shared CI
+  // runners cannot inflate.
+  const double cpu_s = static_cast<double>(cpu1 - cpu0) / CLOCKS_PER_SEC;
   const uint64_t events = bed.sim().events_processed();
   const uint64_t packets = bed.nic().stats().tx_seen() + bed.nic().stats().rx_seen();
   const auto& ppool = net::PacketPool::Default().counters();
@@ -244,19 +258,24 @@ void RunForwardingReport(uint32_t trace_sample) {
   all.Merge(epool);
   bed.sim().metrics().ImportPool(all);  // lands as "pool.all.*" gauges
   std::printf(
-      "{\"bench\":\"forwarding_loop\",\"trace_sample\":%u,\"wall_s\":%.6f,"
+      "{\"bench\":\"forwarding_loop\",\"trace_sample\":%u,\"monitor\":%d,"
+      "\"wall_s\":%.6f,\"cpu_s\":%.6f,"
       "\"events\":%llu,\"events_per_s\":%.0f,"
       "\"packets\":%llu,\"allocs\":%llu,\"allocs_per_packet\":%.4f,"
       "\"packet_pool_hit_rate\":%.4f,\"event_pool_hit_rate\":%.4f,"
-      "\"pool_hit_rate_all\":%.4f,\"trace_spans\":%llu}\n",
-      trace_sample, wall_s, static_cast<unsigned long long>(events),
+      "\"pool_hit_rate_all\":%.4f,\"trace_spans\":%llu,"
+      "\"samples\":%llu,\"maintenance_ticks\":%llu}\n",
+      trace_sample, monitor ? 1 : 0, wall_s, cpu_s,
+      static_cast<unsigned long long>(events),
       static_cast<double>(events) / wall_s,
       static_cast<unsigned long long>(packets),
       static_cast<unsigned long long>(allocs),
       packets != 0 ? static_cast<double>(allocs) / static_cast<double>(packets)
                    : 0.0,
       ppool.HitRate(), epool.HitRate(), all.HitRate(),
-      static_cast<unsigned long long>(bed.sim().tracer().total_recorded()));
+      static_cast<unsigned long long>(bed.sim().tracer().total_recorded()),
+      static_cast<unsigned long long>(k.sampler().samples_taken()),
+      static_cast<unsigned long long>(k.maintenance_ticks()));
 }
 
 }  // namespace
@@ -268,9 +287,16 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  // Tracing overhead sweep: off, 1-in-64, every packet.
-  RunForwardingReport(0);
-  RunForwardingReport(64);
-  RunForwardingReport(1);
+  // Tracing overhead sweep: 1-in-64, then every packet.
+  RunForwardingReport(64, false);
+  RunForwardingReport(1, false);
+  // Monitoring overhead: alternate monitor-off / monitor-on pairs so the
+  // regression gate can compare per-config minima taken under the same
+  // process conditions (wall clocks on shared machines drift too much for
+  // a single pair to be meaningful).
+  for (int i = 0; i < 3; ++i) {
+    RunForwardingReport(0, false);
+    RunForwardingReport(0, true);
+  }
   return 0;
 }

@@ -81,6 +81,21 @@ class MetricsRegistry {
   const Gauge* FindGauge(std::string_view name) const;
   const LatencyHistogram* FindHistogram(std::string_view name) const;
 
+  // Visit every metric in sorted-name order: fn(const std::string&, const T&).
+  // This is what the TimeSeriesSampler scrapes through.
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const {
+    for (const auto& [name, c] : counters_) fn(name, *c);
+  }
+  template <typename Fn>
+  void ForEachGauge(Fn&& fn) const {
+    for (const auto& [name, g] : gauges_) fn(name, *g);
+  }
+  template <typename Fn>
+  void ForEachHistogram(Fn&& fn) const {
+    for (const auto& [name, h] : histograms_) fn(name, *h);
+  }
+
   MetricsSnapshot Snapshot() const;
   // after - before, keyed on `after`'s names (a metric registered between
   // the two snapshots deltas against zero). Entries with zero delta are
@@ -118,6 +133,32 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
       histograms_;
+};
+
+// Paired depth + high-watermark gauges for one bounded queue, registered as
+// "queue.<name>.depth" and "queue.<name>.high_water". Queue owners attach one
+// of these and report occupancy changes; the high-water mark latches the peak
+// and survives drains, so a one-sample spike is still visible at export time.
+class QueueDepthGauges {
+ public:
+  QueueDepthGauges(MetricsRegistry* registry, std::string_view queue_name)
+      : depth_(registry->GetGauge("queue." + std::string(queue_name) +
+                                 ".depth")),
+        high_water_(registry->GetGauge("queue." + std::string(queue_name) +
+                                       ".high_water")) {}
+
+  void Set(int64_t depth) {
+    depth_->Set(depth);
+    if (depth > high_water_->value()) high_water_->Set(depth);
+  }
+  void Add(int64_t delta) { Set(depth_->value() + delta); }
+
+  int64_t depth() const { return depth_->value(); }
+  int64_t high_water() const { return high_water_->value(); }
+
+ private:
+  Gauge* depth_;
+  Gauge* high_water_;
 };
 
 }  // namespace norman::telemetry

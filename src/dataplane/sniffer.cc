@@ -6,8 +6,15 @@
 
 namespace norman::dataplane {
 
-SnifferTap::SnifferTap(sim::Simulator* sim, uint32_t snaplen)
-    : sim_(sim), snaplen_(snaplen), pcap_(snaplen) {}
+SnifferTap::SnifferTap(sim::Simulator* sim, uint32_t snaplen,
+                       size_t max_records)
+    : sim_(sim),
+      snaplen_(snaplen),
+      max_records_(max_records),
+      pcap_(snaplen),
+      overflow_(sim->metrics().GetCounter("sniffer.overflow")) {}
+
+uint64_t SnifferTap::overflow() const { return overflow_->value(); }
 
 Status SnifferTap::SetFilter(std::optional<overlay::Program> program) {
   if (program.has_value()) {
@@ -35,6 +42,12 @@ nic::StageResult SnifferTap::Process(net::Packet& packet,
     if (exec->verdict == 0) {
       return result;
     }
+  }
+  if (records_.size() >= max_records_) {
+    // Buffer full (tcpdump -c semantics): the match is counted, not kept,
+    // and the pcap stream stays exactly the retained records.
+    overflow_->Increment();
+    return result;
   }
   CaptureRecord rec;
   rec.timestamp = sim_->Now();

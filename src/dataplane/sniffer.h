@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/net/pcap_writer.h"
 #include "src/nic/pipeline.h"
@@ -39,8 +40,13 @@ struct CaptureRecord {
 
 class SnifferTap : public nic::PipelineStage {
  public:
-  // `sim` supplies capture timestamps; snaplen as in tcpdump -s.
-  explicit SnifferTap(sim::Simulator* sim, uint32_t snaplen = 96);
+  // `sim` supplies capture timestamps; snaplen as in tcpdump -s,
+  // max_records as in tcpdump -c: the first max_records matching packets
+  // are retained (records and pcap stay consistent), later matches only
+  // bump the "sniffer.overflow" counter. A capture buffer must be bounded
+  // — a long-lived tap must not grow without limit.
+  explicit SnifferTap(sim::Simulator* sim, uint32_t snaplen = 96,
+                      size_t max_records = 65536);
 
   std::string_view name() const override { return "sniffer"; }
 
@@ -56,6 +62,9 @@ class SnifferTap : public nic::PipelineStage {
   const std::vector<CaptureRecord>& records() const { return records_; }
   const net::PcapWriter& pcap() const { return pcap_; }
   uint64_t captured() const { return records_.size(); }
+  size_t max_records() const { return max_records_; }
+  // Matches discarded because the capture buffer was full.
+  uint64_t overflow() const;
   void Clear();
 
   nic::StageResult Process(net::Packet& packet,
@@ -64,10 +73,12 @@ class SnifferTap : public nic::PipelineStage {
  private:
   sim::Simulator* sim_;
   uint32_t snaplen_;
+  size_t max_records_;
   bool capturing_ = false;
   std::optional<overlay::Program> filter_;
   std::vector<CaptureRecord> records_;
   net::PcapWriter pcap_;
+  telemetry::Counter* overflow_;  // "sniffer.overflow"
 };
 
 }  // namespace norman::dataplane

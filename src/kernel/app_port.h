@@ -37,7 +37,7 @@ class AppPort {
   // Publishes one TX descriptor. Returns false when the ring is full (the
   // app should back off or block on the TX-drain notification).
   bool PushTx(net::PacketPtr packet) {
-    return rings_ != nullptr && rings_->tx().TryPush(std::move(packet));
+    return rings_ != nullptr && rings_->PushTx(std::move(packet));
   }
 
   // Rings the TX doorbell: one posted MMIO write; the NIC starts fetching.
@@ -55,7 +55,7 @@ class AppPort {
     if (rings_ == nullptr) {
       return nullptr;
     }
-    auto p = rings_->rx().TryPop();
+    auto p = rings_->PopRx();
     return p.has_value() ? std::move(*p) : nullptr;
   }
 

@@ -5,7 +5,14 @@
 namespace norman::kernel {
 
 Kernel::Kernel(sim::Simulator* sim, nic::SmartNic* nic, Options options)
-    : sim_(sim), nic_(nic), options_(options) {
+    : sim_(sim),
+      nic_(nic),
+      options_(options),
+      accept_gauges_(&sim->metrics(), "kernel.accept") {
+  sampler_ = std::make_unique<telemetry::TimeSeriesSampler>(&sim_->metrics());
+  watchdog_ = std::make_unique<telemetry::HealthWatchdog>(sampler_.get(),
+                                                          &sim_->metrics());
+  InstallDefaultHealthRules();
   drop_malformed_ = sim_->metrics().GetCounter("kernel.drop.malformed");
   drop_unmatched_ = sim_->metrics().GetCounter("kernel.drop.unmatched");
   drop_sram_exhausted_ =
@@ -80,8 +87,54 @@ void Kernel::InstallPipeline() {
 
 void Kernel::Housekeeping() {
   // Invoked on demand (no self-rescheduling: it would keep the DES alive
-  // forever). Benchmarks and tools call this before reading tables.
+  // forever). Benchmarks and tools call this before reading tables; the
+  // periodic path is StartMaintenance().
   conntrack_->Sweep(sim_->Now());
+}
+
+void Kernel::InstallDefaultHealthRules() {
+  // Every rule reads a series the sampler derives from always-registered
+  // metrics, so the rule set is valid before the first packet flows.
+  watchdog_->AddQueueStallRule("nic.qdisc", "queue.nic.qdisc.depth",
+                               "kernel.tc");
+  watchdog_->AddQueueStallRule("app.rx", "queue.nic.rx_ring.depth", "app.rx");
+  // Any sustained drop rate is a health event: thresholds are "more than
+  // zero per second" because drops on these paths are exceptional.
+  watchdog_->AddRateSpikeRule("nic.qdisc", "nic.tx.drop.sched_overflow.rate",
+                              "kernel.tc", 0.0);
+  watchdog_->AddRateSpikeRule("app.rx", "nic.rx.drop.ring_full.rate",
+                              "app.rx", 0.0);
+  watchdog_->AddLatencyRule("nic.qdisc", "trace.stage.tx.qdisc.p99",
+                            "kernel.tc", 1 * kMillisecond);
+}
+
+void Kernel::StartMaintenance() {
+  if (maintenance_on_) {
+    return;
+  }
+  maintenance_on_ = true;
+  sim_->ScheduleAt(sim_->Now() + options_.housekeeping_period,
+                   [this] { MaintenanceTick(); });
+}
+
+void Kernel::MaintenanceTick() {
+  if (!maintenance_on_) {
+    return;  // StopMaintenance() raced an already-scheduled tick
+  }
+  ++maintenance_ticks_;
+  const Nanos now = sim_->Now();
+  conntrack_->Sweep(now);
+  sampler_->Sample(now);
+  watchdog_->Evaluate(now);
+  // Lazy re-arm: keep ticking only while the world has other events left.
+  // With an empty heap the simulation is over; unconditionally rescheduling
+  // would tick forever and Run() would never return.
+  if (sim_->pending_events() > 0) {
+    sim_->ScheduleAt(now + options_.housekeeping_period,
+                     [this] { MaintenanceTick(); });
+  } else {
+    maintenance_on_ = false;
+  }
 }
 
 Status Kernel::RequireRoot(Uid caller) const {
@@ -192,6 +245,7 @@ StatusOr<AppPort> Kernel::Accept(Pid pid, uint16_t local_port) {
     }
     const net::ConnectionId conn_id = state.accept_queue.front();
     state.accept_queue.pop_front();
+    accept_gauges_.Add(-1);
     const nic::FlowEntry* entry = nic_cp_->LookupFlow(conn_id);
     if (entry == nullptr) {
       return InternalError("accept: pending connection vanished");
@@ -206,6 +260,8 @@ StatusOr<AppPort> Kernel::Accept(Pid pid, uint16_t local_port) {
 Status Kernel::StopListening(Pid pid, uint16_t local_port) {
   for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
     if (it->first.first == local_port && it->second.pid == pid) {
+      accept_gauges_.Add(
+          -static_cast<int64_t>(it->second.accept_queue.size()));
       listeners_.erase(it);
       return OkStatus();
     }
@@ -270,13 +326,14 @@ void Kernel::HandleHostPacket(net::PacketPtr packet, net::Direction dir) {
   packet->meta().connection = conn_id;
   nic::RingPair* rings = nic_cp_->GetRings(conn_id);
   if (rings != nullptr) {
-    (void)rings->rx().TryPush(std::move(packet));
+    (void)rings->PushRx(std::move(packet));
   }
   if (nic::FlowEntry* installed = nic_cp_->LookupFlow(conn_id);
       installed != nullptr) {
     ++installed->rx_packets;
   }
   listener.accept_queue.push_back(conn_id);
+  accept_gauges_.Add(1);
 }
 
 std::vector<ConnectionInfo> Kernel::ListConnections() const {

@@ -18,7 +18,9 @@
 #include <string>
 #include <vector>
 
+#include "src/common/health.h"
 #include "src/common/status.h"
+#include "src/common/timeseries.h"
 #include "src/dataplane/arp_service.h"
 #include "src/dataplane/conntrack.h"
 #include "src/dataplane/filter_engine.h"
@@ -192,6 +194,24 @@ class Kernel {
   // On-demand housekeeping (conntrack GC). Tools call this before reads.
   void Housekeeping();
 
+  // ---- Continuous monitoring (the time dimension of interposition) -------
+  // Starts the periodic maintenance tick: every housekeeping_period it runs
+  // conntrack expiry, scrapes the registry into the time-series sampler,
+  // and evaluates the health watchdog — all on the virtual clock.
+  //
+  // Opt-in and self-limiting: the tick re-arms only while other events are
+  // pending, so an idle world still terminates (a free-running timer would
+  // keep the DES alive forever) and default goldens are unaffected.
+  void StartMaintenance();
+  void StopMaintenance() { maintenance_on_ = false; }
+  bool maintenance_running() const { return maintenance_on_; }
+  uint64_t maintenance_ticks() const { return maintenance_ticks_; }
+
+  telemetry::TimeSeriesSampler& sampler() { return *sampler_; }
+  const telemetry::TimeSeriesSampler& sampler() const { return *sampler_; }
+  telemetry::HealthWatchdog& watchdog() { return *watchdog_; }
+  const telemetry::HealthWatchdog& watchdog() const { return *watchdog_; }
+
   // Host-slow-path drops, itemized in the registry as "kernel.drop.*"
   // (malformed / unmatched / sram_exhausted).
   uint64_t slow_path_drops() const {
@@ -208,10 +228,18 @@ class Kernel {
   Status RequireRoot(Uid caller) const;
   void InstallPipeline();
   void PumpNotifications(Pid pid);
+  void MaintenanceTick();
+  void InstallDefaultHealthRules();
 
   sim::Simulator* sim_;
   nic::SmartNic* nic_;
   Options options_;
+  // Aggregate accept-queue occupancy across listeners ("queue.kernel.accept").
+  telemetry::QueueDepthGauges accept_gauges_;
+  std::unique_ptr<telemetry::TimeSeriesSampler> sampler_;
+  std::unique_ptr<telemetry::HealthWatchdog> watchdog_;
+  bool maintenance_on_ = false;
+  uint64_t maintenance_ticks_ = 0;
   std::unique_ptr<nic::SmartNic::ControlPlane> nic_cp_;
 
   ProcessTable processes_;

@@ -95,6 +95,8 @@ struct FiveTuple {
   }
 
   friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+  // Lexicographic ordering so flow tables can use deterministic sorted maps.
+  friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
 };
 
 struct FiveTupleHash {

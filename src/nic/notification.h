@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "src/common/fixed_ring.h"
+#include "src/common/metrics.h"
 #include "src/common/units.h"
 #include "src/net/packet.h"
 
@@ -41,6 +42,8 @@ class NotificationQueue {
     const bool ok = ring_.TryPush(n);
     if (!ok) {
       ++overflows_;
+    } else if (gauges_ != nullptr) {
+      gauges_->Add(1);
     }
     if (interrupts_armed_ && on_interrupt_) {
       interrupts_armed_ = false;
@@ -49,7 +52,11 @@ class NotificationQueue {
     return ok;
   }
 
-  std::optional<Notification> Poll() { return ring_.TryPop(); }
+  std::optional<Notification> Poll() {
+    auto n = ring_.TryPop();
+    if (n.has_value() && gauges_ != nullptr) gauges_->Add(-1);
+    return n;
+  }
   bool empty() const { return ring_.empty(); }
   uint32_t size() const { return ring_.size(); }
   uint64_t overflows() const { return overflows_; }
@@ -64,8 +71,12 @@ class NotificationQueue {
   void DisarmInterrupt() { interrupts_armed_ = false; }
   bool interrupts_armed() const { return interrupts_armed_; }
 
+  // Aggregate occupancy across every process's queue ("queue.nic.notify").
+  void AttachGauges(telemetry::QueueDepthGauges* gauges) { gauges_ = gauges; }
+
  private:
   FixedRing<Notification> ring_;
+  telemetry::QueueDepthGauges* gauges_ = nullptr;
   uint64_t overflows_ = 0;
   bool interrupts_armed_ = false;
   std::function<void()> on_interrupt_;

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "src/common/fixed_ring.h"
+#include "src/common/metrics.h"
 #include "src/net/packet.h"
 
 namespace norman::nic {
@@ -33,8 +34,46 @@ class RingPair {
   explicit RingPair(uint32_t entries = kDefaultRingEntries)
       : tx_(entries), rx_(entries) {}
 
+  ~RingPair() {
+    // Occupants die with the ring; keep the aggregate gauges honest.
+    if (tx_gauges_ != nullptr) tx_gauges_->Add(-static_cast<int64_t>(tx_.size()));
+    if (rx_gauges_ != nullptr) rx_gauges_->Add(-static_cast<int64_t>(rx_.size()));
+  }
+
   FixedRing<net::PacketPtr>& tx() { return tx_; }
   FixedRing<net::PacketPtr>& rx() { return rx_; }
+
+  // Gauge-aware access. The gauges aggregate occupancy across every ring of
+  // the NIC ("queue.nic.tx_ring" / "queue.nic.rx_ring"), so all push/pop
+  // traffic must flow through these wrappers once gauges are attached.
+  // Push takes by value like FixedRing::TryPush: a refused packet is
+  // destroyed with the temporary unless the caller kept a reference.
+  bool PushTx(net::PacketPtr p) {
+    const bool ok = tx_.TryPush(std::move(p));
+    if (ok && tx_gauges_ != nullptr) tx_gauges_->Add(1);
+    return ok;
+  }
+  std::optional<net::PacketPtr> PopTx() {
+    auto p = tx_.TryPop();
+    if (p.has_value() && tx_gauges_ != nullptr) tx_gauges_->Add(-1);
+    return p;
+  }
+  bool PushRx(net::PacketPtr p) {
+    const bool ok = rx_.TryPush(std::move(p));
+    if (ok && rx_gauges_ != nullptr) rx_gauges_->Add(1);
+    return ok;
+  }
+  std::optional<net::PacketPtr> PopRx() {
+    auto p = rx_.TryPop();
+    if (p.has_value() && rx_gauges_ != nullptr) rx_gauges_->Add(-1);
+    return p;
+  }
+
+  void AttachGauges(telemetry::QueueDepthGauges* tx_gauges,
+                    telemetry::QueueDepthGauges* rx_gauges) {
+    tx_gauges_ = tx_gauges;
+    rx_gauges_ = rx_gauges;
+  }
 
   // Total pinned host memory backing this pair.
   uint64_t PinnedBytes() const {
@@ -47,6 +86,8 @@ class RingPair {
  private:
   FixedRing<net::PacketPtr> tx_;
   FixedRing<net::PacketPtr> rx_;
+  telemetry::QueueDepthGauges* tx_gauges_ = nullptr;
+  telemetry::QueueDepthGauges* rx_gauges_ = nullptr;
 };
 
 }  // namespace norman::nic

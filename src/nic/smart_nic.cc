@@ -123,8 +123,15 @@ SmartNic::SmartNic(sim::Simulator* sim, Options options)
       sram_(options.sram_bytes),
       flow_table_(&sram_),
       rss_(options.num_rx_queues),
+      tx_ring_gauges_(&sim->metrics(), "nic.tx_ring"),
+      rx_ring_gauges_(&sim->metrics(), "nic.rx_ring"),
+      notify_gauges_(&sim->metrics(), "nic.notify"),
+      qdisc_gauges_(&sim->metrics(), "nic.qdisc"),
+      sram_gauges_(&sim->metrics(), "nic.sram"),
       scheduler_(std::make_unique<FifoScheduler>()),
-      stats_(&sim->metrics()) {}
+      stats_(&sim->metrics()) {
+  sram_.AttachGauges(&sram_gauges_);
+}
 
 SmartNic::~SmartNic() = default;
 
@@ -141,6 +148,7 @@ std::unique_ptr<SmartNic::ControlPlane> SmartNic::TakeControlPlane() {
 Status SmartNic::ControlPlane::InstallFlow(const FlowEntry& entry) {
   NORMAN_RETURN_IF_ERROR(nic_->flow_table_.Insert(entry));
   auto ring = std::make_unique<RingPair>(nic_->options_.ring_entries);
+  ring->AttachGauges(&nic_->tx_ring_gauges_, &nic_->rx_ring_gauges_);
   // Ring descriptor state also lives in NIC SRAM (head/tail, base addrs,
   // completion state): 64B per ring pair.
   const Status s = nic_->sram_.Allocate("ring_state", 64);
@@ -244,8 +252,15 @@ NotificationQueue* SmartNic::ControlPlane::RegisterNotificationQueue(
   auto& q = nic_->notif_queues_[pid];
   if (q == nullptr) {
     q = std::make_unique<NotificationQueue>();
+    q->AttachGauges(&nic_->notify_gauges_);
   }
   return q.get();
+}
+
+TopTalkers* SmartNic::ControlPlane::EnableTopTalkers(size_t max_entries) {
+  nic_->top_talkers_ = std::make_unique<TopTalkers>(
+      &nic_->sram_, &nic_->sim_->metrics(), max_entries);
+  return nic_->top_talkers_.get();
 }
 
 NotificationQueue* SmartNic::ControlPlane::GetNotificationQueue(
@@ -334,7 +349,7 @@ void SmartNic::ConsumeTxRing(net::ConnectionId conn_id) {
       tx_consumer_active_.erase(conn_id);  // teardown: drop the entry too
       return;
     }
-    auto pkt = it->second->tx().TryPop();
+    auto pkt = it->second->PopTx();
     if (!pkt.has_value()) {
       // Ring drained: stop the consumer and post the drain notification if
       // the connection asked for it (blocking send support, §4.3).
@@ -382,6 +397,13 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
   auto parsed = net::ParseFrame(packet->bytes());
   const overlay::PacketContext ctx = MakeContext(
       *packet, parsed ? &*parsed : nullptr, entry, net::Direction::kTx);
+  // Per-flow accounting (norman-top). Pure observation: no events, no cost.
+  if (top_talkers_ != nullptr && parsed) {
+    if (auto flow = parsed->flow()) {
+      top_talkers_->Record(*flow, ctx.conn.owner_pid,
+                           static_cast<uint32_t>(packet->size()), now);
+    }
+  }
   packet->meta().direction = net::Direction::kTx;
   packet->meta().connection = conn_id;
   packet->meta().nic_arrival = now;
@@ -452,6 +474,7 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
                         conn_meta.owner_pid);
       return;
     }
+    qdisc_gauges_.Set(static_cast<int64_t>(scheduler_->backlog_packets()));
     DrainWire();
   });
 }
@@ -487,6 +510,7 @@ void SmartNic::DrainWire() {
     return;
   }
   net::PacketPtr pkt = scheduler_->Dequeue(now);
+  qdisc_gauges_.Set(static_cast<int64_t>(scheduler_->backlog_packets()));
   if (pkt == nullptr) {
     const Nanos eligible = scheduler_->NextEligibleTime(now);
     if (eligible > now) {
@@ -544,6 +568,12 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
   }
   const overlay::PacketContext ctx = MakeContext(
       *packet, parsed ? &*parsed : nullptr, entry, net::Direction::kRx);
+  if (top_talkers_ != nullptr && parsed) {
+    if (auto flow = parsed->flow()) {
+      top_talkers_->Record(*flow, ctx.conn.owner_pid,
+                           static_cast<uint32_t>(packet->size()), now);
+    }
+  }
 
   StageResult result =
       RunStages(rx_stages_, *packet, ctx, pipe_done, trace_id);
@@ -613,7 +643,7 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
     p->meta().completed_at = sim_->Now();
     const uint32_t tid = p->meta().trace_id;
     const Nanos ring_at = p->meta().completed_at;
-    if (!it->second->rx().TryPush(std::move(p))) {
+    if (!it->second->PushRx(std::move(p))) {
       stats_.RecordDrop(net::Direction::kRx, DropReason::kRingFull,
                         e->owner.owner_pid);
       return;

@@ -41,6 +41,7 @@
 #include "src/nic/ring.h"
 #include "src/nic/rss.h"
 #include "src/nic/sram.h"
+#include "src/nic/top_talkers.h"
 #include "src/overlay/isa.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/resource.h"
@@ -196,6 +197,14 @@ class SmartNic {
     // RSS configuration (the "partition the NIC" debugging scenario).
     RssEngine& rss() { return nic_->rss_; }
 
+    // Per-flow accounting for norman-top (§3's continuous interposition).
+    // Off by default: recording is pure observation, but the kernel decides
+    // whether to spend NIC SRAM on it. Returns the live table; re-enabling
+    // with a different bound rebuilds it.
+    TopTalkers* EnableTopTalkers(size_t max_entries = 64);
+    void DisableTopTalkers() { nic_->top_talkers_.reset(); }
+    TopTalkers* top_talkers() { return nic_->top_talkers_.get(); }
+
     // Host software fallback sink for packets the NIC diverts (E7).
     void SetFallbackSink(
         std::function<void(net::PacketPtr, net::Direction)> sink);
@@ -293,6 +302,17 @@ class SmartNic {
   DdioModel ddio_;
   FlowTable flow_table_;
   RssEngine rss_;
+
+  // Aggregate occupancy gauges for every bounded queue on the device
+  // ("queue.nic.*"). Declared before rings_/notif_queues_ so they outlive
+  // the queues whose destructors settle them.
+  telemetry::QueueDepthGauges tx_ring_gauges_;
+  telemetry::QueueDepthGauges rx_ring_gauges_;
+  telemetry::QueueDepthGauges notify_gauges_;
+  telemetry::QueueDepthGauges qdisc_gauges_;
+  telemetry::QueueDepthGauges sram_gauges_;
+  // Declared after sram_ so its destructor (which refunds SRAM) runs first.
+  std::unique_ptr<TopTalkers> top_talkers_;
 
   std::unordered_map<net::ConnectionId, std::unique_ptr<RingPair>> rings_;
   std::unordered_map<uint32_t, std::unique_ptr<NotificationQueue>>

@@ -13,6 +13,7 @@
 #include <map>
 #include <string>
 
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 
 namespace norman::nic {
@@ -35,6 +36,7 @@ class SramAllocator {
     }
     used_ += bytes;
     by_category_[category] += bytes;
+    if (gauges_ != nullptr) gauges_->Set(static_cast<int64_t>(used_));
     return OkStatus();
   }
 
@@ -45,6 +47,15 @@ class SramAllocator {
     }
     it->second -= bytes;
     used_ -= bytes;
+    if (gauges_ != nullptr) gauges_->Set(static_cast<int64_t>(used_));
+  }
+
+  // Occupancy in *bytes* (not packets) under "queue.nic.sram.depth" /
+  // ".high_water" — SRAM is the NIC's one bounded byte pool, and exhaustion
+  // shows up in the same dashboard as every other full queue.
+  void AttachGauges(telemetry::QueueDepthGauges* gauges) {
+    gauges_ = gauges;
+    if (gauges_ != nullptr) gauges_->Set(static_cast<int64_t>(used_));
   }
 
   uint64_t UsedBy(const std::string& category) const {
@@ -60,6 +71,7 @@ class SramAllocator {
   uint64_t capacity_;
   uint64_t used_ = 0;
   std::map<std::string, uint64_t> by_category_;
+  telemetry::QueueDepthGauges* gauges_ = nullptr;
 };
 
 }  // namespace norman::nic

@@ -1,0 +1,97 @@
+#include "src/nic/top_talkers.h"
+
+#include <algorithm>
+
+namespace norman::nic {
+
+namespace {
+const std::string kSramCategory = "top_talkers";
+}  // namespace
+
+TopTalkers::TopTalkers(SramAllocator* sram,
+                       telemetry::MetricsRegistry* registry,
+                       size_t max_entries)
+    : sram_(sram),
+      max_entries_(max_entries),
+      tracked_(registry->GetCounter("flow.tracked")),
+      evicted_(registry->GetCounter("flow.evicted")),
+      untracked_(registry->GetCounter("flow.untracked")),
+      entries_(registry->GetGauge("flow.entries")) {}
+
+TopTalkers::~TopTalkers() {
+  sram_->Free(kSramCategory, table_.size() * kTopTalkerEntryBytes);
+}
+
+void TopTalkers::Record(const net::FiveTuple& tuple, uint32_t owner_pid,
+                        uint32_t bytes, Nanos now) {
+  // Hot-flow cache: trains of back-to-back packets from one flow skip the
+  // tree walk. std::map nodes are pointer-stable, so the cached entry stays
+  // valid until an eviction (which clears it).
+  if (hot_ != nullptr && hot_->tuple == tuple) {
+    ++hot_->packets;
+    hot_->bytes += bytes;
+    hot_->last_seen = now;
+    return;
+  }
+  auto it = table_.find(tuple);
+  if (it != table_.end()) {
+    TopTalkerEntry& entry = it->second;
+    ++entry.packets;
+    entry.bytes += bytes;
+    entry.last_seen = now;
+    hot_ = &entry;
+    return;
+  }
+
+  // New flow. Make room first: evict the smallest-bytes entry (tuple order
+  // breaks ties — table_ iterates in tuple order, so the first minimum wins)
+  // when the table bound is hit, or when SRAM cannot cover another entry.
+  if (table_.size() >= max_entries_ ||
+      (sram_->available() < kTopTalkerEntryBytes && !table_.empty())) {
+    auto victim = table_.begin();
+    for (auto cand = table_.begin(); cand != table_.end(); ++cand) {
+      if (cand->second.bytes < victim->second.bytes) victim = cand;
+    }
+    table_.erase(victim);
+    hot_ = nullptr;  // the cached entry may be the node just erased
+    sram_->Free(kSramCategory, kTopTalkerEntryBytes);
+    evicted_->Increment();
+  }
+
+  if (!sram_->Allocate(kSramCategory, kTopTalkerEntryBytes).ok()) {
+    // Nothing to evict and no SRAM left: the flow goes unaccounted.
+    untracked_->Increment();
+    entries_->Set(static_cast<int64_t>(table_.size()));
+    return;
+  }
+
+  TopTalkerEntry entry;
+  entry.tuple = tuple;
+  entry.owner_pid = owner_pid;
+  entry.packets = 1;
+  entry.bytes = bytes;
+  entry.first_seen = now;
+  entry.last_seen = now;
+  table_.emplace(tuple, entry);
+  tracked_->Increment();
+  entries_->Set(static_cast<int64_t>(table_.size()));
+}
+
+const TopTalkerEntry* TopTalkers::Lookup(const net::FiveTuple& tuple) const {
+  const auto it = table_.find(tuple);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+std::vector<TopTalkerEntry> TopTalkers::Top(size_t n) const {
+  std::vector<TopTalkerEntry> out;
+  out.reserve(table_.size());
+  for (const auto& [tuple, entry] : table_) out.push_back(entry);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TopTalkerEntry& a, const TopTalkerEntry& b) {
+                     return a.bytes > b.bytes;  // stable: ties keep tuple order
+                   });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+}  // namespace norman::nic

@@ -1,0 +1,89 @@
+// On-NIC per-flow accounting for `norman-top`.
+//
+// A bounded table of the busiest flows crossing the NIC, charged against NIC
+// SRAM like every other piece of NIC-resident state (flow table, conntrack,
+// ring descriptors — §5's limited-memory constraint). Unlike conntrack,
+// which refuses new flows when full so established state survives, a
+// top-talkers table exists to surface the *current* heavy hitters: when full
+// it evicts the entry with the fewest bytes (smallest-first, tuple order as
+// the deterministic tie-break) to admit the new flow.
+//
+// Recording is pure observation — no events, no virtual-time cost — so the
+// packet trajectory is bit-identical whether the table is enabled or not.
+// It is off by default; the kernel enables it through the control plane.
+#ifndef NORMAN_NIC_TOP_TALKERS_H_
+#define NORMAN_NIC_TOP_TALKERS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/units.h"
+#include "src/net/types.h"
+#include "src/nic/sram.h"
+
+namespace norman::nic {
+
+// SRAM cost per tracked flow: tuple + counters + timestamps, padded.
+inline constexpr uint64_t kTopTalkerEntryBytes = 48;
+
+struct TopTalkerEntry {
+  net::FiveTuple tuple;
+  uint32_t owner_pid = 0;  // process the flow belongs to; 0 = unowned
+  uint64_t packets = 0;
+  uint64_t bytes = 0;
+  Nanos first_seen = 0;
+  Nanos last_seen = 0;
+};
+
+class TopTalkers {
+ public:
+  TopTalkers(SramAllocator* sram, telemetry::MetricsRegistry* registry,
+             size_t max_entries);
+  ~TopTalkers();
+
+  TopTalkers(const TopTalkers&) = delete;
+  TopTalkers& operator=(const TopTalkers&) = delete;
+
+  // Accounts one packet of `bytes` to `tuple`. New flows are admitted by
+  // charging SRAM; at capacity (table bound or SRAM exhausted) the
+  // smallest-bytes entry is evicted to make room. A flow that cannot be
+  // admitted at all (empty table and no SRAM) counts as untracked.
+  void Record(const net::FiveTuple& tuple, uint32_t owner_pid, uint32_t bytes,
+              Nanos now);
+
+  size_t size() const { return table_.size(); }
+  size_t max_entries() const { return max_entries_; }
+  uint64_t tracked() const { return tracked_->value(); }
+  uint64_t evicted() const { return evicted_->value(); }
+  uint64_t untracked() const { return untracked_->value(); }
+
+  const TopTalkerEntry* Lookup(const net::FiveTuple& tuple) const;
+
+  // The n busiest flows, most bytes first; ties break on tuple order, so
+  // the ranking is deterministic.
+  std::vector<TopTalkerEntry> Top(size_t n) const;
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [tuple, entry] : table_) fn(entry);
+  }
+
+ private:
+  SramAllocator* sram_;
+  size_t max_entries_;
+  // Sorted by tuple: deterministic iteration and eviction tie-breaks.
+  std::map<net::FiveTuple, TopTalkerEntry> table_;
+  // Last entry hit: packet trains bypass the tree walk. Cleared on eviction.
+  TopTalkerEntry* hot_ = nullptr;
+
+  telemetry::Counter* tracked_;    // flow.tracked
+  telemetry::Counter* evicted_;    // flow.evicted
+  telemetry::Counter* untracked_;  // flow.untracked
+  telemetry::Gauge* entries_;      // flow.entries
+};
+
+}  // namespace norman::nic
+
+#endif  // NORMAN_NIC_TOP_TALKERS_H_

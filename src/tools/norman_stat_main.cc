@@ -40,6 +40,12 @@ void RunScenario(workload::TestBed& bed) {
   const auto web_pid = *k.processes().Spawn(1001, "webapp");
   const auto batch_pid = *k.processes().Spawn(1002, "batch");
 
+  // Flow accounting on the NIC plus the maintenance tick that feeds the
+  // sampler and watchdog: their metric families (flow.*, plus per-sample
+  // updates to health.*) must appear in the manifest CI diffs.
+  k.nic_control().EnableTopTalkers(8);
+  k.StartMaintenance();
+
   // Root policy: no UDP to port 9999 leaves this host.
   auto rule = tools::IptablesAppend(
       &k, kernel::kRootUid, "-A OUTPUT -p udp --dport 9999 -j DROP");

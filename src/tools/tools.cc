@@ -606,6 +606,222 @@ std::string TcShow(const kernel::Kernel& k) {
   return out.str();
 }
 
+// ---- top ----------------------------------------------------------------------
+
+namespace {
+
+struct ProcBandwidth {
+  uint64_t tx_packets = 0;
+  uint64_t rx_packets = 0;
+  uint64_t tx_bytes = 0;
+  uint64_t rx_bytes = 0;
+};
+
+// Aggregate per-connection counters by owning pid (sorted by pid).
+std::map<uint32_t, ProcBandwidth> ByProcess(const kernel::Kernel& k) {
+  std::map<uint32_t, ProcBandwidth> by_pid;
+  for (const auto& c : k.ListConnections()) {
+    ProcBandwidth& b = by_pid[c.pid];
+    b.tx_packets += c.tx_packets;
+    b.rx_packets += c.rx_packets;
+    b.tx_bytes += c.tx_bytes;
+    b.rx_bytes += c.rx_bytes;
+  }
+  return by_pid;
+}
+
+// Average goodput over the elapsed virtual time, Mbit/s.
+double Mbps(uint64_t bytes, Nanos now) {
+  if (now <= 0) {
+    return 0;
+  }
+  return static_cast<double>(bytes) * 8e3 / static_cast<double>(now);
+}
+
+// Every "queue.<name>.depth" gauge with its high watermark, sorted by name.
+struct QueueRow {
+  std::string name;  // "nic.qdisc", "kernel.accept", ...
+  int64_t depth = 0;
+  int64_t high_water = 0;
+};
+
+std::vector<QueueRow> QueueRows(const telemetry::MetricsRegistry& m) {
+  std::vector<QueueRow> rows;
+  m.ForEachGauge([&](const std::string& name, const telemetry::Gauge& g) {
+    constexpr std::string_view kPrefix = "queue.";
+    constexpr std::string_view kSuffix = ".depth";
+    if (name.size() <= kPrefix.size() + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      return;
+    }
+    QueueRow row;
+    row.name = name.substr(kPrefix.size(),
+                           name.size() - kPrefix.size() - kSuffix.size());
+    row.depth = g.value();
+    const telemetry::Gauge* hw =
+        m.FindGauge("queue." + row.name + ".high_water");
+    row.high_water = hw != nullptr ? hw->value() : 0;
+    rows.push_back(std::move(row));
+  });
+  return rows;  // ForEachGauge iterates sorted, so rows are sorted
+}
+
+std::string TupleLabel(const net::FiveTuple& t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s:%u->%s:%u/%u",
+                t.src_ip.ToString().c_str(), t.src_port,
+                t.dst_ip.ToString().c_str(), t.dst_port,
+                static_cast<unsigned>(t.proto));
+  return buf;
+}
+
+}  // namespace
+
+std::string TopRender(const kernel::Kernel& k, const nic::SmartNic& nic,
+                      size_t max_flows) {
+  std::ostringstream out;
+  auto& mutable_k = const_cast<kernel::Kernel&>(k);
+  sim::Simulator* sim = mutable_k.simulator();
+  const Nanos now = sim->Now();
+  char line[160];
+
+  out << "norman-top (virtual time " << FormatNanos(now) << ", "
+      << k.sampler().samples_taken() << " samples, "
+      << k.maintenance_ticks() << " maintenance ticks)\n";
+
+  const nic::NicStats& ns = nic.stats();
+  std::snprintf(line, sizeof(line),
+                "nic: tx %llu pkts / %llu wire bytes, rx %llu pkts, "
+                "%llu drops (%.2f Mbit/s on wire)\n",
+                static_cast<unsigned long long>(ns.tx_accepted()),
+                static_cast<unsigned long long>(ns.tx_bytes_wire()),
+                static_cast<unsigned long long>(ns.rx_accepted()),
+                static_cast<unsigned long long>(ns.total_drops()),
+                Mbps(ns.tx_bytes_wire(), now));
+  out << line;
+
+  out << "processes:\n";
+  std::snprintf(line, sizeof(line), "  %-22s %9s %9s %12s %12s %10s\n",
+                "pid (comm)", "tx-pkts", "rx-pkts", "tx-bytes", "rx-bytes",
+                "Mbit/s");
+  out << line;
+  for (const auto& [pid, b] : ByProcess(k)) {
+    std::snprintf(line, sizeof(line),
+                  "  %-22s %9llu %9llu %12llu %12llu %10.2f\n",
+                  OwnerLabel(k, pid).c_str(),
+                  static_cast<unsigned long long>(b.tx_packets),
+                  static_cast<unsigned long long>(b.rx_packets),
+                  static_cast<unsigned long long>(b.tx_bytes),
+                  static_cast<unsigned long long>(b.rx_bytes),
+                  Mbps(b.tx_bytes + b.rx_bytes, now));
+    out << line;
+  }
+
+  out << "flows (on-NIC top talkers):\n";
+  const nic::TopTalkers* talkers = mutable_k.nic_control().top_talkers();
+  if (talkers == nullptr) {
+    out << "  disabled (kernel did not enable flow accounting)\n";
+  } else {
+    std::snprintf(line, sizeof(line), "  %-34s %-18s %9s %12s %10s\n",
+                  "flow", "owner", "packets", "bytes", "Mbit/s");
+    out << line;
+    for (const auto& e : talkers->Top(max_flows)) {
+      std::snprintf(line, sizeof(line),
+                    "  %-34s %-18s %9llu %12llu %10.2f\n",
+                    TupleLabel(e.tuple).c_str(),
+                    OwnerLabel(k, e.owner_pid).c_str(),
+                    static_cast<unsigned long long>(e.packets),
+                    static_cast<unsigned long long>(e.bytes),
+                    Mbps(e.bytes, now));
+      out << line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  table: %llu/%llu entries, tracked %llu, evicted %llu, "
+                  "untracked %llu\n",
+                  static_cast<unsigned long long>(talkers->size()),
+                  static_cast<unsigned long long>(talkers->max_entries()),
+                  static_cast<unsigned long long>(talkers->tracked()),
+                  static_cast<unsigned long long>(talkers->evicted()),
+                  static_cast<unsigned long long>(talkers->untracked()));
+    out << line;
+  }
+
+  out << "queues (depth / high-water):\n";
+  for (const auto& row : QueueRows(sim->metrics())) {
+    std::snprintf(line, sizeof(line), "  %-20s %9lld %9lld\n",
+                  row.name.c_str(), static_cast<long long>(row.depth),
+                  static_cast<long long>(row.high_water));
+    out << line;
+  }
+
+  out << "health:\n";
+  std::istringstream health(k.watchdog().Render());
+  for (std::string hline; std::getline(health, hline);) {
+    out << "  " << hline << "\n";
+  }
+  return out.str();
+}
+
+std::string TopJson(const kernel::Kernel& k, const nic::SmartNic& nic,
+                    size_t max_flows) {
+  std::ostringstream out;
+  auto& mutable_k = const_cast<kernel::Kernel&>(k);
+  sim::Simulator* sim = mutable_k.simulator();
+  const Nanos now = sim->Now();
+  const nic::NicStats& ns = nic.stats();
+  out << "{\"t\":" << now
+      << ",\"samples\":" << k.sampler().samples_taken()
+      << ",\"maintenance_ticks\":" << k.maintenance_ticks()
+      << ",\"nic\":{\"tx_packets\":" << ns.tx_accepted()
+      << ",\"tx_bytes_wire\":" << ns.tx_bytes_wire()
+      << ",\"rx_packets\":" << ns.rx_accepted()
+      << ",\"drops\":" << ns.total_drops() << "}"
+      << ",\"processes\":[";
+  bool first = true;
+  for (const auto& [pid, b] : ByProcess(k)) {
+    const kernel::Process* proc = k.processes().Lookup(pid);
+    if (!first) out << ",";
+    first = false;
+    out << "{\"pid\":" << pid << ",\"comm\":\""
+        << (proc != nullptr ? proc->comm : "?") << "\",\"tx_packets\":"
+        << b.tx_packets << ",\"rx_packets\":" << b.rx_packets
+        << ",\"tx_bytes\":" << b.tx_bytes << ",\"rx_bytes\":" << b.rx_bytes
+        << "}";
+  }
+  out << "],\"flows\":[";
+  const nic::TopTalkers* talkers = mutable_k.nic_control().top_talkers();
+  if (talkers != nullptr) {
+    first = true;
+    for (const auto& e : talkers->Top(max_flows)) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"flow\":\"" << TupleLabel(e.tuple) << "\",\"pid\":"
+          << e.owner_pid << ",\"packets\":" << e.packets << ",\"bytes\":"
+          << e.bytes << ",\"first_seen\":" << e.first_seen
+          << ",\"last_seen\":" << e.last_seen << "}";
+    }
+  }
+  out << "],\"flow_table\":{";
+  if (talkers != nullptr) {
+    out << "\"entries\":" << talkers->size() << ",\"max_entries\":"
+        << talkers->max_entries() << ",\"tracked\":" << talkers->tracked()
+        << ",\"evicted\":" << talkers->evicted() << ",\"untracked\":"
+        << talkers->untracked();
+  }
+  out << "},\"queues\":{";
+  first = true;
+  for (const auto& row : QueueRows(sim->metrics())) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << row.name << "\":{\"depth\":" << row.depth
+        << ",\"high_water\":" << row.high_water << "}";
+  }
+  out << "},\"health\":" << k.watchdog().JsonReport() << "}";
+  return out.str();
+}
+
 // ---- netstat ------------------------------------------------------------------
 
 std::string Netstat(const kernel::Kernel& k) {

@@ -70,6 +70,16 @@ std::string NicStat(const kernel::Kernel& k, const nic::SmartNic& nic);
 // owner-annotated ledger, and the kernel slow-path drop counters.
 std::string NicStatDrops(const kernel::Kernel& k, const nic::SmartNic& nic);
 
+// ---- norman-top ------------------------------------------------------------
+// The continuous-monitoring dashboard: per-process and per-flow bandwidth,
+// every bounded queue's depth + high watermark, and the watchdog's health
+// verdicts. Reads the registry, the NIC top-talkers table, and the kernel
+// sampler/watchdog — pure observation, byte-stable for a deterministic run.
+std::string TopRender(const kernel::Kernel& k, const nic::SmartNic& nic,
+                      size_t max_flows = 10);
+std::string TopJson(const kernel::Kernel& k, const nic::SmartNic& nic,
+                    size_t max_flows = 10);
+
 // ---- norman-netstat --------------------------------------------------------
 // Connection table with owner annotations, like `netstat -tupn`.
 std::string Netstat(const kernel::Kernel& k);

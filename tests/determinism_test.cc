@@ -19,14 +19,24 @@ struct RunTrace {
   uint64_t events = 0;
 };
 
-RunTrace RunWorld(uint64_t seed, uint32_t trace_sample = 0) {
+RunTrace RunWorld(uint64_t seed, uint32_t trace_sample = 0,
+                  bool monitor = false) {
   workload::TestBedOptions opts;
   opts.echo = true;
+  if (monitor) {
+    // Fast ticks so sampler/watchdog evaluations interleave densely with
+    // the traffic they must not perturb.
+    opts.kernel.housekeeping_period = 250 * kMicrosecond;
+  }
   workload::TestBed bed(opts);
   bed.sim().tracer().set_sample_interval(trace_sample);
   auto& k = bed.kernel();
   k.processes().AddUser(1, "u");
   const auto pid = *k.processes().Spawn(1, "app");
+  if (monitor) {
+    k.nic_control().EnableTopTalkers(16);
+    k.StartMaintenance();
+  }
   const auto peer = net::Ipv4Address::FromOctets(10, 0, 0, 2);
 
   auto s1 = Socket::Connect(&k, pid, peer, 1000, {});
@@ -81,12 +91,16 @@ uint64_t Fnv1aHash(const std::vector<Nanos>& completions) {
   return hash;
 }
 
-void ExpectMatchesGolden(const RunTrace& t) {
+void ExpectMatchesGoldenTrajectory(const RunTrace& t) {
   EXPECT_EQ(t.egress_frames, 413u);
   EXPECT_EQ(t.egress_bytes, 202446u);
-  EXPECT_EQ(t.final_time, 5052014);
   ASSERT_EQ(t.completions.size(), 413u);
   EXPECT_EQ(Fnv1aHash(t.completions), 8587471973237143124ULL);
+}
+
+void ExpectMatchesGolden(const RunTrace& t) {
+  ExpectMatchesGoldenTrajectory(t);
+  EXPECT_EQ(t.final_time, 5052014);
 }
 
 TEST(DeterminismTest, MatchesPrePoolingGoldenTrace) {
@@ -99,6 +113,16 @@ TEST(DeterminismTest, MatchesPrePoolingGoldenTrace) {
 TEST(DeterminismTest, TracingOnMatchesGoldenTrace) {
   ExpectMatchesGolden(RunWorld(42, /*trace_sample=*/1));
   ExpectMatchesGolden(RunWorld(42, /*trace_sample=*/64));
+}
+
+// The continuous-monitoring stack — maintenance tick, time-series sampler,
+// health watchdog, top-talkers table — observes but never touches packets:
+// the trajectory (frames, bytes, completion sequence) must match the golden
+// bit-for-bit with monitoring on. Only final_time is exempt: the maintenance
+// timer itself legitimately extends the virtual clock past the last packet.
+TEST(DeterminismTest, MonitoringOnMatchesGoldenTrajectory) {
+  const RunTrace t = RunWorld(42, /*trace_sample=*/0, /*monitor=*/true);
+  ExpectMatchesGoldenTrajectory(t);
 }
 
 TEST(DeterminismTest, DifferentSeedsDifferentTraces) {
