@@ -14,6 +14,10 @@ prints after the google-benchmark table) against the checked-in baseline:
      This check uses cpu_s, not wall_s: scheduler preemption on shared
      runners inflates wall clocks by far more than 5%, while process CPU
      time isolates the work the monitoring stack actually adds.
+  3. fast-path speedup: bench_micro emits alternating cache-off / cache-on
+     runs under a 12-rule firewall; the median pairwise wall-clock speedup
+     (off / on) must be at least FASTPATH_MIN_SPEEDUP (default 1.3x) —
+     the flow verdict cache has to actually pay for itself.
 
 Override: set ALLOW_BENCH_REGRESSION=1 to turn failures into warnings —
 for landing a change that knowingly trades speed for capability. Record
@@ -32,6 +36,7 @@ import sys
 
 REGRESSION_TOLERANCE = 0.15  # vs checked-in baseline
 MONITOR_TOLERANCE = 0.05     # monitor-on vs paired monitor-off run
+FASTPATH_MIN_SPEEDUP = 1.3   # cache-off / cache-on paired wall clocks
 
 
 def load_lines(path):
@@ -44,14 +49,28 @@ def load_lines(path):
     return rows
 
 
-def times(rows, trace_sample, monitor, field="wall_s"):
+def times(rows, trace_sample, monitor, field="wall_s", fastpath=0,
+          filter_rules=0):
     return [
         r[field]
         for r in rows
         if r.get("bench") == "forwarding_loop"
         and r.get("trace_sample") == trace_sample
         and r.get("monitor", 0) == monitor
+        and r.get("fastpath", 0) == fastpath
+        and r.get("filter_rules", 0) == filter_rules
         and field in r
+    ]
+
+
+def fastpath_rows(rows, fastpath):
+    return [
+        r["wall_s"]
+        for r in rows
+        if r.get("bench") == "forwarding_loop"
+        and r.get("fastpath", 0) == fastpath
+        and r.get("filter_rules", 0) > 0
+        and "wall_s" in r
     ]
 
 
@@ -97,6 +116,22 @@ def main():
             failures.append(
                 f"continuous monitoring costs {(ratio - 1) * 100:.1f}% "
                 f"(> {MONITOR_TOLERANCE * 100:.0f}% tolerance)")
+
+    fp_off = fastpath_rows(report, 0)
+    fp_on = fastpath_rows(report, 1)
+    if not fp_off or not fp_on:
+        failures.append("missing fast-path on/off forwarding_loop lines")
+    else:
+        pairs = list(zip(fp_off, fp_on))  # off[i] ran just before on[i]
+        speedups = [off / on for off, on in pairs]
+        speedup = statistics.median(speedups)
+        print("fast-path speedup per pair: "
+              + ", ".join(f"{s_:.2f}x" for s_ in speedups)
+              + f"; median {speedup:.2f}x")
+        if speedup < FASTPATH_MIN_SPEEDUP:
+            failures.append(
+                f"flow cache speedup {speedup:.2f}x "
+                f"(< {FASTPATH_MIN_SPEEDUP:.1f}x floor)")
 
     if failures:
         for f in failures:

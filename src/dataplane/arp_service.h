@@ -46,6 +46,11 @@ class ArpService : public nic::PipelineStage {
              net::MacAddress local_mac);
 
   std::string_view name() const override { return "arp"; }
+  // Acts only on ARP frames, which carry no 5-tuple and so never enter the
+  // flow cache; for cacheable (IP) flows it is a pure pass-through.
+  nic::StageCacheClass cache_class() const override {
+    return nic::StageCacheClass::kPure;
+  }
 
   // Additional local addresses (RSS "virtual interface" partitioning gives
   // each tenant an IP on the same NIC).

@@ -42,6 +42,11 @@ class Conntrack : public nic::PipelineStage {
   Conntrack(nic::SramAllocator* sram, Nanos idle_timeout = 120 * kSecond);
 
   std::string_view name() const override { return "conntrack"; }
+  // Stateful observer: never drops, but must see every packet (including
+  // fast-path hits) to keep connection state identical with the cache on.
+  nic::StageCacheClass cache_class() const override {
+    return nic::StageCacheClass::kObserver;
+  }
 
   nic::StageResult Process(net::Packet& packet,
                       const overlay::PacketContext& ctx) override;

@@ -89,10 +89,20 @@ void EmitRule(const FilterRule& r, uint32_t index, overlay::Program* out) {
 
 }  // namespace
 
-overlay::Program CompileFilterChain(const std::vector<FilterRule>& rules,
-                                    FilterAction default_action) {
+namespace {
+
+// Compiles the subsequence of `rules` selected by `pred` into one
+// first-match program, preserving each rule's original chain index in the
+// encoded verdict (hit attribution stays index-aligned with rules()).
+template <typename Pred>
+overlay::Program CompileFilterSubset(const std::vector<FilterRule>& rules,
+                                     FilterAction default_action,
+                                     Pred&& pred) {
   overlay::Program program;
   for (size_t i = 0; i < rules.size(); ++i) {
+    if (!pred(rules[i])) {
+      continue;
+    }
     const size_t block_start = program.size();
     EmitRule(rules[i], static_cast<uint32_t>(i), &program);
     // Patch this block's "mismatch -> next rule" placeholders to the index
@@ -108,6 +118,14 @@ overlay::Program CompileFilterChain(const std::vector<FilterRule>& rules,
   program.push_back(Instruction::RetImm(
       EncodeVerdict(kDefaultRuleIndex, default_action)));
   return program;
+}
+
+}  // namespace
+
+overlay::Program CompileFilterChain(const std::vector<FilterRule>& rules,
+                                    FilterAction default_action) {
+  return CompileFilterSubset(rules, default_action,
+                             [](const FilterRule&) { return true; });
 }
 
 FilterEngine::FilterEngine(FilterAction default_action)
@@ -172,12 +190,47 @@ Status FilterEngine::Recompile() {
   overlay::Program candidate = CompileFilterChain(rules_, default_action_);
   NORMAN_RETURN_IF_ERROR(overlay::VerifyProgram(candidate));
   compiled_ = std::move(candidate);
+  // Per-protocol buckets are strict subsequences of a chain that just
+  // verified, so their verification cannot fail.
+  const auto bucket = [&](net::IpProto proto) {
+    overlay::Program p = CompileFilterSubset(
+        rules_, default_action_,
+        [proto](const FilterRule& r) { return !r.proto || *r.proto == proto; });
+    NORMAN_CHECK(overlay::VerifyProgram(p).ok());
+    return p;
+  };
+  tcp_program_ = bucket(net::IpProto::kTcp);
+  udp_program_ = bucket(net::IpProto::kUdp);
+  icmp_program_ = bucket(net::IpProto::kIcmp);
   return OkStatus();
+}
+
+const overlay::Program& FilterEngine::compiled_for(net::IpProto proto) const {
+  switch (proto) {
+    case net::IpProto::kTcp:
+      return tcp_program_;
+    case net::IpProto::kUdp:
+      return udp_program_;
+    case net::IpProto::kIcmp:
+      return icmp_program_;
+  }
+  return compiled_;
 }
 
 nic::StageResult FilterEngine::Process(net::Packet& /*packet*/,
                                        const overlay::PacketContext& ctx) {
-  auto exec = overlay::Execute(compiled_, ctx);
+  // Bucket dispatch: a parsed IPv4 frame runs only the rules its protocol
+  // could match; everything else (ARP, unparsed, exotic protos) runs the
+  // full chain, whose kIsIpv4/kIpProto guards keep semantics identical.
+  const overlay::Program* program = &compiled_;
+  if (ctx.parsed != nullptr && ctx.parsed->is_ipv4()) {
+    const net::IpProto proto = ctx.parsed->ipv4->protocol;
+    if (proto == net::IpProto::kTcp || proto == net::IpProto::kUdp ||
+        proto == net::IpProto::kIcmp) {
+      program = &compiled_for(proto);
+    }
+  }
+  auto exec = overlay::Execute(*program, ctx);
   NORMAN_CHECK(exec.ok()) << exec.status();
   const auto rule_index = static_cast<uint32_t>(exec->verdict >> 2);
   const auto action = static_cast<FilterAction>(exec->verdict & 0x3);

@@ -71,6 +71,12 @@ class FilterEngine : public nic::PipelineStage {
   explicit FilterEngine(FilterAction default_action = FilterAction::kAccept);
 
   std::string_view name() const override { return "filter"; }
+  // Rules match on headers and connection identity only — a pure function
+  // of the flow key until the rule set changes (which bumps the fast-path
+  // epoch through the kernel).
+  nic::StageCacheClass cache_class() const override {
+    return nic::StageCacheClass::kPure;
+  }
 
   // Rule management (called by the kernel on behalf of iptables).
   // Appends at the end of the chain; returns the rule's index. Fails with
@@ -89,8 +95,13 @@ class FilterEngine : public nic::PipelineStage {
   const std::vector<uint64_t>& hit_counts() const { return hits_; }
   uint64_t default_hits() const { return default_hits_; }
 
-  // The compiled overlay program currently active.
+  // The compiled overlay program for the full chain (the bucket used for
+  // frames whose protocol has no dedicated bucket).
   const overlay::Program& compiled() const { return compiled_; }
+
+  // The program Process() would run for a frame of `proto` (introspection
+  // for tests/tools; kNone-style fallthrough uses compiled()).
+  const overlay::Program& compiled_for(net::IpProto proto) const;
 
   nic::StageResult Process(net::Packet& packet,
                       const overlay::PacketContext& ctx) override;
@@ -104,7 +115,17 @@ class FilterEngine : public nic::PipelineStage {
   std::vector<FilterRule> rules_;
   std::vector<uint64_t> hits_;
   uint64_t default_hits_ = 0;
+  // Full chain; also serves frames outside the bucketed protocols (ARP,
+  // unparseable, exotic IP protos), where proto-specific rules cannot match
+  // anyway thanks to their kIsIpv4/kIpProto guards.
   overlay::Program compiled_;
+  // Install-time protocol buckets: the chain restricted to rules that could
+  // match that protocol (proto-unset rules plus proto == P), compiled with
+  // *original* rule indices so first-match order and per-rule hit
+  // attribution are untouched. TCP traffic never scans UDP-only rules.
+  overlay::Program tcp_program_;
+  overlay::Program udp_program_;
+  overlay::Program icmp_program_;
 };
 
 }  // namespace norman::dataplane

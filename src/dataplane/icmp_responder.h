@@ -21,6 +21,11 @@ class IcmpResponder : public nic::PipelineStage {
       : local_ip_(local_ip), local_mac_(local_mac) {}
 
   std::string_view name() const override { return "icmp"; }
+  // Acts only on ICMP frames (no 5-tuple, never cached); pure pass-through
+  // for cacheable TCP/UDP flows.
+  nic::StageCacheClass cache_class() const override {
+    return nic::StageCacheClass::kPure;
+  }
 
   void SetReplyInjector(std::function<void(net::PacketPtr)> inject) {
     inject_ = std::move(inject);

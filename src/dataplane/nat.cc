@@ -66,6 +66,7 @@ nic::StageResult NatEngine::Process(net::Packet& packet,
     }
     net::RewriteSource(packet.mutable_bytes(), public_ip_,
                        it->second.public_port);
+    result.mutated = true;  // cached parse is stale; NIC re-parses
     ++tx_translated_;
     return result;
   }
@@ -81,6 +82,7 @@ nic::StageResult NatEngine::Process(net::Packet& packet,
   }
   net::RewriteDestination(packet.mutable_bytes(), it->second.private_ip,
                           it->second.private_port);
+  result.mutated = true;  // cached parse is stale; NIC re-parses
   ++rx_translated_;
   return result;
 }

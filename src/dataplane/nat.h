@@ -28,6 +28,11 @@ class NatEngine : public nic::PipelineStage {
             uint16_t port_base = 20000, uint16_t port_count = 10000);
 
   std::string_view name() const override { return "nat"; }
+  // Per-flow deterministic: the rewrite it makes is captured into the flow
+  // cache entry and replayed on hits without running the stage.
+  nic::StageCacheClass cache_class() const override {
+    return nic::StageCacheClass::kPure;
+  }
 
   nic::StageResult Process(net::Packet& packet,
                       const overlay::PacketContext& ctx) override;

@@ -26,6 +26,15 @@ class OverlayStage : public nic::PipelineStage {
 
   std::string_view name() const override { return "overlay"; }
 
+  // An empty slot is a pure pass-through; a loaded program may read packet
+  // payload bytes (ldb), so its verdict can vary per packet within one flow
+  // — flows crossing a loaded slot stay off the fast path.
+  nic::StageCacheClass cache_class() const override {
+    return cp_->OverlaySlot(slot_) == nullptr
+               ? nic::StageCacheClass::kPure
+               : nic::StageCacheClass::kUncacheable;
+  }
+
   nic::StageResult Process(net::Packet& packet,
                            const overlay::PacketContext& ctx) override;
 

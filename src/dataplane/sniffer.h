@@ -49,6 +49,11 @@ class SnifferTap : public nic::PipelineStage {
                       size_t max_records = 65536);
 
   std::string_view name() const override { return "sniffer"; }
+  // Stateful tap: verdicts are cacheable (always accept) but every packet
+  // — fast path or slow — must land in the capture buffer.
+  nic::StageCacheClass cache_class() const override {
+    return nic::StageCacheClass::kObserver;
+  }
 
   // Starts/stops capturing. While stopped the tap is a no-op.
   void Start() { capturing_ = true; }

@@ -29,6 +29,10 @@ class SpoofGuard : public nic::PipelineStage {
       : flow_table_(flow_table), strict_arp_(strict_arp) {}
 
   std::string_view name() const override { return "spoof_guard"; }
+  // Pure function of (tuple, flow entry): safe to skip on fast-path hits.
+  nic::StageCacheClass cache_class() const override {
+    return nic::StageCacheClass::kPure;
+  }
 
   nic::StageResult Process(net::Packet& packet,
                            const overlay::PacketContext& ctx) override;

@@ -89,7 +89,11 @@ void Kernel::Housekeeping() {
   // Invoked on demand (no self-rescheduling: it would keep the DES alive
   // forever). Benchmarks and tools call this before reading tables; the
   // periodic path is StartMaintenance().
-  conntrack_->Sweep(sim_->Now());
+  if (conntrack_->Sweep(sim_->Now()) > 0) {
+    // Expired conntrack state frees SRAM and can change what the chain
+    // would decide (e.g. NAT admission): stale fast-path verdicts must go.
+    nic_cp_->InvalidateFastPath();
+  }
 }
 
 void Kernel::InstallDefaultHealthRules() {
@@ -123,7 +127,9 @@ void Kernel::MaintenanceTick() {
   }
   ++maintenance_ticks_;
   const Nanos now = sim_->Now();
-  conntrack_->Sweep(now);
+  if (conntrack_->Sweep(now) > 0) {
+    nic_cp_->InvalidateFastPath();  // see Housekeeping()
+  }
   sampler_->Sample(now);
   watchdog_->Evaluate(now);
   // Lazy re-arm: keep ticking only while the world has other events left.
@@ -460,19 +466,30 @@ StatusOr<size_t> Kernel::AppendFilterRule(Uid caller, Chain chain,
                                           const dataplane::FilterRule& rule) {
   NORMAN_RETURN_IF_ERROR(RequireRoot(caller));
   auto& engine = chain == Chain::kInput ? *filter_input_ : *filter_output_;
-  return engine.AppendRule(rule);
+  auto index = engine.AppendRule(rule);
+  if (index.ok()) {
+    // The rule set changed underneath the installed FilterEngine stage —
+    // a mutation the NIC control plane cannot observe on its own.
+    nic_cp_->InvalidateFastPath();
+  }
+  return index;
 }
 
 Status Kernel::DeleteFilterRule(Uid caller, Chain chain, size_t index) {
   NORMAN_RETURN_IF_ERROR(RequireRoot(caller));
   auto& engine = chain == Chain::kInput ? *filter_input_ : *filter_output_;
-  return engine.DeleteRule(index);
+  const Status s = engine.DeleteRule(index);
+  if (s.ok()) {
+    nic_cp_->InvalidateFastPath();
+  }
+  return s;
 }
 
 Status Kernel::FlushFilterRules(Uid caller, Chain chain) {
   NORMAN_RETURN_IF_ERROR(RequireRoot(caller));
   auto& engine = chain == Chain::kInput ? *filter_input_ : *filter_output_;
   engine.Flush();
+  nic_cp_->InvalidateFastPath();
   return OkStatus();
 }
 
@@ -512,6 +529,9 @@ Status Kernel::SetConnRateLimit(Uid caller, net::ConnectionId conn,
     rate_limits_[conn] = {rate_bps, burst_bytes};
     pacer_->SetRate(conn, rate_bps, burst_bytes);
   }
+  // Pacer reconfiguration happens behind the Scheduler interface, invisible
+  // to the NIC control plane.
+  nic_cp_->InvalidateFastPath();
   return OkStatus();
 }
 
@@ -535,12 +555,16 @@ Status Kernel::StartCapture(Uid caller,
   NORMAN_RETURN_IF_ERROR(RequireRoot(caller));
   NORMAN_RETURN_IF_ERROR(sniffer_->SetFilter(std::move(filter)));
   sniffer_->Start();
+  // The sniffer is an observer stage, but toggling capture changes its
+  // per-packet instruction cost (the cached pure-instruction total).
+  nic_cp_->InvalidateFastPath();
   return OkStatus();
 }
 
 Status Kernel::StopCapture(Uid caller) {
   NORMAN_RETURN_IF_ERROR(RequireRoot(caller));
   sniffer_->Stop();
+  nic_cp_->InvalidateFastPath();
   return OkStatus();
 }
 

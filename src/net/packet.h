@@ -12,10 +12,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/net/parsed_packet.h"
 #include "src/net/types.h"
 
 namespace norman::net {
@@ -60,12 +62,26 @@ class Packet {
   PacketMeta& meta() { return meta_; }
   const PacketMeta& meta() const { return meta_; }
 
+  // Cached single-pass parse of bytes(). The NIC parses each frame once on
+  // pipeline entry and re-parses *only* after a stage mutates the bytes
+  // (NAT); everything downstream — schedulers, RSS, observers — reads this
+  // instead of re-walking the headers. Nullptr until SetParsed; invalidated
+  // whenever the frame is rewritten without a fresh parse.
+  const ParsedPacket* parsed() const {
+    return parsed_.has_value() ? &*parsed_ : nullptr;
+  }
+  void SetParsed(std::optional<ParsedPacket> parsed) {
+    parsed_ = std::move(parsed);
+  }
+  void InvalidateParse() { parsed_.reset(); }
+
  private:
   friend class PacketPool;
   friend struct PacketDeleter;
 
   std::vector<uint8_t> bytes_;
   PacketMeta meta_;
+  std::optional<ParsedPacket> parsed_;
   // Owning pool, or nullptr for plain heap/stack packets. Set by PacketPool
   // on acquisition; PacketDeleter routes the buffer back through it.
   PacketPool* pool_ = nullptr;

@@ -11,10 +11,12 @@ namespace norman::net {
 namespace {
 
 // Sequential IPv4 identification for generated frames; wraps naturally.
-uint16_t NextIpId() {
+uint16_t& IpIdCounter() {
   static uint16_t id = 0;
-  return ++id;
+  return id;
 }
+
+uint16_t NextIpId() { return ++IpIdCounter(); }
 
 // Writers fill a caller-provided frame of exactly the right size, so both
 // the std::vector builders and the pooled-packet builders share one
@@ -155,6 +157,8 @@ void WriteArpReply(std::span<uint8_t> frame, MacAddress sender_mac,
 }
 
 }  // namespace
+
+void ResetIpIdCounterForTest() { IpIdCounter() = 0; }
 
 std::vector<uint8_t> BuildUdpFrame(const FrameEndpoints& ep, uint16_t src_port,
                                    uint16_t dst_port,

@@ -21,6 +21,11 @@ struct FrameEndpoints {
   Ipv4Address dst_ip;
 };
 
+// Rewinds the process-global IPv4 identification counter. Tests that build
+// two identical traffic sequences in one process (e.g. a cache-off vs
+// cache-on parity run) call this so the generated frames are byte-identical.
+void ResetIpIdCounterForTest();
+
 // UDP datagram frame.
 std::vector<uint8_t> BuildUdpFrame(const FrameEndpoints& ep, uint16_t src_port,
                                    uint16_t dst_port,

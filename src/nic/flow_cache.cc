@@ -1,0 +1,103 @@
+#include "src/nic/flow_cache.h"
+
+namespace norman::nic {
+
+namespace {
+const std::string kSramCategory = "flow_cache";
+}  // namespace
+
+FlowCache::FlowCache(SramAllocator* sram, telemetry::MetricsRegistry* registry)
+    : sram_(sram),
+      hits_(registry->GetCounter("fastpath.hits")),
+      misses_(registry->GetCounter("fastpath.misses")),
+      invalidations_(registry->GetCounter("fastpath.invalidations")),
+      evictions_(registry->GetCounter("fastpath.evictions")),
+      uncacheable_(registry->GetCounter("fastpath.uncacheable")),
+      entries_(registry->GetGauge("fastpath.entries")),
+      sram_gauge_(registry->GetGauge("fastpath.sram_bytes")) {}
+
+FlowCache::~FlowCache() {
+  sram_->Free(kSramCategory, map_.size() * kFlowCacheEntryBytes);
+}
+
+void FlowCache::Enable(size_t max_entries) {
+  enabled_ = true;
+  max_entries_ = max_entries;
+  // Shrink to the (possibly smaller) new bound.
+  while (map_.size() > max_entries_) EvictOne();
+}
+
+void FlowCache::Disable() {
+  enabled_ = false;
+  sram_->Free(kSramCategory, map_.size() * kFlowCacheEntryBytes);
+  map_.clear();
+  lru_.clear();
+  entries_->Set(0);
+  sram_gauge_->Set(0);
+}
+
+void FlowCache::Invalidate() {
+  // The epoch advances even while disabled so that entries minted before a
+  // Disable/Enable cycle can never resurrect stale configuration.
+  ++epoch_;
+  if (enabled_) invalidations_->Increment();
+}
+
+const FlowCacheEntry* FlowCache::Lookup(const FlowCacheKey& key) {
+  if (!enabled_) return nullptr;
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    misses_->Increment();
+    return nullptr;
+  }
+  if (it->second->second.epoch != epoch_) {
+    // Minted under an older configuration: lazily discard.
+    Erase(key);
+    misses_->Increment();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to MRU
+  hits_->Increment();
+  return &it->second->second;
+}
+
+void FlowCache::Insert(const FlowCacheKey& key, FlowCacheEntry entry) {
+  if (!enabled_) return;
+  entry.epoch = epoch_;
+  if (const auto it = map_.find(key); it != map_.end()) {
+    it->second->second = entry;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (map_.size() >= max_entries_ && !map_.empty()) EvictOne();
+  while (!sram_->Allocate(kSramCategory, kFlowCacheEntryBytes).ok()) {
+    if (map_.empty()) return;  // SRAM cannot cover even one entry
+    EvictOne();
+  }
+  lru_.emplace_front(key, entry);
+  map_.emplace(key, lru_.begin());
+  entries_->Set(static_cast<int64_t>(map_.size()));
+  sram_gauge_->Set(static_cast<int64_t>(sram_bytes()));
+}
+
+void FlowCache::EvictOne() {
+  if (lru_.empty()) return;
+  map_.erase(lru_.back().first);
+  lru_.pop_back();
+  sram_->Free(kSramCategory, kFlowCacheEntryBytes);
+  evictions_->Increment();
+  entries_->Set(static_cast<int64_t>(map_.size()));
+  sram_gauge_->Set(static_cast<int64_t>(sram_bytes()));
+}
+
+void FlowCache::Erase(const FlowCacheKey& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+  sram_->Free(kSramCategory, kFlowCacheEntryBytes);
+  entries_->Set(static_cast<int64_t>(map_.size()));
+  sram_gauge_->Set(static_cast<int64_t>(sram_bytes()));
+}
+
+}  // namespace norman::nic

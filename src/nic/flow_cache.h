@@ -1,0 +1,154 @@
+// NIC-resident flow verdict cache — the megaflow-style fast path.
+//
+// The stage chain (filters, spoof guard, NAT, overlay programs) resolves
+// the same verdict for every packet of a flow as long as the control-plane
+// configuration is unchanged. Real hardware exploits that by caching the
+// aggregate match/action outcome in an exact-match table and hitting it at
+// line rate (OVS megaflows, TC flower offload, "Advancements in Traffic
+// Processing Using Programmable Hardware Flow Offload"). This class is that
+// table: keyed by (direction, 5-tuple, connection), an entry replays the
+// whole chain's outcome — verdict, drop reason, instruction cost, the NAT
+// header rewrite — in one SRAM lookup, plus a bitmask of *observer* stages
+// (conntrack, sniffer) that must still see the packet so their state stays
+// identical with the cache on or off.
+//
+// Correctness rests on epoch invalidation: every control-plane mutation
+// (filter install/remove, qdisc or NAT change, overlay reload, conntrack
+// expiry) bumps a generation counter; entries minted under an older epoch
+// are treated as misses and lazily discarded. Entries are charged to NIC
+// SRAM (category "flow_cache") and evicted LRU — insertion order breaks
+// ties deterministically — so cache capacity is a resource-exhaustion axis
+// like the flow table itself (§5 of the paper).
+#ifndef NORMAN_NIC_FLOW_CACHE_H_
+#define NORMAN_NIC_FLOW_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/drop_reason.h"
+#include "src/common/metrics.h"
+#include "src/net/packet.h"
+#include "src/net/types.h"
+#include "src/nic/sram.h"
+
+namespace norman::nic {
+
+enum class Verdict : uint8_t;  // pipeline.h; avoid the circular include
+
+// SRAM cost per cached flow: key + verdict + rewrite + LRU links, padded.
+inline constexpr uint64_t kFlowCacheEntryBytes = 64;
+
+// Cached header transform (the NAT rewrite), replayed on hits without
+// running the NAT stage. kSource rewrites src ip:port, kDestination dst.
+enum class RewriteKind : uint8_t { kNone = 0, kSource = 1, kDestination = 2 };
+
+struct FlowCacheKey {
+  net::Direction direction = net::Direction::kTx;
+  net::FiveTuple tuple;  // as seen on pipeline entry (pre-rewrite)
+  net::ConnectionId conn = net::kUnknownConnection;
+
+  bool operator==(const FlowCacheKey&) const = default;
+};
+
+struct FlowCacheKeyHash {
+  size_t operator()(const FlowCacheKey& k) const {
+    uint64_t h = net::FiveTupleHash{}(k.tuple);
+    h ^= (static_cast<uint64_t>(k.conn) << 1) ^
+         (static_cast<uint64_t>(k.direction) << 40);
+    h *= 1099511628211ULL;
+    return static_cast<size_t>(h);
+  }
+};
+
+struct FlowCacheEntry {
+  uint8_t verdict = 0;  // nic::Verdict; stored raw to avoid the include cycle
+  DropReason drop_reason = DropReason::kNone;
+  // Overlay instructions the skipped (pure) stages executed when the entry
+  // was minted; charged to the instruction counter on hits so aggregate
+  // accounting matches a full chain walk.
+  uint32_t pure_instructions = 0;
+  // Bit i set => chain stage i is an observer (conntrack, sniffer) and must
+  // still Process() the packet on a hit.
+  uint32_t observer_mask = 0;
+  // Chain index at which the cached rewrite applies (-1: no rewrite). The
+  // replay applies it *in position* so observers after it see the rewritten
+  // frame exactly as they would on a miss.
+  int16_t rewrite_stage = -1;
+  RewriteKind rewrite_kind = RewriteKind::kNone;
+  net::Ipv4Address rewrite_ip;
+  uint16_t rewrite_port = 0;
+  // Control-plane generation this entry was minted under; stale => miss.
+  uint64_t epoch = 0;
+};
+
+class FlowCache {
+ public:
+  FlowCache(SramAllocator* sram, telemetry::MetricsRegistry* registry);
+  ~FlowCache();
+
+  FlowCache(const FlowCache&) = delete;
+  FlowCache& operator=(const FlowCache&) = delete;
+
+  // The cache is off by default (so pinned golden trajectories predate it);
+  // the kernel opts in through the control plane.
+  void Enable(size_t max_entries);
+  void Disable();
+  bool enabled() const { return enabled_; }
+
+  // Bumps the configuration epoch; live entries become stale and are lazily
+  // discarded on their next lookup.
+  void Invalidate();
+
+  // Hit: touches LRU and returns the entry. Miss (absent, stale, or cache
+  // disabled): returns nullptr. Stale entries are erased on the spot.
+  const FlowCacheEntry* Lookup(const FlowCacheKey& key);
+
+  // Inserts (or overwrites) under the current epoch, evicting LRU entries
+  // until both the entry bound and SRAM admit it; skipped if SRAM cannot
+  // cover one entry even with the cache emptied.
+  void Insert(const FlowCacheKey& key, FlowCacheEntry entry);
+
+  size_t size() const { return map_.size(); }
+  size_t max_entries() const { return max_entries_; }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t hits() const { return hits_->value(); }
+  uint64_t misses() const { return misses_->value(); }
+  uint64_t invalidations() const { return invalidations_->value(); }
+  uint64_t evictions() const { return evictions_->value(); }
+  uint64_t uncacheable() const { return uncacheable_->value(); }
+  uint64_t sram_bytes() const { return map_.size() * kFlowCacheEntryBytes; }
+
+  // A flow whose chain walk could not be summarized (uncacheable stage,
+  // unsupported rewrite shape, fallback verdict). Counted by the NIC.
+  void RecordUncacheable() { uncacheable_->Increment(); }
+
+ private:
+  void EvictOne();
+  void Erase(const FlowCacheKey& key);
+
+  SramAllocator* sram_;
+  bool enabled_ = false;
+  size_t max_entries_ = 0;
+  uint64_t epoch_ = 0;
+
+  // Most-recently-used at the front; eviction takes the back. The list
+  // order is a pure function of the lookup/insert sequence, so eviction is
+  // deterministic.
+  using LruList = std::list<std::pair<FlowCacheKey, FlowCacheEntry>>;
+  LruList lru_;
+  std::unordered_map<FlowCacheKey, LruList::iterator, FlowCacheKeyHash> map_;
+
+  telemetry::Counter* hits_;           // fastpath.hits
+  telemetry::Counter* misses_;         // fastpath.misses
+  telemetry::Counter* invalidations_;  // fastpath.invalidations
+  telemetry::Counter* evictions_;      // fastpath.evictions
+  telemetry::Counter* uncacheable_;    // fastpath.uncacheable
+  telemetry::Gauge* entries_;          // fastpath.entries
+  telemetry::Gauge* sram_gauge_;       // fastpath.sram_bytes
+};
+
+}  // namespace norman::nic
+
+#endif  // NORMAN_NIC_FLOW_CACHE_H_

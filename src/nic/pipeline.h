@@ -34,6 +34,26 @@ struct StageResult {
   // Why, when verdict == kDrop. Stages returning kDrop must tag a reason;
   // the NIC attributes the drop to exactly one reason counter.
   DropReason drop_reason = DropReason::kNone;
+  // Set by stages that rewrote the frame bytes (NAT). Tells the NIC the
+  // cached parse is stale and must be refreshed before anything downstream
+  // reads headers.
+  bool mutated = false;
+};
+
+// How a stage interacts with the flow verdict cache (megaflow-style fast
+// path). The cache replays a flow's aggregate verdict without re-running
+// the chain, so each stage must declare what a cache hit may skip.
+enum class StageCacheClass : uint8_t {
+  // Pure function of the flow key under a fixed configuration: verdict and
+  // instruction cost can be cached and the stage skipped entirely on hits
+  // (filters, spoof guard, NAT — whose rewrite is replayed from the cache).
+  kPure = 0,
+  // Keeps per-packet state (connection trackers, sniffer taps): verdict is
+  // cacheable but the stage must still observe every hit packet.
+  kObserver = 1,
+  // Payload- or state-dependent verdicts (loaded overlay programs): flows
+  // touching this stage are never cached.
+  kUncacheable = 2,
 };
 
 // A match/action stage (filter, sniffer, counter). Stages must not block;
@@ -42,6 +62,11 @@ class PipelineStage {
  public:
   virtual ~PipelineStage() = default;
   virtual std::string_view name() const = 0;
+  // Conservative default: unknown stages disable the fast path for flows
+  // that reach them rather than risk skipping real work.
+  virtual StageCacheClass cache_class() const {
+    return StageCacheClass::kUncacheable;
+  }
   // May mutate the packet (NAT). `ctx.direction` distinguishes TX/RX.
   virtual StageResult Process(net::Packet& packet,
                               const overlay::PacketContext& ctx) = 0;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/net/packet_builder.h"
 #include "src/nic/fifo_scheduler.h"
 #include "src/overlay/verifier.h"
 
@@ -128,6 +129,10 @@ SmartNic::SmartNic(sim::Simulator* sim, Options options)
       notify_gauges_(&sim->metrics(), "nic.notify"),
       qdisc_gauges_(&sim->metrics(), "nic.qdisc"),
       sram_gauges_(&sim->metrics(), "nic.sram"),
+      // Constructed even when never enabled so the "fastpath.*" metric
+      // inventory is shape-stable (the manifest CI diffs does not depend on
+      // which features a run turned on).
+      flow_cache_(&sram_, &sim->metrics()),
       scheduler_(std::make_unique<FifoScheduler>()),
       stats_(&sim->metrics()) {
   sram_.AttachGauges(&sram_gauges_);
@@ -157,6 +162,7 @@ Status SmartNic::ControlPlane::InstallFlow(const FlowEntry& entry) {
     return s;
   }
   nic_->rings_.emplace(entry.conn_id, std::move(ring));
+  InvalidateFastPath();
   return OkStatus();
 }
 
@@ -166,6 +172,7 @@ Status SmartNic::ControlPlane::RemoveFlow(net::ConnectionId conn_id) {
   nic_->sram_.Free("ring_state", 64);
   nic_->ddio_.Invalidate(TxRingId(conn_id));
   nic_->ddio_.Invalidate(RxRingId(conn_id));
+  InvalidateFastPath();
   return OkStatus();
 }
 
@@ -184,15 +191,18 @@ DoorbellWindow SmartNic::ControlPlane::MapDoorbell(net::ConnectionId conn_id) {
 
 void SmartNic::ControlPlane::AddTxStage(PipelineStage* stage) {
   nic_->tx_stages_.push_back(stage);
+  InvalidateFastPath();
 }
 
 void SmartNic::ControlPlane::AddRxStage(PipelineStage* stage) {
   nic_->rx_stages_.push_back(stage);
+  InvalidateFastPath();
 }
 
 void SmartNic::ControlPlane::ClearStages() {
   nic_->tx_stages_.clear();
   nic_->rx_stages_.clear();
+  InvalidateFastPath();
 }
 
 Status SmartNic::ControlPlane::SetScheduler(
@@ -206,6 +216,7 @@ Status SmartNic::ControlPlane::SetScheduler(
         "cannot swap scheduler with packets in flight");
   }
   nic_->scheduler_ = std::move(scheduler);
+  InvalidateFastPath();
   return OkStatus();
 }
 
@@ -221,6 +232,7 @@ StatusOr<Nanos> SmartNic::ControlPlane::LoadOverlay(
       cost.overlay_activate_ns;
   nic_->overlay_slots_[slot].program = program;
   ++nic_->overlay_slots_[slot].generation;
+  InvalidateFastPath();
   return load_time;
 }
 
@@ -244,6 +256,7 @@ Nanos SmartNic::ControlPlane::ReloadBitstream() {
     slot.program.clear();
     ++slot.generation;
   }
+  InvalidateFastPath();
   return nic_->options_.cost.bitstream_reload_ns;
 }
 
@@ -261,6 +274,19 @@ TopTalkers* SmartNic::ControlPlane::EnableTopTalkers(size_t max_entries) {
   nic_->top_talkers_ = std::make_unique<TopTalkers>(
       &nic_->sram_, &nic_->sim_->metrics(), max_entries);
   return nic_->top_talkers_.get();
+}
+
+FlowCache* SmartNic::ControlPlane::EnableFlowCache(size_t max_entries) {
+  nic_->flow_cache_.Enable(max_entries);
+  return &nic_->flow_cache_;
+}
+
+void SmartNic::ControlPlane::DisableFlowCache() {
+  nic_->flow_cache_.Disable();
+}
+
+void SmartNic::ControlPlane::InvalidateFastPath() {
+  nic_->flow_cache_.Invalidate();
 }
 
 NotificationQueue* SmartNic::ControlPlane::GetNotificationQueue(
@@ -290,14 +316,91 @@ overlay::PacketContext SmartNic::MakeContext(const net::Packet& packet,
   return ctx;
 }
 
+namespace {
+
+// True when `to` is `from` with only the source (resp. destination)
+// endpoint rewritten — the one transform shape the flow cache can replay.
+bool IsSourceRewrite(const net::FiveTuple& from, const net::FiveTuple& to) {
+  return from.proto == to.proto && from.dst_ip == to.dst_ip &&
+         from.dst_port == to.dst_port &&
+         (from.src_ip != to.src_ip || from.src_port != to.src_port);
+}
+
+bool IsDestinationRewrite(const net::FiveTuple& from,
+                          const net::FiveTuple& to) {
+  return from.proto == to.proto && from.src_ip == to.src_ip &&
+         from.src_port == to.src_port &&
+         (from.dst_ip != to.dst_ip || from.dst_port != to.dst_port);
+}
+
+}  // namespace
+
 StageResult SmartNic::RunStages(const std::vector<PipelineStage*>& stages,
                                 net::Packet& packet,
-                                const overlay::PacketContext& ctx,
-                                Nanos stage_start, uint32_t trace_id) {
+                                overlay::PacketContext& ctx,
+                                Nanos stage_start, uint32_t trace_id,
+                                FlowCacheMint* mint) {
   StageResult aggregate;
-  for (PipelineStage* stage : stages) {
+  for (size_t i = 0; i < stages.size(); ++i) {
+    PipelineStage* stage = stages[i];
+    // Capture the pre-stage flow before a mutation invalidates the parse.
+    std::optional<net::FiveTuple> pre_flow;
+    if (mint != nullptr && ctx.parsed != nullptr) {
+      pre_flow = ctx.parsed->flow();
+    }
     const StageResult r = stage->Process(packet, ctx);
     aggregate.overlay_instructions += r.overlay_instructions;
+    if (r.mutated) {
+      // The stage rewrote the frame (NAT): refresh the single-pass parse so
+      // downstream stages, the scheduler, and RSS see the new headers. This
+      // is the only re-parse on the whole datapath.
+      packet.SetParsed(net::ParseFrame(packet.bytes()));
+      ctx.parsed = packet.parsed();
+      ctx.frame = packet.bytes();
+    }
+    if (mint != nullptr && mint->cacheable) {
+      switch (stage->cache_class()) {
+        case StageCacheClass::kPure:
+          // Skipped entirely on hits; its instruction cost is replayed from
+          // the entry so aggregate accounting matches a full walk.
+          mint->entry.pure_instructions += r.overlay_instructions;
+          break;
+        case StageCacheClass::kObserver:
+          // Observers re-run on every hit. They must behave as observers:
+          // accept-only, frame untouched, and within the bitmask's width.
+          if (r.mutated || r.verdict != Verdict::kAccept || i >= 32) {
+            mint->cacheable = false;
+          } else {
+            mint->entry.observer_mask |= uint32_t{1} << i;
+          }
+          break;
+        case StageCacheClass::kUncacheable:
+          mint->cacheable = false;
+          break;
+      }
+      if (r.mutated && mint->cacheable) {
+        // Summarize the mutation as a cached header transform. Anything but
+        // a single plain src/dst endpoint rewrite is beyond replay.
+        std::optional<net::FiveTuple> post_flow;
+        if (ctx.parsed != nullptr) post_flow = ctx.parsed->flow();
+        if (!pre_flow || !post_flow ||
+            mint->entry.rewrite_kind != RewriteKind::kNone) {
+          mint->cacheable = false;
+        } else if (IsSourceRewrite(*pre_flow, *post_flow)) {
+          mint->entry.rewrite_stage = static_cast<int16_t>(i);
+          mint->entry.rewrite_kind = RewriteKind::kSource;
+          mint->entry.rewrite_ip = post_flow->src_ip;
+          mint->entry.rewrite_port = post_flow->src_port;
+        } else if (IsDestinationRewrite(*pre_flow, *post_flow)) {
+          mint->entry.rewrite_stage = static_cast<int16_t>(i);
+          mint->entry.rewrite_kind = RewriteKind::kDestination;
+          mint->entry.rewrite_ip = post_flow->dst_ip;
+          mint->entry.rewrite_port = post_flow->dst_port;
+        } else {
+          mint->cacheable = false;
+        }
+      }
+    }
     if (trace_id != 0) {
       // Each executed stage occupies stage latency plus its own overlay
       // instructions; spans are laid end to end from `stage_start` so the
@@ -316,6 +419,34 @@ StageResult SmartNic::RunStages(const std::vector<PipelineStage*>& stages,
     }
   }
   return aggregate;
+}
+
+uint32_t SmartNic::ReplayFastPath(const FlowCacheEntry& entry,
+                                  const std::vector<PipelineStage*>& stages,
+                                  net::Packet& packet,
+                                  overlay::PacketContext& ctx) {
+  uint32_t observer_instructions = 0;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (static_cast<int16_t>(i) == entry.rewrite_stage) {
+      // Apply the cached transform exactly where the mutating stage sat, so
+      // observers after it see the rewritten frame just as on a miss.
+      if (entry.rewrite_kind == RewriteKind::kSource) {
+        net::RewriteSource(packet.mutable_bytes(), entry.rewrite_ip,
+                           entry.rewrite_port);
+      } else if (entry.rewrite_kind == RewriteKind::kDestination) {
+        net::RewriteDestination(packet.mutable_bytes(), entry.rewrite_ip,
+                                entry.rewrite_port);
+      }
+      packet.SetParsed(net::ParseFrame(packet.bytes()));
+      ctx.parsed = packet.parsed();
+      ctx.frame = packet.bytes();
+    }
+    if ((entry.observer_mask >> i) & 1u) {
+      observer_instructions +=
+          stages[i]->Process(packet, ctx).overlay_instructions;
+    }
+  }
+  return observer_instructions;
 }
 
 Status SmartNic::Doorbell(net::ConnectionId conn_id, Nanos now) {
@@ -394,46 +525,92 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
       pipeline_.Serve(dma_done, options_.cost.NicPipelineOccupancy());
   sim_->tracer().Record(trace_id, "tx.pipeline", dma_done, pipe_done);
 
-  auto parsed = net::ParseFrame(packet->bytes());
-  const overlay::PacketContext ctx = MakeContext(
-      *packet, parsed ? &*parsed : nullptr, entry, net::Direction::kTx);
+  // Single-pass parse: stored on the packet, refreshed only if a stage
+  // mutates the frame. Everything downstream reads this copy.
+  packet->SetParsed(net::ParseFrame(packet->bytes()));
+  overlay::PacketContext ctx = MakeContext(*packet, packet->parsed(), entry,
+                                           net::Direction::kTx);
   // Per-flow accounting (norman-top). Pure observation: no events, no cost.
-  if (top_talkers_ != nullptr && parsed) {
-    if (auto flow = parsed->flow()) {
-      top_talkers_->Record(*flow, ctx.conn.owner_pid,
-                           static_cast<uint32_t>(packet->size()), now);
-    }
+  // Runs on hits and misses alike — top-talkers is stateful like conntrack,
+  // just keyed outside the stage chain.
+  std::optional<net::FiveTuple> flow;
+  if (packet->parsed() != nullptr) {
+    flow = packet->parsed()->flow();
+  }
+  if (top_talkers_ != nullptr && flow) {
+    top_talkers_->Record(*flow, ctx.conn.owner_pid,
+                         static_cast<uint32_t>(packet->size()), now);
   }
   packet->meta().direction = net::Direction::kTx;
   packet->meta().connection = conn_id;
   packet->meta().nic_arrival = now;
   packet->meta().trace_id = trace_id;
 
-  StageResult result =
-      RunStages(tx_stages_, *packet, ctx, pipe_done, trace_id);
-  // A packet already diverted once (software path) is not diverted again —
-  // repeat FALLBACK verdicts pass through, preventing divert loops.
-  if (result.verdict == Verdict::kSoftwareFallback &&
-      packet->meta().software_fallback) {
-    result.verdict = Verdict::kAccept;
+  // Flow fast path: one exact-match lookup replays the whole chain's
+  // verdict. Re-diverted software-fallback packets bypass the cache (their
+  // chain semantics differ: repeat FALLBACK converts to accept).
+  const bool fp_eligible = flow_cache_.enabled() && flow.has_value() &&
+                           !packet->meta().software_fallback;
+  FlowCacheKey fp_key;
+  Verdict verdict = Verdict::kAccept;
+  DropReason drop_reason = DropReason::kNone;
+  Nanos stages_done = 0;
+  bool fp_hit = false;
+  if (fp_eligible) {
+    fp_key = FlowCacheKey{net::Direction::kTx, *flow, conn_id};
+    if (const FlowCacheEntry* e = flow_cache_.Lookup(fp_key)) {
+      const uint32_t observer_instructions =
+          ReplayFastPath(*e, tx_stages_, *packet, ctx);
+      stats_.overlay_instructions_->Increment(e->pure_instructions +
+                                              observer_instructions);
+      stages_done = pipe_done + options_.cost.flow_cache_hit_ns +
+                    static_cast<Nanos>(observer_instructions) *
+                        options_.cost.overlay_instr_ns;
+      sim_->tracer().Record(trace_id, "fastpath", pipe_done, stages_done);
+      verdict = static_cast<Verdict>(e->verdict);
+      drop_reason = e->drop_reason;
+      fp_hit = true;
+    }
   }
-  stats_.overlay_instructions_->Increment(result.overlay_instructions);
-  const Nanos stages_done =
-      pipe_done +
-      static_cast<Nanos>(tx_stages_.size()) *
-          options_.cost.nic_stage_latency_ns +
-      static_cast<Nanos>(result.overlay_instructions) *
-          options_.cost.overlay_instr_ns;
+  if (!fp_hit) {
+    FlowCacheMint mint;
+    StageResult result = RunStages(tx_stages_, *packet, ctx, pipe_done,
+                                   trace_id, fp_eligible ? &mint : nullptr);
+    // A packet already diverted once (software path) is not diverted again
+    // — repeat FALLBACK verdicts pass through, preventing divert loops.
+    if (result.verdict == Verdict::kSoftwareFallback &&
+        packet->meta().software_fallback) {
+      result.verdict = Verdict::kAccept;
+    }
+    stats_.overlay_instructions_->Increment(result.overlay_instructions);
+    stages_done = pipe_done +
+                  static_cast<Nanos>(tx_stages_.size()) *
+                      options_.cost.nic_stage_latency_ns +
+                  static_cast<Nanos>(result.overlay_instructions) *
+                      options_.cost.overlay_instr_ns;
+    verdict = result.verdict;
+    drop_reason = result.drop_reason;
+    if (fp_eligible) {
+      // Fallback verdicts are never cached: the divert-loop conversion
+      // above depends on per-packet state the cache cannot see.
+      if (mint.cacheable && verdict != Verdict::kSoftwareFallback) {
+        mint.entry.verdict = static_cast<uint8_t>(verdict);
+        mint.entry.drop_reason = drop_reason;
+        flow_cache_.Insert(fp_key, mint.entry);
+      } else {
+        flow_cache_.RecordUncacheable();
+      }
+    }
+  }
 
   if (entry != nullptr) {
     ++entry->tx_packets;
     entry->tx_bytes += packet->size();
   }
 
-  switch (result.verdict) {
+  switch (verdict) {
     case Verdict::kDrop:
-      stats_.RecordDrop(net::Direction::kTx,
-                        NormalizeDropReason(result.drop_reason),
+      stats_.RecordDrop(net::Direction::kTx, NormalizeDropReason(drop_reason),
                         ctx.conn.owner_pid);
       return;
     case Verdict::kSoftwareFallback: {
@@ -457,15 +634,12 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
   sim_->ScheduleAt(stages_done,
                    [this, p = std::move(packet), conn_meta]() mutable {
     // Rebuild a minimal context for the scheduler (classification inputs).
-    // Parse only for disciplines that actually classify; the frame must be
-    // re-parsed here (not reused from above) because stages may rewrite it.
-    std::optional<net::ParsedPacket> reparsed;
-    if (scheduler_->NeedsClassification()) {
-      reparsed = net::ParseFrame(p->bytes());
-    }
+    // The packet's cached parse is already fresh — RunStages re-parsed in
+    // place if (and only if) a stage rewrote the frame — so classifying
+    // disciplines read it directly instead of re-parsing.
     overlay::PacketContext sched_ctx;
     sched_ctx.frame = p->bytes();
-    sched_ctx.parsed = reparsed ? &*reparsed : nullptr;
+    sched_ctx.parsed = p->parsed();
     sched_ctx.conn = conn_meta;
     sched_ctx.direction = net::Direction::kTx;
     p->meta().sched_enqueued_at = sim_->Now();
@@ -559,39 +733,80 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
       pipeline_.Serve(now, options_.cost.NicPipelineOccupancy());
   sim_->tracer().Record(trace_id, "rx.pipeline", now, pipe_done);
 
-  auto parsed = net::ParseFrame(packet->bytes());
+  // Single-pass parse, stored on the packet (see ProcessTxDescriptor).
+  packet->SetParsed(net::ParseFrame(packet->bytes()));
+  std::optional<net::FiveTuple> flow;
+  if (packet->parsed() != nullptr) {
+    flow = packet->parsed()->flow();
+  }
   FlowEntry* entry = nullptr;
-  if (parsed) {
-    if (auto flow = parsed->flow()) {
-      entry = flow_table_.LookupByInboundTuple(*flow);
+  if (flow) {
+    entry = flow_table_.LookupByInboundTuple(*flow);
+  }
+  overlay::PacketContext ctx = MakeContext(*packet, packet->parsed(), entry,
+                                           net::Direction::kRx);
+  if (top_talkers_ != nullptr && flow) {
+    top_talkers_->Record(*flow, ctx.conn.owner_pid,
+                         static_cast<uint32_t>(packet->size()), now);
+  }
+
+  // Flow fast path (RX). Keyed on the wire tuple as seen *before* any
+  // stage rewrite, matching the flow-table lookup above; unmatched frames
+  // head to the host slow path and are never cached.
+  const bool fp_eligible = flow_cache_.enabled() && flow.has_value() &&
+                           entry != nullptr &&
+                           !packet->meta().software_fallback;
+  FlowCacheKey fp_key;
+  Verdict verdict = Verdict::kAccept;
+  DropReason drop_reason = DropReason::kNone;
+  Nanos ready = 0;
+  bool fp_hit = false;
+  if (fp_eligible) {
+    fp_key = FlowCacheKey{net::Direction::kRx, *flow, entry->conn_id};
+    if (const FlowCacheEntry* e = flow_cache_.Lookup(fp_key)) {
+      const uint32_t observer_instructions =
+          ReplayFastPath(*e, rx_stages_, *packet, ctx);
+      stats_.overlay_instructions_->Increment(e->pure_instructions +
+                                              observer_instructions);
+      ready = pipe_done + options_.cost.flow_cache_hit_ns +
+              static_cast<Nanos>(observer_instructions) *
+                  options_.cost.overlay_instr_ns;
+      sim_->tracer().Record(trace_id, "fastpath", pipe_done, ready);
+      verdict = static_cast<Verdict>(e->verdict);
+      drop_reason = e->drop_reason;
+      fp_hit = true;
     }
   }
-  const overlay::PacketContext ctx = MakeContext(
-      *packet, parsed ? &*parsed : nullptr, entry, net::Direction::kRx);
-  if (top_talkers_ != nullptr && parsed) {
-    if (auto flow = parsed->flow()) {
-      top_talkers_->Record(*flow, ctx.conn.owner_pid,
-                           static_cast<uint32_t>(packet->size()), now);
+  if (!fp_hit) {
+    FlowCacheMint mint;
+    StageResult result = RunStages(rx_stages_, *packet, ctx, pipe_done,
+                                   trace_id, fp_eligible ? &mint : nullptr);
+    stats_.overlay_instructions_->Increment(result.overlay_instructions);
+    ready = pipe_done +
+            static_cast<Nanos>(rx_stages_.size()) *
+                options_.cost.nic_stage_latency_ns +
+            static_cast<Nanos>(result.overlay_instructions) *
+                options_.cost.overlay_instr_ns;
+    verdict = result.verdict;
+    drop_reason = result.drop_reason;
+    if (fp_eligible) {
+      if (mint.cacheable && verdict != Verdict::kSoftwareFallback) {
+        mint.entry.verdict = static_cast<uint8_t>(verdict);
+        mint.entry.drop_reason = drop_reason;
+        flow_cache_.Insert(fp_key, mint.entry);
+      } else {
+        flow_cache_.RecordUncacheable();
+      }
     }
   }
 
-  StageResult result =
-      RunStages(rx_stages_, *packet, ctx, pipe_done, trace_id);
-  stats_.overlay_instructions_->Increment(result.overlay_instructions);
-  Nanos ready = pipe_done +
-                static_cast<Nanos>(rx_stages_.size()) *
-                    options_.cost.nic_stage_latency_ns +
-                static_cast<Nanos>(result.overlay_instructions) *
-                    options_.cost.overlay_instr_ns;
-
-  if (result.verdict == Verdict::kDrop) {
-    stats_.RecordDrop(net::Direction::kRx,
-                      NormalizeDropReason(result.drop_reason),
+  if (verdict == Verdict::kDrop) {
+    stats_.RecordDrop(net::Direction::kRx, NormalizeDropReason(drop_reason),
                       ctx.conn.owner_pid);
     return;
   }
 
-  if (entry == nullptr || result.verdict == Verdict::kSoftwareFallback) {
+  if (entry == nullptr || verdict == Verdict::kSoftwareFallback) {
     // No registered connection (or explicitly diverted): host slow path.
     if (entry == nullptr) {
       stats_.rx_unmatched_->Increment();
@@ -608,10 +823,12 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
   }
 
   // Steer: explicit flow-table queue wins; otherwise RSS over the tuple.
+  // The cached parse is post-rewrite here, so steering keys on the headers
+  // actually delivered to the host (a NAT'd frame hashes as rewritten).
   uint16_t queue = entry->rx_queue;
-  if (parsed) {
-    if (auto flow = parsed->flow(); flow && queue == 0) {
-      queue = rss_.Steer(*flow);
+  if (packet->parsed() != nullptr) {
+    if (auto q_flow = packet->parsed()->flow(); q_flow && queue == 0) {
+      queue = rss_.Steer(*q_flow);
     }
   }
   // Steering is combinational (zero cost-model time); the zero-width span

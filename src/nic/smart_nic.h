@@ -34,6 +34,7 @@
 #include "src/net/packet.h"
 #include "src/net/parsed_packet.h"
 #include "src/nic/ddio.h"
+#include "src/nic/flow_cache.h"
 #include "src/nic/flow_table.h"
 #include "src/nic/mmio.h"
 #include "src/nic/notification.h"
@@ -205,6 +206,21 @@ class SmartNic {
     void DisableTopTalkers() { nic_->top_talkers_.reset(); }
     TopTalkers* top_talkers() { return nic_->top_talkers_.get(); }
 
+    // Flow verdict cache (the megaflow-style fast path). Off by default —
+    // pinned golden trajectories predate it — and opt-in per NIC; hits are
+    // charged flow_cache_hit_ns instead of the full chain walk, so enabling
+    // it changes virtual completion times (never verdicts or state).
+    FlowCache* EnableFlowCache(size_t max_entries = 1024);
+    void DisableFlowCache();
+    FlowCache& flow_cache() { return nic_->flow_cache_; }
+
+    // Bumps the fast-path configuration epoch: every cached verdict minted
+    // before this call becomes a miss. Mutating ControlPlane operations
+    // call it internally; the kernel must also call it for reconfigurations
+    // the NIC cannot observe (filter rule edits, capture toggles, conntrack
+    // expiry, pacer changes).
+    void InvalidateFastPath();
+
     // Host software fallback sink for packets the NIC diverts (E7).
     void SetFallbackSink(
         std::function<void(net::PacketPtr, net::Direction)> sink);
@@ -274,15 +290,38 @@ class SmartNic {
                                      const FlowEntry* entry,
                                      net::Direction dir) const;
 
+  // Scratch state RunStages fills while summarizing a chain walk into a
+  // flow-cache entry. `cacheable` goes false the moment the walk does
+  // something the cache cannot replay (uncacheable stage, a mutation that
+  // is not a plain src/dst rewrite, more than one rewrite).
+  struct FlowCacheMint {
+    FlowCacheEntry entry;
+    bool cacheable = true;
+  };
+
   // Runs the chain, aggregating overlay instruction counts and stopping at
-  // the first non-Accept verdict. For traced packets (trace_id != 0) emits
-  // one span per executed stage starting at `stage_start`, each charged
-  // stage latency + its overlay instructions, so the spans tile exactly
-  // onto the pipeline's cost-model time.
+  // the first non-Accept verdict. Stages that report `mutated` trigger an
+  // in-place re-parse, so `ctx.parsed` (and the packet's cached parse) is
+  // always fresh for downstream stages, schedulers, and RSS — the frame is
+  // parsed exactly once unless something rewrote it. When `mint` is
+  // non-null the walk is summarized into a prospective flow-cache entry.
+  // For traced packets (trace_id != 0) emits one span per executed stage
+  // starting at `stage_start`, each charged stage latency + its overlay
+  // instructions, so the spans tile exactly onto the pipeline's cost-model
+  // time.
   StageResult RunStages(const std::vector<PipelineStage*>& stages,
-                        net::Packet& packet,
-                        const overlay::PacketContext& ctx,
-                        Nanos stage_start, uint32_t trace_id);
+                        net::Packet& packet, overlay::PacketContext& ctx,
+                        Nanos stage_start, uint32_t trace_id,
+                        FlowCacheMint* mint);
+
+  // Replays a cached entry instead of walking the chain: applies the cached
+  // header rewrite at its recorded chain position (re-parsing in place) and
+  // runs the observer stages flagged in the entry's bitmask, so stateful
+  // stages see hit packets exactly as they would on a miss. Returns the
+  // overlay instructions the observers executed.
+  uint32_t ReplayFastPath(const FlowCacheEntry& entry,
+                          const std::vector<PipelineStage*>& stages,
+                          net::Packet& packet, overlay::PacketContext& ctx);
 
   void ProcessTxDescriptor(net::PacketPtr packet, net::ConnectionId conn_id,
                            Nanos now);
@@ -311,7 +350,9 @@ class SmartNic {
   telemetry::QueueDepthGauges notify_gauges_;
   telemetry::QueueDepthGauges qdisc_gauges_;
   telemetry::QueueDepthGauges sram_gauges_;
-  // Declared after sram_ so its destructor (which refunds SRAM) runs first.
+  // Declared after sram_ so their destructors (which refund SRAM) run
+  // first.
+  FlowCache flow_cache_;
   std::unique_ptr<TopTalkers> top_talkers_;
 
   std::unordered_map<net::ConnectionId, std::unique_ptr<RingPair>> rings_;

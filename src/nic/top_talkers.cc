@@ -52,8 +52,11 @@ void TopTalkers::Record(const net::FiveTuple& tuple, uint32_t owner_pid,
     for (auto cand = table_.begin(); cand != table_.end(); ++cand) {
       if (cand->second.bytes < victim->second.bytes) victim = cand;
     }
+    // Drop the hot pointer only when it names the node being erased: other
+    // nodes are pointer-stable across the erase, so an unrelated eviction
+    // must not cost the active flow its fast lookup.
+    if (hot_ == &victim->second) hot_ = nullptr;
     table_.erase(victim);
-    hot_ = nullptr;  // the cached entry may be the node just erased
     sram_->Free(kSramCategory, kTopTalkerEntryBytes);
     evicted_->Increment();
   }

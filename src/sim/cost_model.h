@@ -73,6 +73,10 @@ struct CostModel {
   Nanos nic_stage_latency_ns = 45;
   // Per-instruction cost of the overlay soft processor.
   Nanos overlay_instr_ns = 2;
+  // Flow verdict cache hit: one exact-match SRAM lookup replaces the whole
+  // stage chain (cf. OVS megaflow / hardware flow offload). Charged instead
+  // of stages * nic_stage_latency_ns when the fast path resolves a packet.
+  Nanos flow_cache_hit_ns = 25;
   // Packet rate the NIC pipeline sustains regardless of per-packet program
   // length (packets/s); models the paper's "line rate" hardware claim.
   uint64_t nic_pipeline_pps = 150'000'000;

@@ -593,6 +593,40 @@ std::string NicStatDrops(const kernel::Kernel& k, const nic::SmartNic& nic) {
   return out.str();
 }
 
+std::string NicStatFastPath(const kernel::Kernel& k,
+                            const nic::SmartNic& nic) {
+  (void)nic;
+  auto& fc = const_cast<kernel::Kernel&>(k).nic_control().flow_cache();
+  std::ostringstream out;
+  out << "Flow fast path: " << (fc.enabled() ? "enabled" : "disabled")
+      << " (epoch " << fc.epoch() << ")\n";
+  const uint64_t lookups = fc.hits() + fc.misses();
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "  entries      %8llu / %llu (%llu B SRAM)\n",
+                static_cast<unsigned long long>(fc.size()),
+                static_cast<unsigned long long>(fc.max_entries()),
+                static_cast<unsigned long long>(fc.sram_bytes()));
+  out << line;
+  std::snprintf(line, sizeof(line), "  hits         %8llu (%.1f%%)\n",
+                static_cast<unsigned long long>(fc.hits()),
+                lookups == 0 ? 0.0 : 100.0 * fc.hits() / lookups);
+  out << line;
+  std::snprintf(line, sizeof(line), "  misses       %8llu\n",
+                static_cast<unsigned long long>(fc.misses()));
+  out << line;
+  std::snprintf(line, sizeof(line), "  uncacheable  %8llu\n",
+                static_cast<unsigned long long>(fc.uncacheable()));
+  out << line;
+  std::snprintf(line, sizeof(line), "  invalidations%8llu\n",
+                static_cast<unsigned long long>(fc.invalidations()));
+  out << line;
+  std::snprintf(line, sizeof(line), "  evictions    %8llu\n",
+                static_cast<unsigned long long>(fc.evictions()));
+  out << line;
+  return out.str();
+}
+
 std::string TcShow(const kernel::Kernel& k) {
   std::ostringstream out;
   const auto* sched =

@@ -70,6 +70,11 @@ std::string NicStat(const kernel::Kernel& k, const nic::SmartNic& nic);
 // owner-annotated ledger, and the kernel slow-path drop counters.
 std::string NicStatDrops(const kernel::Kernel& k, const nic::SmartNic& nic);
 
+// The `norman-stat --fastpath` view: flow verdict cache occupancy, hit/miss
+// balance, epoch invalidations, evictions, and SRAM footprint.
+std::string NicStatFastPath(const kernel::Kernel& k,
+                            const nic::SmartNic& nic);
+
 // ---- norman-top ------------------------------------------------------------
 // The continuous-monitoring dashboard: per-process and per-flow bandwidth,
 // every bounded queue's depth + high watermark, and the watchdog's health

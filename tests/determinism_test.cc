@@ -20,7 +20,7 @@ struct RunTrace {
 };
 
 RunTrace RunWorld(uint64_t seed, uint32_t trace_sample = 0,
-                  bool monitor = false) {
+                  bool monitor = false, bool fastpath = false) {
   workload::TestBedOptions opts;
   opts.echo = true;
   if (monitor) {
@@ -36,6 +36,9 @@ RunTrace RunWorld(uint64_t seed, uint32_t trace_sample = 0,
   if (monitor) {
     k.nic_control().EnableTopTalkers(16);
     k.StartMaintenance();
+  }
+  if (fastpath) {
+    k.nic_control().EnableFlowCache(1024);
   }
   const auto peer = net::Ipv4Address::FromOctets(10, 0, 0, 2);
 
@@ -123,6 +126,27 @@ TEST(DeterminismTest, TracingOnMatchesGoldenTrace) {
 TEST(DeterminismTest, MonitoringOnMatchesGoldenTrajectory) {
   const RunTrace t = RunWorld(42, /*trace_sample=*/0, /*monitor=*/true);
   ExpectMatchesGoldenTrajectory(t);
+}
+
+// The flow fast path changes packet *latency* (hits bypass the per-stage
+// walk) but must not change what comes out of the NIC: same frames, same
+// bytes. Its trajectory is pinned separately because completion timestamps
+// legitimately shift; this golden was captured once when the cache landed
+// and any drift after that is a real fast-path bug (dropped, duplicated, or
+// reordered frames, or nondeterministic eviction).
+TEST(DeterminismTest, FastPathOnMatchesGoldenTrajectory) {
+  const RunTrace t =
+      RunWorld(42, /*trace_sample=*/0, /*monitor=*/false, /*fastpath=*/true);
+  EXPECT_EQ(t.egress_frames, 413u);
+  EXPECT_EQ(t.egress_bytes, 202446u);
+  ASSERT_EQ(t.completions.size(), 413u);
+  EXPECT_EQ(Fnv1aHash(t.completions), 12554163209316526794ULL);
+  EXPECT_EQ(t.final_time, 5052014);
+  // Rerunning must be bit-identical (fast-path hits and evictions are a
+  // pure function of the packet sequence).
+  const RunTrace again =
+      RunWorld(42, /*trace_sample=*/0, /*monitor=*/false, /*fastpath=*/true);
+  EXPECT_EQ(again.completions, t.completions);
 }
 
 TEST(DeterminismTest, DifferentSeedsDifferentTraces) {
