@@ -1,0 +1,156 @@
+// Chaos sweep — graceful degradation of the reliable channel under a
+// deterministically faulty wire.
+//
+// Sweeps loss {0, 0.1%, 1%, 5%} x reordering {off, on} x corruption
+// {off, on} over two full Norman hosts (DuplexTestBed) and reports, one
+// JSON line per cell: goodput, retransmission overhead, p50/p99 per-message
+// flow completion time, and the wire's own fault ledger. Every run derives
+// from one fixed seed, so the numbers are byte-stable across invocations —
+// CI archives the JSON as an artifact and diffs are meaningful.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/norman/listener.h"
+#include "src/norman/reliable.h"
+#include "src/sim/fault.h"
+#include "src/workload/duplex.h"
+
+namespace {
+
+using namespace norman;  // NOLINT
+
+struct ChaosResult {
+  uint64_t delivered = 0;
+  double goodput_mbps = 0;
+  double retransmit_overhead = 0;  // retransmissions / original segments
+  LatencyHistogram fct;            // send -> in-order delivery, per message
+  uint64_t wire_lost = 0;
+  uint64_t wire_corrupted = 0;
+  uint64_t wire_reordered = 0;
+  uint64_t corrupt_drops = 0;      // frames the NIC checksum check rejected
+};
+
+ChaosResult RunCell(double loss, bool reorder, bool corruption,
+                    int messages = 300) {
+  workload::DuplexOptions opts;
+  opts.fault_seed = 0xc4a05;
+  workload::DuplexTestBed bed(opts);
+  bed.a().kernel->processes().AddUser(1, "a");
+  bed.b().kernel->processes().AddUser(2, "b");
+  const auto pid_a = *bed.a().kernel->processes().Spawn(1, "client");
+  const auto pid_b = *bed.b().kernel->processes().Spawn(2, "server");
+
+  kernel::ConnectOptions copts;
+  copts.notify_rx = true;
+  auto listener = Listener::Create(bed.b().kernel.get(), pid_b, 4500,
+                                   net::IpProto::kUdp, copts);
+  if (!listener.ok()) {
+    return {};
+  }
+  auto client =
+      Socket::Connect(bed.a().kernel.get(), pid_a, bed.ip_b(), 4500, copts);
+  if (!client.ok()) {
+    return {};
+  }
+  (void)client->Send(std::vector<uint8_t>{0xff, 0, 0, 0, 0});
+  bed.sim().Run();
+  auto server = listener->Accept();
+  if (!server.ok()) {
+    return {};
+  }
+  while (server->RecvFrame() != nullptr) {
+  }
+
+  // Connected cleanly; now the wire turns hostile in both directions.
+  sim::FaultProfile profile;
+  profile.loss = loss;
+  if (reorder) {
+    profile.reorder = 0.10;
+    profile.reorder_delay = 250 * kMicrosecond;
+  }
+  if (corruption) {
+    profile.corruption = 0.02;
+  }
+  bed.fault().SetProfile(workload::DuplexTestBed::kLinkAtoB, profile);
+  bed.fault().SetProfile(workload::DuplexTestBed::kLinkBtoA, profile);
+
+  ReliableChannel tx(&bed.sim(), bed.a().kernel.get(), &*client);
+  ReliableChannel rx(&bed.sim(), bed.b().kernel.get(), &*server);
+
+  ChaosResult result;
+  std::map<uint64_t, Nanos> sent_at;
+  uint64_t delivered_bytes = 0;
+  Nanos last_delivery = 0;
+  uint64_t next_id = 0;
+  rx.SetMessageHandler([&](std::vector<uint8_t> m) {
+    ++result.delivered;
+    delivered_bytes += m.size();
+    last_delivery = bed.sim().Now();
+    const auto it = sent_at.find(next_id++);
+    if (it != sent_at.end()) {
+      result.fct.Add(bed.sim().Now() - it->second);
+    }
+  });
+  (void)tx.Start();
+  (void)rx.Start();
+
+  for (int i = 0; i < messages; ++i) {
+    sent_at[static_cast<uint64_t>(i)] = bed.sim().Now();
+    (void)tx.Send(std::vector<uint8_t>(1000, 0xaa));
+  }
+  bed.sim().RunUntil(60'000 * kMillisecond);
+
+  if (last_delivery > 0) {
+    result.goodput_mbps = AchievedBps(delivered_bytes, last_delivery) / 1e6;
+  }
+  const uint64_t originals =
+      tx.stats().segments_transmitted - tx.stats().retransmissions;
+  if (originals > 0) {
+    result.retransmit_overhead =
+        static_cast<double>(tx.stats().retransmissions) /
+        static_cast<double>(originals);
+  }
+  for (const size_t link : {workload::DuplexTestBed::kLinkAtoB,
+                            workload::DuplexTestBed::kLinkBtoA}) {
+    const auto& ws = bed.fault().stats(link);
+    result.wire_lost += ws.lost;
+    result.wire_corrupted += ws.corrupted;
+    result.wire_reordered += ws.reordered;
+  }
+  // Both hosts share the simulator's registry; one accessor reads the
+  // world total.
+  result.corrupt_drops = bed.a().nic->stats().rx_drops(DropReason::kCorrupt);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::fprintf(stderr,
+               "chaos sweep: 300 x 1KB messages per cell, seed 0xc4a05\n");
+  for (const double loss : {0.0, 0.001, 0.01, 0.05}) {
+    for (const bool reorder : {false, true}) {
+      for (const bool corruption : {false, true}) {
+        const auto r = RunCell(loss, reorder, corruption);
+        std::printf(
+            "{\"bench\":\"chaos\",\"loss\":%.3f,\"reorder\":%s,"
+            "\"corruption\":%s,\"delivered\":%llu,\"goodput_mbps\":%.3f,"
+            "\"retransmit_overhead\":%.4f,\"fct_p50_ns\":%lld,"
+            "\"fct_p99_ns\":%lld,\"wire_lost\":%llu,"
+            "\"wire_corrupted\":%llu,\"wire_reordered\":%llu,"
+            "\"nic_corrupt_drops\":%llu}\n",
+            loss, reorder ? "true" : "false", corruption ? "true" : "false",
+            static_cast<unsigned long long>(r.delivered), r.goodput_mbps,
+            r.retransmit_overhead, static_cast<long long>(r.fct.p50()),
+            static_cast<long long>(r.fct.p99()),
+            static_cast<unsigned long long>(r.wire_lost),
+            static_cast<unsigned long long>(r.wire_corrupted),
+            static_cast<unsigned long long>(r.wire_reordered),
+            static_cast<unsigned long long>(r.corrupt_drops));
+      }
+    }
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "src/common/stats.h"
+#include "src/norman/listener.h"
 #include "src/norman/reliable.h"
 #include "src/workload/duplex.h"
 
@@ -35,8 +36,11 @@ TransportResult RunTransfer(double loss, uint32_t window,
 
   kernel::ConnectOptions copts;
   copts.notify_rx = true;
-  (void)Socket::Listen(bed.b().kernel.get(), pid_b, 4500,
-                       net::IpProto::kUdp, copts);
+  auto listener = Listener::Create(bed.b().kernel.get(), pid_b, 4500,
+                                   net::IpProto::kUdp, copts);
+  if (!listener.ok()) {
+    return {};
+  }
   auto client =
       Socket::Connect(bed.a().kernel.get(), pid_a, bed.ip_b(), 4500, copts);
   if (!client.ok()) {
@@ -44,7 +48,7 @@ TransportResult RunTransfer(double loss, uint32_t window,
   }
   (void)client->Send(std::vector<uint8_t>{0xff, 0, 0, 0, 0});
   bed.sim().Run();
-  auto server = Socket::Accept(bed.b().kernel.get(), pid_b, 4500);
+  auto server = listener->Accept();
   if (!server.ok()) {
     return {};
   }

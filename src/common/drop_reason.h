@@ -28,6 +28,7 @@ enum class DropReason : uint8_t {
   kRingFull,        // RX descriptor ring had no free slot
   kTtl,             // TTL expired (reserved for a future routing stage)
   kUnmatched,       // no flow entry and no listener wanted it
+  kCorrupt,         // IP/L4 checksum failed RX verification (wire damage)
   kCount,           // number of reasons (array sizing), not a reason
 };
 
@@ -50,6 +51,7 @@ constexpr std::string_view DropReasonName(DropReason reason) {
     case DropReason::kRingFull: return "ring_full";
     case DropReason::kTtl: return "ttl";
     case DropReason::kUnmatched: return "unmatched";
+    case DropReason::kCorrupt: return "corrupt";
     case DropReason::kCount: break;
   }
   return "invalid";

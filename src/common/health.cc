@@ -86,6 +86,15 @@ void HealthWatchdog::AddLatencyRule(std::string_view component,
   if (status.owner.empty()) status.owner = std::string(owner);
 }
 
+void HealthWatchdog::AddLinkDownRule(std::string_view component,
+                                     std::string_view series,
+                                     std::string_view owner) {
+  rules_.push_back(Rule{RuleKind::kLinkDown, std::string(component),
+                        std::string(series), std::string(owner), 0, 0, 0});
+  auto& status = components_[std::string(component)];
+  if (status.owner.empty()) status.owner = std::string(owner);
+}
+
 HealthState HealthWatchdog::EvaluateRule(const Rule& rule,
                                          std::string* reason) const {
   const TimeSeries* series = sampler_->Find(rule.series);
@@ -139,6 +148,16 @@ HealthState HealthWatchdog::EvaluateRule(const Rule& rule,
                       rule.series.c_str(), v, rule.threshold);
         *reason = buf;
         return HealthState::kDegraded;
+      }
+      return HealthState::kHealthy;
+    }
+    case RuleKind::kLinkDown: {
+      const double v = series->Latest().value;
+      if (v > 0) {
+        std::snprintf(buf, sizeof(buf), "%s reports %.0f link(s) down",
+                      rule.series.c_str(), v);
+        *reason = buf;
+        return HealthState::kStalled;
       }
       return HealthState::kHealthy;
     }

@@ -75,6 +75,12 @@ class HealthWatchdog {
   // `threshold_ns`.
   void AddLatencyRule(std::string_view component, std::string_view series,
                       std::string_view owner, Nanos threshold_ns);
+  // Stalled while the latest sample of a gauge-level series is positive
+  // (e.g. "fault.link.down" counts links administratively down). A missing
+  // or empty series reads healthy, so worlds without a fault plane are
+  // unaffected.
+  void AddLinkDownRule(std::string_view component, std::string_view series,
+                       std::string_view owner);
 
   // Re-evaluates every rule against the sampler's current series and logs
   // state transitions at virtual time `now`. Call after Sample().
@@ -93,7 +99,8 @@ class HealthWatchdog {
   std::string JsonReport() const;
 
  private:
-  enum class RuleKind : uint8_t { kQueueStall, kRateSpike, kLatency };
+  enum class RuleKind : uint8_t { kQueueStall, kRateSpike, kLatency,
+                                  kLinkDown };
 
   struct Rule {
     RuleKind kind;

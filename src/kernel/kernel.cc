@@ -110,6 +110,13 @@ void Kernel::InstallDefaultHealthRules() {
                               "app.rx", 0.0);
   watchdog_->AddLatencyRule("nic.qdisc", "trace.stage.tx.qdisc.p99",
                             "kernel.tc", 1 * kMillisecond);
+  // Wire faults (sim::FaultInjector): a down link is an immediate stall,
+  // and any sustained rate of checksum-failed RX frames means the physical
+  // path is damaging bytes. Both series read healthy when absent/zero, so
+  // worlds without a fault plane see no change.
+  watchdog_->AddLinkDownRule("link", "fault.link.down", "net.wire");
+  watchdog_->AddRateSpikeRule("link", "nic.rx.drop.corrupt.rate", "net.wire",
+                              0.0);
 }
 
 void Kernel::StartMaintenance() {
@@ -247,7 +254,9 @@ StatusOr<AppPort> Kernel::Accept(Pid pid, uint16_t local_port) {
       return PermissionDeniedError("accept: not the listening process");
     }
     if (state.accept_queue.empty()) {
-      return NotFoundError("accept: no pending connections");
+      // Would-block, not a missing resource: the listener exists, there is
+      // just nothing to accept yet (see the convention in socket.h).
+      return UnavailableError("accept: no pending connections");
     }
     const net::ConnectionId conn_id = state.accept_queue.front();
     state.accept_queue.pop_front();

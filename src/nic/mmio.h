@@ -32,6 +32,15 @@ using MmioAddr = uint32_t;
 inline constexpr MmioAddr kDoorbellBase = 0x1000;
 inline constexpr MmioAddr kDoorbellWordsPerConn = 4;
 
+// Fault-injection config registers (global config space, privileged). The
+// kernel's control plane drives NIC-side fault campaigns through these; the
+// registers exist so chaos tooling works the way every other knob does —
+// through MMIO — instead of through a debug backdoor.
+//   kRegFaultSramPressure: bytes of SRAM currently held hostage (read-back).
+//   kRegFaultNotifyStall:  1 = notification delivery stalled, 0 = flowing.
+inline constexpr MmioAddr kRegFaultSramPressure = 0x0100;
+inline constexpr MmioAddr kRegFaultNotifyStall = 0x0108;
+
 inline constexpr MmioAddr kRegTxHead = 0;
 inline constexpr MmioAddr kRegTxTail = 1;
 inline constexpr MmioAddr kRegRxHead = 2;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/net/frame_checksum.h"
 #include "src/net/packet_builder.h"
 #include "src/nic/fifo_scheduler.h"
 #include "src/overlay/verifier.h"
@@ -136,6 +137,14 @@ SmartNic::SmartNic(sim::Simulator* sim, Options options)
       scheduler_(std::make_unique<FifoScheduler>()),
       stats_(&sim->metrics()) {
   sram_.AttachGauges(&sram_gauges_);
+  // NIC-side fault instrumentation, eagerly registered so the metric
+  // manifest is shape-stable whether or not a chaos campaign ever runs.
+  fault_sram_pressure_gauge_ = sim->metrics().GetGauge(
+      "fault.nic.sram_pressure_bytes");
+  fault_notify_stall_gauge_ = sim->metrics().GetGauge(
+      "fault.nic.notify_stalled");
+  fault_notify_deferred_ = sim->metrics().GetCounter(
+      "fault.nic.notify_deferred");
 }
 
 SmartNic::~SmartNic() = default;
@@ -713,8 +722,56 @@ void SmartNic::EmitToWire(net::PacketPtr packet) {
   }
 }
 
+Status SmartNic::ControlPlane::InjectSramPressure(uint64_t bytes) {
+  NORMAN_RETURN_IF_ERROR(nic_->sram_.Allocate("fault_pressure", bytes));
+  nic_->fault_sram_pressure_ += bytes;
+  nic_->fault_sram_pressure_gauge_->Set(
+      static_cast<int64_t>(nic_->fault_sram_pressure_));
+  nic_->priv_mmio_.Write(kRegFaultSramPressure,
+                         static_cast<uint32_t>(nic_->fault_sram_pressure_));
+  return OkStatus();
+}
+
+void SmartNic::ControlPlane::ReleaseSramPressure() {
+  if (nic_->fault_sram_pressure_ == 0) {
+    return;
+  }
+  nic_->sram_.Free("fault_pressure", nic_->fault_sram_pressure_);
+  nic_->fault_sram_pressure_ = 0;
+  nic_->fault_sram_pressure_gauge_->Set(0);
+  nic_->priv_mmio_.Write(kRegFaultSramPressure, 0);
+}
+
+void SmartNic::ControlPlane::StallNotifications(bool stalled) {
+  if (nic_->notify_stalled_ == stalled) {
+    return;
+  }
+  nic_->notify_stalled_ = stalled;
+  nic_->fault_notify_stall_gauge_->Set(stalled ? 1 : 0);
+  nic_->priv_mmio_.Write(kRegFaultNotifyStall, stalled ? 1u : 0u);
+  if (stalled) {
+    return;
+  }
+  // Flush the holding pen in arrival order; each Post may still fire a
+  // one-shot interrupt exactly as it would have at stall time.
+  std::vector<std::pair<uint32_t, Notification>> pen;
+  pen.swap(nic_->stalled_notifications_);
+  for (auto& [pid, notification] : pen) {
+    const auto it = nic_->notif_queues_.find(pid);
+    if (it != nic_->notif_queues_.end()) {
+      it->second->Post(notification);
+    }
+  }
+}
+
 void SmartNic::PostNotification(const FlowEntry& entry, NotificationKind kind,
                                 Nanos now) {
+  if (notify_stalled_) {
+    stalled_notifications_.emplace_back(entry.owner.owner_pid,
+                                        Notification{kind, entry.conn_id, now});
+    fault_notify_deferred_->Increment();
+    return;
+  }
   const auto it = notif_queues_.find(entry.owner.owner_pid);
   if (it == notif_queues_.end()) {
     return;
@@ -743,6 +800,18 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
   if (flow) {
     entry = flow_table_.LookupByInboundTuple(*flow);
   }
+
+  // Graceful degradation under wire faults: frames whose IPv4 or L4
+  // checksum no longer verifies were damaged in flight and are dropped here,
+  // before any stage or application can act on corrupt bytes. Zero virtual
+  // time — the MAC verifies at line rate.
+  if (options_.verify_rx_checksums && packet->parsed() != nullptr &&
+      !net::FrameChecksumsValid(packet->bytes(), *packet->parsed())) {
+    stats_.RecordDrop(net::Direction::kRx, DropReason::kCorrupt,
+                      entry != nullptr ? entry->owner.owner_pid : 0);
+    return;
+  }
+
   overlay::PacketContext ctx = MakeContext(*packet, packet->parsed(), entry,
                                            net::Direction::kRx);
   if (top_talkers_ != nullptr && flow) {

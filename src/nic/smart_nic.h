@@ -24,6 +24,7 @@
 #include <string>
 #include <tuple>
 #include <unordered_map>
+#include <utility>
 #include <unordered_set>
 #include <vector>
 
@@ -152,6 +153,10 @@ class SmartNic {
     // run in between, so virtual-time behavior is bit-identical to
     // unbatched runs while host-time event dispatch amortizes per batch.
     uint32_t tx_fetch_batch = 16;
+    // RX ingest verifies IPv4/L4 checksums and drops damaged frames with
+    // DropReason::kCorrupt (graceful degradation under wire faults). Costs
+    // zero virtual time — real NICs verify in the MAC at line rate.
+    bool verify_rx_checksums = true;
   };
 
   SmartNic(sim::Simulator* sim, Options options);
@@ -220,6 +225,23 @@ class SmartNic {
     // the NIC cannot observe (filter rule edits, capture toggles, conntrack
     // expiry, pacer changes).
     void InvalidateFastPath();
+
+    // ---- NIC-side fault injection (chaos campaigns) ----------------------
+    // Holds `bytes` of NIC SRAM hostage under the "fault_pressure" SRAM
+    // category (cumulative across calls), so flow installs and NAT port
+    // allocations see transient ResourceExhausted exactly as they would
+    // under a real SRAM squeeze. Mirrored in kRegFaultSramPressure.
+    Status InjectSramPressure(uint64_t bytes);
+    // Returns every hostage byte to the allocator.
+    void ReleaseSramPressure();
+    uint64_t sram_pressure_bytes() const {
+      return nic_->fault_sram_pressure_;
+    }
+    // While stalled, PostNotification defers completions into a holding pen
+    // instead of waking applications (a wedged interrupt path); resuming
+    // flushes the pen in arrival order. Mirrored in kRegFaultNotifyStall.
+    void StallNotifications(bool stalled);
+    bool notifications_stalled() const { return nic_->notify_stalled_; }
 
     // Host software fallback sink for packets the NIC diverts (E7).
     void SetFallbackSink(
@@ -378,6 +400,13 @@ class SmartNic {
 
   bool control_plane_taken_ = false;
   bool drain_scheduled_ = false;
+  // NIC-side fault state (driven through the ControlPlane / MMIO).
+  uint64_t fault_sram_pressure_ = 0;
+  bool notify_stalled_ = false;
+  std::vector<std::pair<uint32_t, Notification>> stalled_notifications_;
+  telemetry::Gauge* fault_sram_pressure_gauge_;    // bytes held hostage
+  telemetry::Gauge* fault_notify_stall_gauge_;     // 1 while stalled
+  telemetry::Counter* fault_notify_deferred_;      // completions held back
   // Per-connection "descriptor consumer is running" flags. A map of bools
   // rather than a set so the steady-state doorbell -> drain -> doorbell
   // cycle flips a bit in place instead of allocating/freeing a node per

@@ -1,0 +1,76 @@
+// RAII listen(2) handle for the Norman library.
+//
+// A Listener owns the kernel-side listener registration for one
+// (port, proto) pair: Create() binds it, the destructor unbinds it, and
+// Accept() dequeues pending inbound connections as Sockets. This replaces
+// the old static Socket::Listen/Accept/StopListening trio, whose
+// registration had no owner — a test that forgot StopListening leaked the
+// port into the next scenario.
+#ifndef NORMAN_NORMAN_LISTENER_H_
+#define NORMAN_NORMAN_LISTENER_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "src/kernel/kernel.h"
+#include "src/norman/socket.h"
+
+namespace norman {
+
+class Listener {
+ public:
+  // listen(2): registers `pid` as the listener on local_port. Inbound
+  // connections are installed by the kernel as their first packet arrives;
+  // `accept_opts` configures the connections Accept() will hand out.
+  static StatusOr<Listener> Create(
+      kernel::Kernel* kernel, kernel::Pid pid, uint16_t local_port,
+      net::IpProto proto = net::IpProto::kUdp,
+      const kernel::ConnectOptions& accept_opts = {});
+
+  Listener() = default;
+  ~Listener() { Stop(); }
+
+  Listener(Listener&& other) noexcept { MoveFrom(other); }
+  Listener& operator=(Listener&& other) noexcept {
+    if (this != &other) {
+      Stop();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // accept(2), non-blocking: next pending inbound connection (its first
+  // packet is already waiting in the RX ring), or Unavailable when nothing
+  // is pending yet (would-block — see the convention in socket.h).
+  StatusOr<Socket> Accept();
+
+  // Unbinds the port early (the destructor also does this).
+  void Stop();
+
+  bool valid() const { return kernel_ != nullptr; }
+  uint16_t port() const { return port_; }
+  net::IpProto proto() const { return proto_; }
+
+ private:
+  Listener(kernel::Kernel* kernel, kernel::Pid pid, uint16_t port,
+           net::IpProto proto)
+      : kernel_(kernel), pid_(pid), port_(port), proto_(proto) {}
+
+  void MoveFrom(Listener& other) noexcept {
+    kernel_ = std::exchange(other.kernel_, nullptr);
+    pid_ = other.pid_;
+    port_ = other.port_;
+    proto_ = other.proto_;
+  }
+
+  kernel::Kernel* kernel_ = nullptr;
+  kernel::Pid pid_ = 0;
+  uint16_t port_ = 0;
+  net::IpProto proto_ = net::IpProto::kUdp;
+};
+
+}  // namespace norman
+
+#endif  // NORMAN_NORMAN_LISTENER_H_

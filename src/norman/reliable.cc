@@ -37,26 +37,27 @@ Status ReliableChannel::Start() {
 }
 
 void ReliableChannel::PumpRx() {
+  pump_registered_ = false;
   if (failed_) {
-    return;
+    return;  // pump parks until Resync() restarts it
   }
-  // Drain whatever is already in the ring, then block for more.
-  while (true) {
-    auto data = socket_->Recv();
-    if (!data.ok()) {
-      break;
-    }
-    HandleFrame(*data);
+  // Drain whatever is already in the ring, then block for more. The
+  // zero-copy lane keeps this loop allocation-free: Payload() reuses the
+  // frame's cached parse and HandleFrame reads the bytes in place.
+  while (net::PacketPtr frame = socket_->RecvFrame()) {
+    HandleFrame(Socket::Payload(static_cast<const net::Packet&>(*frame)));
   }
   const Status blocked = kernel_->BlockOnRx(socket_->conn_id(), [this] {
     PumpRx();
   });
   if (!blocked.ok()) {
     Fail(blocked);
+    return;
   }
+  pump_registered_ = true;
 }
 
-void ReliableChannel::HandleFrame(const std::vector<uint8_t>& payload) {
+void ReliableChannel::HandleFrame(std::span<const uint8_t> payload) {
   if (payload.size() < kHeaderBytes) {
     return;  // runt; ignore
   }
@@ -136,7 +137,9 @@ void ReliableChannel::SendAck() {
 
 Status ReliableChannel::Send(std::vector<uint8_t> payload) {
   if (failed_) {
-    return UnavailableError("reliable channel failed");
+    // Surface the root cause, not a generic "failed".
+    return last_error_.ok() ? UnavailableError("reliable channel failed")
+                            : last_error_;
   }
   ++stats_.messages_sent;
   send_queue_.push_back(std::move(payload));
@@ -195,6 +198,7 @@ void ReliableChannel::OnRetransmitTimeout(uint64_t timer_generation) {
   if (in_flight_.empty()) {
     return;
   }
+  ++stats_.rto_expirations;
   // Go-back-style: retransmit the oldest unacked segment only; the
   // cumulative ACK it triggers tells us where the receiver actually is.
   const uint32_t seq = base_seq_;
@@ -209,8 +213,38 @@ void ReliableChannel::OnRetransmitTimeout(uint64_t timer_generation) {
     return;
   }
   TransmitSegment(seq, /*is_retransmit=*/true);
+  if (current_rto_ < options_.max_rto) {
+    ++stats_.rto_backoffs;
+  }
   current_rto_ = std::min(current_rto_ * 2, options_.max_rto);
   ArmRetransmitTimer();
+}
+
+Status ReliableChannel::Resync() {
+  if (!failed_) {
+    return FailedPreconditionError("resync: channel has not failed");
+  }
+  failed_ = false;
+  last_error_ = OkStatus();
+  ++stats_.resyncs;
+  current_rto_ = options_.initial_rto;
+  for (auto& [seq, segment] : in_flight_) {
+    segment.retries = 0;
+  }
+  ++timer_generation_;  // orphan any timer armed before the failure
+  timer_armed_ = false;
+  if (started_ && !pump_registered_) {
+    PumpRx();
+  }
+  if (!in_flight_.empty()) {
+    // Probe the path with the oldest unacked segment; the peer's cumulative
+    // ACK tells us how far it actually got while we were dark.
+    TransmitSegment(base_seq_, /*is_retransmit=*/true);
+    ArmRetransmitTimer();
+  } else {
+    TransmitWindow();
+  }
+  return OkStatus();
 }
 
 void ReliableChannel::Fail(const Status& reason) {
@@ -218,6 +252,7 @@ void ReliableChannel::Fail(const Status& reason) {
     return;
   }
   failed_ = true;
+  last_error_ = reason;
   if (on_failure_) {
     on_failure_(reason);
   }

@@ -25,6 +25,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "src/common/status.h"
@@ -49,6 +50,10 @@ struct ReliableStats {
   uint64_t duplicates_discarded = 0;
   uint64_t out_of_order_buffered = 0;
   uint64_t messages_delivered = 0;
+  // RTO visibility (graceful-degradation accounting under wire faults).
+  uint64_t rto_expirations = 0;     // timers that fired and were not stale
+  uint64_t rto_backoffs = 0;        // exponential-backoff applications
+  uint64_t resyncs = 0;             // successful Resync() calls
 };
 
 class ReliableChannel {
@@ -80,11 +85,25 @@ class ReliableChannel {
   // Starts the receive loop (blocking on RX notifications).
   Status Start();
 
+  // Recovers a failed channel after the operator believes the path is back
+  // (e.g. a link flap ended): clears the failure, resets retry budgets and
+  // the RTO, restarts the receive pump, and retransmits the oldest unacked
+  // segment to probe the path. Sequence state is preserved, so the peer's
+  // cumulative ACK re-synchronizes both ends without loss or duplication.
+  // FailedPrecondition if the channel has not failed.
+  Status Resync();
+
   const ReliableStats& stats() const { return stats_; }
   uint32_t unacked_segments() const {
     return next_seq_ - base_seq_;
   }
   bool failed() const { return failed_; }
+  // Why the channel failed; OK while healthy. Send() returns this after
+  // failure, so callers see the root cause, not a generic error.
+  const Status& last_error() const { return last_error_; }
+  // Current retransmission timeout (backs off exponentially under loss,
+  // resets on forward progress).
+  Nanos current_rto() const { return current_rto_; }
 
  private:
   struct PendingSegment {
@@ -93,7 +112,7 @@ class ReliableChannel {
   };
 
   void PumpRx();
-  void HandleFrame(const std::vector<uint8_t>& payload);
+  void HandleFrame(std::span<const uint8_t> payload);
   void TransmitWindow();
   void TransmitSegment(uint32_t seq, bool is_retransmit);
   void SendAck();
@@ -124,6 +143,11 @@ class ReliableChannel {
   ReliableStats stats_;
   bool started_ = false;
   bool failed_ = false;
+  Status last_error_ = OkStatus();
+  // True while a BlockOnRx waiter is registered with the kernel; Resync()
+  // only restarts the pump when the old waiter has already unwound (a
+  // failed channel's pump deregisters itself on its next wake-up).
+  bool pump_registered_ = false;
 };
 
 }  // namespace norman

@@ -1,5 +1,8 @@
 #include "src/norman/socket.h"
 
+#include <algorithm>
+
+#include "src/net/frame_checksum.h"
 #include "src/net/parsed_packet.h"
 
 namespace norman {
@@ -23,19 +26,6 @@ StatusOr<Socket> Socket::Connect(kernel::Kernel* kernel, kernel::Pid pid,
                                  const kernel::ConnectOptions& opts) {
   NORMAN_ASSIGN_OR_RETURN(kernel::AppPort port,
                           kernel->Connect(pid, remote_ip, remote_port, opts));
-  return Socket(kernel, std::move(port));
-}
-
-Status Socket::Listen(kernel::Kernel* kernel, kernel::Pid pid,
-                      uint16_t local_port, net::IpProto proto,
-                      const kernel::ConnectOptions& accept_opts) {
-  return kernel->Listen(pid, local_port, proto, accept_opts);
-}
-
-StatusOr<Socket> Socket::Accept(kernel::Kernel* kernel, kernel::Pid pid,
-                                uint16_t local_port) {
-  NORMAN_ASSIGN_OR_RETURN(kernel::AppPort port,
-                          kernel->Accept(pid, local_port));
   return Socket(kernel, std::move(port));
 }
 
@@ -64,10 +54,28 @@ std::span<uint8_t> Socket::Payload(net::Packet& frame) {
   return frame.mutable_bytes().subspan(parsed->payload_offset);
 }
 
+std::span<const uint8_t> Socket::Payload(const net::Packet& frame) {
+  if (const net::ParsedPacket* cached = frame.parsed()) {
+    if (cached->payload_offset == 0) {
+      return {};
+    }
+    return frame.bytes().subspan(cached->payload_offset);
+  }
+  auto parsed = net::ParseFrame(frame.bytes());
+  if (!parsed || parsed->payload_offset == 0) {
+    return {};
+  }
+  return frame.bytes().subspan(parsed->payload_offset);
+}
+
 Status Socket::SendFrame(net::PacketPtr frame) {
   if (!valid()) {
     return FailedPreconditionError("socket not connected");
   }
+  // TX checksum offload: the application may have rewritten the payload of
+  // an AllocFrame() frame after the builder checksummed it; the "hardware"
+  // recomputes IPv4/L4 checksums on the way out.
+  net::FixupFrameChecksums(frame->mutable_bytes());
   const size_t size = frame->size();
   frame->meta().created_at = kernel_->simulator()->Now();
   frame->meta().connection = port_.conn_id();
@@ -123,6 +131,17 @@ StatusOr<std::vector<uint8_t>> Socket::Recv() {
   }
   auto payload = Payload(*p);
   return std::vector<uint8_t>(payload.begin(), payload.end());
+}
+
+StatusOr<size_t> Socket::RecvInto(std::span<uint8_t> buffer) {
+  net::PacketPtr p = RecvFrame();
+  if (p == nullptr) {
+    return UnavailableError("no data");
+  }
+  const auto payload = Payload(static_cast<const net::Packet&>(*p));
+  const size_t n = std::min(buffer.size(), payload.size());
+  std::copy_n(payload.begin(), n, buffer.begin());
+  return n;
 }
 
 Status Socket::SendBlocking(std::vector<uint8_t> payload,

@@ -11,10 +11,25 @@
 // from the NIC notification queue (§4.3).
 //
 // Two data interfaces:
-//  * POSIX-ish:   Send(payload) / Recv()         — one copy each way
-//                 (payload <-> frame), familiar semantics;
+//  * POSIX-ish:   Send(payload) / Recv() / RecvInto(buffer) — one copy each
+//                 way (payload <-> frame), familiar semantics;
 //  * zero-copy:   SendFrame(PacketPtr) / RecvFrame() — the application
 //                 owns/receives whole frames, no payload copies.
+//
+// Listening is a separate RAII object: see norman::Listener (listener.h).
+//
+// Error convention (library-wide):
+//  * kUnavailable        — would-block / try again later: no data to Recv,
+//                          nothing pending to Accept, TX ring full. The
+//                          operation is valid; the resource is momentarily
+//                          empty or busy.
+//  * kNotFound           — the thing you named does not exist: unknown
+//                          connection, port nobody listens on.
+//  * kFailedPrecondition — the handle itself is unusable (socket not
+//                          connected, listener not bound).
+// The zero-copy lane is the one deliberate exception: RecvFrame() returns
+// nullptr for "no data" instead of a StatusOr, keeping the hot path free of
+// status-object construction; nullptr there means exactly kUnavailable.
 #ifndef NORMAN_NORMAN_SOCKET_H_
 #define NORMAN_NORMAN_SOCKET_H_
 
@@ -49,18 +64,6 @@ class Socket {
                                   uint16_t remote_port,
                                   const kernel::ConnectOptions& opts = {});
 
-  // listen(2): registers `pid` as the listener on local_port. Inbound
-  // connections are installed by the kernel as their first packet arrives.
-  static Status Listen(kernel::Kernel* kernel, kernel::Pid pid,
-                       uint16_t local_port,
-                       net::IpProto proto = net::IpProto::kUdp,
-                       const kernel::ConnectOptions& accept_opts = {});
-
-  // accept(2), non-blocking: next pending inbound connection, or NotFound.
-  // The connection's first packet is already waiting in its RX ring.
-  static StatusOr<Socket> Accept(kernel::Kernel* kernel, kernel::Pid pid,
-                                 uint16_t local_port);
-
   bool valid() const { return kernel_ != nullptr; }
   net::ConnectionId conn_id() const { return port_.conn_id(); }
   const net::FiveTuple& tuple() const { return port_.tuple(); }
@@ -78,6 +81,13 @@ class Socket {
 
   // Non-blocking receive: payload of the next RX frame, or Unavailable.
   StatusOr<std::vector<uint8_t>> Recv();
+
+  // Non-blocking, non-allocating receive: copies the next frame's payload
+  // into `buffer` and returns the byte count. Oversized payloads are
+  // truncated to the buffer (POSIX datagram semantics); Unavailable when no
+  // frame is waiting. The hot-loop alternative to Recv(), which allocates a
+  // fresh vector per message.
+  StatusOr<size_t> RecvInto(std::span<uint8_t> buffer);
 
   // ---- Blocking variants (§4.3) -------------------------------------------
   // Runs `done` (in virtual time) once `payload` has been published; if the
@@ -98,7 +108,15 @@ class Socket {
   net::PacketPtr AllocFrame(size_t payload_size);
   // Payload view of a frame produced by AllocFrame / received by RecvFrame.
   static std::span<uint8_t> Payload(net::Packet& frame);
+  // Read-only payload view. Uses the frame's cached single-pass parse when
+  // present (every frame the NIC delivered has one), so hot RX loops pay no
+  // re-parse.
+  static std::span<const uint8_t> Payload(const net::Packet& frame);
 
+  // Publishes a frame. Models TX checksum offload: IPv4/L4 checksums are
+  // recomputed on the way out, which is what makes the AllocFrame/Payload
+  // zero-copy path legal (the builder checksummed a zero payload; the app
+  // overwrote it).
   Status SendFrame(net::PacketPtr frame);
   // Whole received frame (headers included), or nullptr when empty.
   net::PacketPtr RecvFrame();
@@ -107,6 +125,8 @@ class Socket {
   Status Close();
 
  private:
+  friend class Listener;  // mints Sockets from accepted connections
+
   Socket(kernel::Kernel* kernel, kernel::AppPort port)
       : kernel_(kernel), port_(std::move(port)) {}
 

@@ -1,0 +1,140 @@
+// Deterministic wire fault plane.
+//
+// A FaultInjector sits between a transmitter and a receiver's
+// DeliverFromWire: every frame a testbed puts "on the wire" goes through
+// Transmit(), which consults a per-link, per-direction FaultProfile and a
+// per-link seeded Rng to decide — in a fixed draw order — whether the frame
+// is lost, duplicated, corrupted, jittered or reordered, then schedules the
+// survivors on the simulator's virtual clock. All decisions derive from the
+// injector seed and the virtual-time event order, so a given (seed, profile)
+// pair replays byte-identically.
+//
+// Faults are strictly opt-in: with no profile configured and the link up,
+// Transmit() degenerates to exactly one ScheduleAt per frame — the same
+// event shape the testbeds had before the fault plane existed, which is what
+// keeps the pinned determinism goldens bit-identical.
+//
+// Every injected fault is itemized in the owning simulator's metrics
+// registry under "fault.*" (see OBSERVABILITY.md) and in per-link
+// FaultStats, so chaos experiments can assert on exactly what the wire did.
+#ifndef NORMAN_SIM_FAULT_H_
+#define NORMAN_SIM_FAULT_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/net/packet.h"
+
+namespace norman::sim {
+
+class Simulator;
+
+// What can go wrong on one simplex link. Probabilities are per-frame and
+// independent; a frame can be duplicated *and* corrupted in one transit.
+struct FaultProfile {
+  double loss = 0.0;         // P(frame silently dropped)
+  double duplication = 0.0;  // P(frame delivered twice)
+  double corruption = 0.0;   // P(payload/header bytes damaged in flight)
+  size_t corrupt_bytes = 1;  // bytes flipped per corruption event
+  Nanos jitter = 0;          // extra uniform delay in [0, jitter) ns
+  double reorder = 0.0;      // P(frame held back by reorder_delay)
+  Nanos reorder_delay = 0;   // how far a reordered frame is held back
+
+  bool active() const {
+    return loss > 0.0 || duplication > 0.0 || corruption > 0.0 ||
+           jitter > 0 || (reorder > 0.0 && reorder_delay > 0);
+  }
+};
+
+// Per-link ledger of what the wire actually did.
+struct FaultStats {
+  uint64_t transmitted = 0;       // frames handed to Transmit()
+  uint64_t delivered = 0;         // frames scheduled into the sink
+  uint64_t lost = 0;              // dropped by the loss dice
+  uint64_t duplicated = 0;        // extra copies delivered
+  uint64_t corrupted = 0;         // frames with damaged bytes
+  uint64_t reordered = 0;         // frames held back
+  uint64_t jittered = 0;          // frames given non-zero extra delay
+  uint64_t dropped_link_down = 0; // dropped because the link was down
+};
+
+class FaultInjector {
+ public:
+  // Receives the (possibly damaged) frame at its scheduled delivery time.
+  using Sink = std::function<void(net::PacketPtr)>;
+
+  // Links are simplex; a duplex wire is two links (one per direction).
+  static constexpr size_t kMaxLinks = 4;
+
+  explicit FaultInjector(Simulator* sim, uint64_t seed = 0x5eed);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void SetSink(size_t link, Sink sink);
+  void SetProfile(size_t link, const FaultProfile& profile);
+  const FaultProfile& profile(size_t link) const {
+    return links_[link].profile;
+  }
+
+  // Administrative link state. While a link is down every Transmit() on it
+  // is dropped (and counted). SetLinkDown also drives the "fault.link.down"
+  // gauge the health watchdog watches.
+  void SetLinkDown(size_t link, bool down);
+  // Schedules a down window [from, until): the link drops frames inside the
+  // window and recovers by itself. The gauge transitions are scheduled as
+  // simulator events, so the watchdog sees the flap in its sampled series.
+  void AddDownWindow(size_t link, Nanos from, Nanos until);
+  bool link_up(size_t link, Nanos at) const;
+
+  // Puts a frame on `link` for delivery at `when` (absolute virtual time).
+  // With no active profile and the link up this schedules exactly one event.
+  void Transmit(size_t link, net::PacketPtr packet, Nanos when);
+
+  const FaultStats& stats(size_t link) const { return links_[link].stats; }
+
+  // Aggregate frames the wire ate (loss dice + link-down), all links.
+  uint64_t frames_lost() const;
+  uint64_t frames_delivered() const;
+
+ private:
+  struct DownWindow {
+    Nanos from = 0;
+    Nanos until = 0;
+  };
+  struct Link {
+    FaultProfile profile;
+    Sink sink;
+    Rng rng{0};
+    FaultStats stats;
+    bool admin_down = false;
+    std::vector<DownWindow> down_windows;
+  };
+
+  void Deliver(Link& link, net::PacketPtr packet, Nanos when);
+  void Corrupt(Link& link, net::Packet& packet);
+
+  Simulator* sim_;
+  std::array<Link, kMaxLinks> links_;
+
+  // Aggregate itemization, eagerly registered so the metric manifest is
+  // shape-stable whether or not faults ever fire.
+  telemetry::Counter* transmitted_;
+  telemetry::Counter* delivered_;
+  telemetry::Counter* injected_loss_;
+  telemetry::Counter* injected_duplicate_;
+  telemetry::Counter* injected_corrupt_;
+  telemetry::Counter* injected_reorder_;
+  telemetry::Counter* injected_jitter_;
+  telemetry::Counter* injected_link_down_;
+  telemetry::Gauge* link_down_gauge_;  // # links currently down
+};
+
+}  // namespace norman::sim
+
+#endif  // NORMAN_SIM_FAULT_H_

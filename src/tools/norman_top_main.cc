@@ -11,7 +11,14 @@
 // sees the queue not draining and flags it), then the backlog clears and
 // the component recovers — the alert log keeps both transitions.
 //
-// Usage: norman_top [--json] [--text] [--series-out FILE] [--flows N]
+// With --chaos the same dashboard runs over a faulty wire: the echo peer's
+// replies cross a FaultInjector link that corrupts a fraction of frames and
+// goes administratively down mid-run, so the health section walks the link
+// component through degraded -> stalled -> recovered and the alert log
+// keeps every transition.
+//
+// Usage: norman_top [--json] [--text] [--chaos] [--series-out FILE]
+//                   [--flows N]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,6 +26,7 @@
 #include <vector>
 
 #include "src/norman/socket.h"
+#include "src/sim/fault.h"
 #include "src/tools/tools.h"
 #include "src/workload/testbed.h"
 
@@ -68,17 +76,56 @@ void RunScenario(workload::TestBed& bed) {
     // can't keep an idle simulation alive); re-arm it for each burst.
     k.StartMaintenance();
     bed.sim().Run();  // drains everything; maintenance ticks throughout
-    while (heavy->Recv().ok()) {
+    uint8_t scratch[2048];
+    while (heavy->RecvInto(scratch).ok()) {
     }
-    while (light->Recv().ok()) {
+    while (light->RecvInto(scratch).ok()) {
     }
   }
   // Leave the connections open: the dashboard renders the live table.
 }
 
+void RunChaosScenario(workload::TestBed& bed) {
+  auto& k = bed.kernel();
+  k.processes().AddUser(1001, "alice");
+  const auto pid = *k.processes().Spawn(1001, "webapp");
+  k.nic_control().EnableTopTalkers(8);
+  k.StartMaintenance();
+
+  auto sock = Socket::Connect(&k, pid, kPeerIp, 7777, {});
+  if (!sock.ok()) {
+    std::fprintf(stderr, "connect failed\n");
+    return;
+  }
+
+  // The echo replies cross a corrupting wire (the NIC's RX checksum check
+  // drops the damaged ones, so nic.rx.drop.corrupt.rate spikes) ...
+  sim::FaultProfile profile;
+  profile.corruption = 0.25;
+  bed.fault().SetProfile(workload::TestBed::kNetworkToHostLink, profile);
+  // ... and the link goes administratively dark for a stretch mid-run: the
+  // watchdog's link-down rule flags the component stalled, then logs the
+  // recovery when the window ends.
+  bed.fault().AddDownWindow(workload::TestBed::kNetworkToHostLink,
+                            2 * kMillisecond, 4 * kMillisecond);
+
+  const std::vector<uint8_t> big(1200, 0xaa);
+  uint8_t scratch[2048];
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      (void)sock->Send(big);
+    }
+    k.StartMaintenance();
+    bed.sim().Run();
+    while (sock->RecvInto(scratch).ok()) {
+    }
+  }
+}
+
 int Main(int argc, char** argv) {
   bool show_json = false;
   bool show_text = false;
+  bool chaos = false;
   std::string series_path;
   size_t max_flows = 10;
 
@@ -88,14 +135,16 @@ int Main(int argc, char** argv) {
       show_json = true;
     } else if (arg == "--text") {
       show_text = true;
+    } else if (arg == "--chaos") {
+      chaos = true;
     } else if (arg == "--series-out" && i + 1 < argc) {
       series_path = argv[++i];
     } else if (arg == "--flows" && i + 1 < argc) {
       max_flows = std::strtoul(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json] [--text] [--series-out FILE] "
-                   "[--flows N]\n",
+                   "usage: %s [--json] [--text] [--chaos] "
+                   "[--series-out FILE] [--flows N]\n",
                    argv[0]);
       return 2;
     }
@@ -107,7 +156,11 @@ int Main(int argc, char** argv) {
   // hold enough windows for rates and stall detection to mean something.
   opts.kernel.housekeeping_period = 100 * kMicrosecond;
   workload::TestBed bed(opts);
-  RunScenario(bed);
+  if (chaos) {
+    RunChaosScenario(bed);
+  } else {
+    RunScenario(bed);
+  }
 
   if (!series_path.empty()) {
     std::ofstream out(series_path, std::ios::binary);

@@ -3,7 +3,7 @@
 namespace norman::workload {
 
 DuplexTestBed::DuplexTestBed(Options options)
-    : options_(options), fault_rng_(options.fault_seed) {
+    : options_(options), fault_(&sim_, options.fault_seed) {
   kernel::Kernel::Options ka;
   ka.host_ip = net::Ipv4Address::FromOctets(10, 0, 0, 1);
   ka.host_mac = net::MacAddress::ForHost(1);
@@ -18,28 +18,44 @@ DuplexTestBed::DuplexTestBed(Options options)
   b_.nic = std::make_unique<nic::SmartNic>(&sim_, options_.nic_b);
   b_.kernel = std::make_unique<kernel::Kernel>(&sim_, b_.nic.get(), kb);
 
-  Wire(&a_, &b_);
-  Wire(&b_, &a_);
+  sim::FaultProfile profile;
+  profile.loss = options_.loss_probability;
+  profile.jitter = options_.jitter_ns;
+  fault_.SetProfile(kLinkAtoB, profile);
+  fault_.SetProfile(kLinkBtoA, profile);
+
+  Wire(&a_, &b_, kLinkAtoB);
+  Wire(&b_, &a_, kLinkBtoA);
 }
 
-void DuplexTestBed::Wire(Host* from, Host* to) {
-  from->nic->SetWireSink([this, from, to](net::PacketPtr packet) {
-    ++from->frames_sent;
-    if (options_.loss_probability > 0 &&
-        fault_rng_.NextBool(options_.loss_probability)) {
-      ++frames_lost_;
-      return;  // dropped on the wire
-    }
+void DuplexTestBed::Wire(Host* from, Host* to, size_t link) {
+  fault_.SetSink(link, [this, to](net::PacketPtr packet) {
     ++to->frames_received;
-    Nanos delay = options_.propagation_delay;
-    if (options_.jitter_ns > 0) {
-      delay += static_cast<Nanos>(
-          fault_rng_.NextBounded(static_cast<uint64_t>(options_.jitter_ns)));
-    }
-    sim_.ScheduleAfter(delay, [this, to, p = std::move(packet)]() mutable {
-      to->nic->DeliverFromWire(std::move(p), sim_.Now());
-    });
+    to->nic->DeliverFromWire(std::move(packet), sim_.Now());
   });
+  from->nic->SetWireSink([this, from, link](net::PacketPtr packet) {
+    ++from->frames_sent;
+    fault_.Transmit(link, std::move(packet),
+                    sim_.Now() + options_.propagation_delay);
+  });
+}
+
+void DuplexTestBed::set_loss_probability(double p) {
+  options_.loss_probability = p;
+  for (size_t link : {kLinkAtoB, kLinkBtoA}) {
+    sim::FaultProfile profile = fault_.profile(link);
+    profile.loss = p;
+    fault_.SetProfile(link, profile);
+  }
+}
+
+void DuplexTestBed::set_jitter(Nanos j) {
+  options_.jitter_ns = j;
+  for (size_t link : {kLinkAtoB, kLinkBtoA}) {
+    sim::FaultProfile profile = fault_.profile(link);
+    profile.jitter = j;
+    fault_.SetProfile(link, profile);
+  }
 }
 
 }  // namespace norman::workload

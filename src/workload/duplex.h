@@ -6,14 +6,20 @@
 // server, ARP/ICMP answered by the remote NIC, and policies enforced
 // independently per host. This is the substrate for end-to-end
 // client/server integration tests.
+//
+// The wire between the hosts is a sim::FaultInjector with one simplex link
+// per direction, so chaos tests can lose, duplicate, corrupt, jitter or
+// reorder frames — or take the link down — deterministically from
+// `fault_seed`. The legacy loss_probability/jitter_ns options map onto a
+// symmetric profile on both links.
 #ifndef NORMAN_WORKLOAD_DUPLEX_H_
 #define NORMAN_WORKLOAD_DUPLEX_H_
 
 #include <memory>
 
-#include "src/common/rng.h"
 #include "src/kernel/kernel.h"
 #include "src/nic/smart_nic.h"
+#include "src/sim/fault.h"
 #include "src/sim/simulator.h"
 
 namespace norman::workload {
@@ -24,7 +30,8 @@ struct DuplexOptions {
   Nanos propagation_delay = 2 * kMicrosecond;
   // Fault injection on the wire (seeded, deterministic): each frame is
   // dropped with `loss_probability`, and delayed by an extra uniform
-  // [0, jitter_ns] (jitter > propagation spacing reorders frames).
+  // [0, jitter_ns] (jitter > propagation spacing reorders frames). Richer
+  // profiles (corruption, duplication, link flaps) go through fault().
   double loss_probability = 0.0;
   Nanos jitter_ns = 0;
   uint64_t fault_seed = 0x5eed;
@@ -41,6 +48,10 @@ class DuplexTestBed {
 
   using Options = DuplexOptions;
 
+  // Fault-plane link ids for each direction of the wire.
+  static constexpr size_t kLinkAtoB = 0;
+  static constexpr size_t kLinkBtoA = 1;
+
   explicit DuplexTestBed(Options options = Options());
 
   sim::Simulator& sim() { return sim_; }
@@ -50,20 +61,24 @@ class DuplexTestBed {
   net::Ipv4Address ip_a() const { return a_.kernel->options().host_ip; }
   net::Ipv4Address ip_b() const { return b_.kernel->options().host_ip; }
 
-  uint64_t frames_lost() const { return frames_lost_; }
+  // The wire fault plane (both directions). Profiles set here compose with
+  // the legacy knobs below.
+  sim::FaultInjector& fault() { return fault_; }
+
+  uint64_t frames_lost() const { return fault_.frames_lost(); }
 
   // Adjust fault injection at runtime (e.g. connect cleanly, then degrade
-  // the link mid-test).
-  void set_loss_probability(double p) { options_.loss_probability = p; }
-  void set_jitter(Nanos j) { options_.jitter_ns = j; }
+  // the link mid-test). Applies symmetrically to both directions,
+  // preserving any other profile fields configured through fault().
+  void set_loss_probability(double p);
+  void set_jitter(Nanos j);
 
  private:
-  void Wire(Host* from, Host* to);
+  void Wire(Host* from, Host* to, size_t link);
 
   Options options_;
   sim::Simulator sim_;
-  Rng fault_rng_{0};
-  uint64_t frames_lost_ = 0;
+  sim::FaultInjector fault_;
   Host a_;
   Host b_;
 };

@@ -5,12 +5,16 @@
 
 namespace norman::workload {
 
-TestBed::TestBed(Options options) : options_(options) {
+TestBed::TestBed(Options options)
+    : options_(options), fault_(&sim_, options.fault_seed) {
   nic_ = std::make_unique<nic::SmartNic>(&sim_, options_.nic);
   kernel_ =
       std::make_unique<kernel::Kernel>(&sim_, nic_.get(), options_.kernel);
   nic_->SetWireSink(
       [this](net::PacketPtr packet) { HandleEgress(std::move(packet)); });
+  fault_.SetSink(kNetworkToHostLink, [this](net::PacketPtr packet) {
+    nic_->DeliverFromWire(std::move(packet), sim_.Now());
+  });
 }
 
 void TestBed::HandleEgress(net::PacketPtr packet) {
@@ -45,9 +49,9 @@ void TestBed::HandleEgress(net::PacketPtr packet) {
 
 void TestBed::InjectFromNetwork(net::PacketPtr packet, Nanos when) {
   packet->meta().created_at = when;
-  sim_.ScheduleAt(when, [this, p = std::move(packet)]() mutable {
-    nic_->DeliverFromWire(std::move(p), sim_.Now());
-  });
+  // Through the fault plane: with no profile configured this is exactly one
+  // scheduled delivery, the same event shape as before the plane existed.
+  fault_.Transmit(kNetworkToHostLink, std::move(packet), when);
 }
 
 void TestBed::InjectUdpFromPeer(uint16_t src_port, uint16_t dst_port,

@@ -15,6 +15,7 @@
 #include "src/kernel/kernel.h"
 #include "src/net/packet.h"
 #include "src/nic/smart_nic.h"
+#include "src/sim/fault.h"
 #include "src/sim/simulator.h"
 
 namespace norman::workload {
@@ -26,6 +27,9 @@ struct TestBedOptions {
   // When true, the peer echoes every IPv4 UDP/TCP frame back with
   // endpoints swapped (ARP and other frames are just recorded).
   bool echo = false;
+  // Seed for the wire fault plane (see fault()). No faults fire unless a
+  // profile is configured, so the default world stays bit-deterministic.
+  uint64_t fault_seed = 0x5eed;
 };
 
 class TestBed {
@@ -37,6 +41,12 @@ class TestBed {
   sim::Simulator& sim() { return sim_; }
   nic::SmartNic& nic() { return *nic_; }
   kernel::Kernel& kernel() { return *kernel_; }
+
+  // The wire fault plane. Link kNetworkToHostLink carries everything
+  // injected from the synthetic network toward the host NIC; configure a
+  // profile / down window on it to degrade the ingress wire.
+  static constexpr size_t kNetworkToHostLink = 0;
+  sim::FaultInjector& fault() { return fault_; }
 
   // Every frame that left the host, in wire order.
   const std::vector<net::PacketPtr>& egress() const { return egress_; }
@@ -66,6 +76,7 @@ class TestBed {
 
   Options options_;
   sim::Simulator sim_;
+  sim::FaultInjector fault_;
   std::unique_ptr<nic::SmartNic> nic_;
   std::unique_ptr<kernel::Kernel> kernel_;
   std::vector<net::PacketPtr> egress_;

@@ -1,8 +1,9 @@
-// Server-side socket tests: listen/accept, auto-installed inbound
-// connections with listener-stamped identity, and full client/server
-// round trips between two simulated hosts.
+// Server-side socket tests: listen/accept through the RAII norman::Listener,
+// auto-installed inbound connections with listener-stamped identity, and
+// full client/server round trips between two simulated hosts.
 #include <gtest/gtest.h>
 
+#include "src/norman/listener.h"
 #include "src/norman/socket.h"
 #include "src/workload/testbed.h"
 
@@ -21,21 +22,26 @@ class ListenAcceptTest : public ::testing::Test {
     server_pid_ = *bed_.kernel().processes().Spawn(1000, "server");
   }
 
+  Listener Listen(uint16_t port) {
+    auto listener = Listener::Create(&bed_.kernel(), server_pid_, port);
+    EXPECT_TRUE(listener.ok()) << listener.status();
+    return std::move(listener).value();
+  }
+
   workload::TestBed bed_;
   kernel::Pid server_pid_ = 0;
 };
 
 TEST_F(ListenAcceptTest, InboundPacketCreatesAcceptableConnection) {
-  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080).ok());
-  // Nothing pending yet.
-  EXPECT_EQ(Socket::Accept(&bed_.kernel(), server_pid_, 8080).status().code(),
-            StatusCode::kNotFound);
+  Listener listener = Listen(8080);
+  // Nothing pending yet: would-block, not a missing resource.
+  EXPECT_EQ(listener.Accept().status().code(), StatusCode::kUnavailable);
 
   // A peer sends the first datagram of a new flow to :8080.
   bed_.InjectUdpFromPeer(/*src_port=*/5555, /*dst_port=*/8080, 64, 100);
   bed_.sim().Run();
 
-  auto conn = Socket::Accept(&bed_.kernel(), server_pid_, 8080);
+  auto conn = listener.Accept();
   ASSERT_TRUE(conn.ok()) << conn.status();
   EXPECT_EQ(conn->tuple().src_port, 8080);
   EXPECT_EQ(conn->tuple().dst_port, 5555);
@@ -48,10 +54,10 @@ TEST_F(ListenAcceptTest, InboundPacketCreatesAcceptableConnection) {
 }
 
 TEST_F(ListenAcceptTest, ConnectionStampedWithListenerIdentity) {
-  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080).ok());
+  Listener listener = Listen(8080);
   bed_.InjectUdpFromPeer(5555, 8080, 10, 100);
   bed_.sim().Run();
-  auto conn = Socket::Accept(&bed_.kernel(), server_pid_, 8080);
+  auto conn = listener.Accept();
   ASSERT_TRUE(conn.ok());
   const auto* entry =
       bed_.kernel().nic_control().LookupFlow(conn->conn_id());
@@ -62,10 +68,10 @@ TEST_F(ListenAcceptTest, ConnectionStampedWithListenerIdentity) {
 }
 
 TEST_F(ListenAcceptTest, SubsequentPacketsMatchInHardware) {
-  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080).ok());
+  Listener listener = Listen(8080);
   bed_.InjectUdpFromPeer(5555, 8080, 10, 100);
   bed_.sim().Run();
-  auto conn = Socket::Accept(&bed_.kernel(), server_pid_, 8080);
+  auto conn = listener.Accept();
   ASSERT_TRUE(conn.ok());
   (void)conn->Recv();
 
@@ -80,25 +86,24 @@ TEST_F(ListenAcceptTest, SubsequentPacketsMatchInHardware) {
 }
 
 TEST_F(ListenAcceptTest, DistinctPeersDistinctConnections) {
-  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080).ok());
+  Listener listener = Listen(8080);
   bed_.InjectUdpFromPeer(1111, 8080, 10, 100);
   bed_.InjectUdpFromPeer(2222, 8080, 10, 200);
   bed_.sim().Run();
-  auto c1 = Socket::Accept(&bed_.kernel(), server_pid_, 8080);
-  auto c2 = Socket::Accept(&bed_.kernel(), server_pid_, 8080);
+  auto c1 = listener.Accept();
+  auto c2 = listener.Accept();
   ASSERT_TRUE(c1.ok() && c2.ok());
   EXPECT_NE(c1->conn_id(), c2->conn_id());
   EXPECT_EQ(c1->tuple().dst_port, 1111);
   EXPECT_EQ(c2->tuple().dst_port, 2222);
-  EXPECT_EQ(Socket::Accept(&bed_.kernel(), server_pid_, 8080).status().code(),
-            StatusCode::kNotFound);
+  EXPECT_EQ(listener.Accept().status().code(), StatusCode::kUnavailable);
 }
 
 TEST_F(ListenAcceptTest, ServerCanReplyOnAcceptedConnection) {
-  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080).ok());
+  Listener listener = Listen(8080);
   bed_.InjectUdpFromPeer(5555, 8080, 16, 100);
   bed_.sim().Run();
-  auto conn = Socket::Accept(&bed_.kernel(), server_pid_, 8080);
+  auto conn = listener.Accept();
   ASSERT_TRUE(conn.ok());
   ASSERT_TRUE(conn->Send("response").ok());
   bed_.sim().Run();
@@ -109,33 +114,61 @@ TEST_F(ListenAcceptTest, ServerCanReplyOnAcceptedConnection) {
 }
 
 TEST_F(ListenAcceptTest, OnlyListenerMayAccept) {
-  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080).ok());
+  Listener listener = Listen(8080);
   bed_.InjectUdpFromPeer(5555, 8080, 10, 100);
   bed_.sim().Run();
+  // A different process cannot accept on this port even with its own
+  // Listener-shaped handle: the kernel checks the registered pid.
   const auto other = *bed_.kernel().processes().Spawn(1000, "other");
-  EXPECT_EQ(Socket::Accept(&bed_.kernel(), other, 8080).status().code(),
+  EXPECT_EQ(bed_.kernel().Accept(other, 8080).status().code(),
             StatusCode::kPermissionDenied);
 }
 
 TEST_F(ListenAcceptTest, PortCollisionRejected) {
-  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080).ok());
-  EXPECT_EQ(bed_.kernel()
-                .Listen(server_pid_, 8080, net::IpProto::kUdp, {})
+  Listener listener = Listen(8080);
+  EXPECT_EQ(Listener::Create(&bed_.kernel(), server_pid_, 8080)
+                .status()
                 .code(),
             StatusCode::kAlreadyExists);
   // Different proto on the same port is fine.
-  EXPECT_TRUE(
-      bed_.kernel().Listen(server_pid_, 8080, net::IpProto::kTcp, {}).ok());
+  auto tcp = Listener::Create(&bed_.kernel(), server_pid_, 8080,
+                              net::IpProto::kTcp);
+  EXPECT_TRUE(tcp.ok());
 }
 
-TEST_F(ListenAcceptTest, StopListeningDropsNewPeers) {
-  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080).ok());
-  ASSERT_TRUE(bed_.kernel().StopListening(server_pid_, 8080).ok());
+TEST_F(ListenAcceptTest, ListenerDestructionDropsNewPeers) {
+  {
+    Listener listener = Listen(8080);
+    // Registration lives exactly as long as the Listener.
+  }
   bed_.InjectUdpFromPeer(5555, 8080, 10, 100);
   bed_.sim().Run();
-  EXPECT_EQ(Socket::Accept(&bed_.kernel(), server_pid_, 8080).status().code(),
+  // Nobody is listening: no connection was installed.
+  EXPECT_EQ(bed_.kernel().Accept(server_pid_, 8080).status().code(),
             StatusCode::kNotFound);
-  EXPECT_FALSE(bed_.kernel().StopListening(server_pid_, 8080).ok());
+  EXPECT_TRUE(bed_.kernel().ListConnections().empty());
+}
+
+TEST_F(ListenAcceptTest, StopUnbindsEarly) {
+  Listener listener = Listen(8080);
+  listener.Stop();
+  EXPECT_FALSE(listener.valid());
+  // A stopped handle is unusable...
+  EXPECT_EQ(listener.Accept().status().code(),
+            StatusCode::kFailedPrecondition);
+  // ...and the port is free for rebinding.
+  auto again = Listener::Create(&bed_.kernel(), server_pid_, 8080);
+  EXPECT_TRUE(again.ok());
+}
+
+TEST_F(ListenAcceptTest, MoveTransfersOwnership) {
+  Listener listener = Listen(8080);
+  Listener moved = std::move(listener);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_EQ(moved.port(), 8080);
+  bed_.InjectUdpFromPeer(5555, 8080, 10, 100);
+  bed_.sim().Run();
+  EXPECT_TRUE(moved.Accept().ok());
 }
 
 TEST_F(ListenAcceptTest, TrafficToUnboundPortIsDropped) {
@@ -147,19 +180,19 @@ TEST_F(ListenAcceptTest, TrafficToUnboundPortIsDropped) {
 }
 
 TEST_F(ListenAcceptTest, ListenUnknownPidFails) {
-  EXPECT_EQ(Socket::Listen(&bed_.kernel(), 424242, 8080).code(),
+  EXPECT_EQ(Listener::Create(&bed_.kernel(), 424242, 8080).status().code(),
             StatusCode::kNotFound);
 }
 
 TEST_F(ListenAcceptTest, AcceptedConnectionSupportsNotifications) {
   kernel::ConnectOptions accept_opts;
   accept_opts.notify_rx = true;
-  ASSERT_TRUE(Socket::Listen(&bed_.kernel(), server_pid_, 8080,
-                             net::IpProto::kUdp, accept_opts)
-                  .ok());
+  auto listener = Listener::Create(&bed_.kernel(), server_pid_, 8080,
+                                   net::IpProto::kUdp, accept_opts);
+  ASSERT_TRUE(listener.ok());
   bed_.InjectUdpFromPeer(5555, 8080, 10, 100);
   bed_.sim().Run();
-  auto conn = Socket::Accept(&bed_.kernel(), server_pid_, 8080);
+  auto conn = listener->Accept();
   ASSERT_TRUE(conn.ok());
   (void)conn->Recv();  // drain the trigger packet
 

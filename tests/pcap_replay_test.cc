@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/norman/listener.h"
 #include "src/norman/socket.h"
 #include "src/tools/tools.h"
 #include "src/workload/testbed.h"
@@ -33,7 +34,8 @@ TEST(PcapReplayTest, FramesArriveWithOriginalSpacing) {
   auto& k = bed.kernel();
   k.processes().AddUser(1, "u");
   const auto pid = *k.processes().Spawn(1, "srv");
-  ASSERT_TRUE(Socket::Listen(&k, pid, 8080).ok());
+  auto listener = Listener::Create(&k, pid, 8080);
+  ASSERT_TRUE(listener.ok());
 
   const auto pcap = MakeTrace(8080);
   auto report = ReplayPcap(&bed.sim(), &bed.nic(), pcap.buffer(), {});
@@ -43,7 +45,7 @@ TEST(PcapReplayTest, FramesArriveWithOriginalSpacing) {
   bed.sim().Run();
   // Three peers -> three auto-accepted connections.
   int accepted = 0;
-  while (Socket::Accept(&k, pid, 8080).ok()) {
+  while (listener->Accept().ok()) {
     ++accepted;
   }
   EXPECT_EQ(accepted, 3);

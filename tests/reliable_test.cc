@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/norman/listener.h"
 #include "src/workload/duplex.h"
 
 namespace norman {
@@ -32,9 +33,10 @@ class ReliableTest : public ::testing::Test {
 
     kernel::ConnectOptions copts;
     copts.notify_rx = true;
-    ASSERT_TRUE(Socket::Listen(bed_->b().kernel.get(), pid_b, 4500,
-                               net::IpProto::kUdp, copts)
-                    .ok());
+    auto listener = Listener::Create(bed_->b().kernel.get(), pid_b, 4500,
+                                     net::IpProto::kUdp, copts);
+    ASSERT_TRUE(listener.ok()) << listener.status();
+    listener_ = std::make_unique<Listener>(std::move(listener).value());
     auto client =
         Socket::Connect(bed_->a().kernel.get(), pid_a, bed_->ip_b(), 4500,
                         copts);
@@ -43,7 +45,7 @@ class ReliableTest : public ::testing::Test {
     // it before the channels start (it is not a channel frame).
     ASSERT_TRUE(client->Send(std::vector<uint8_t>{0xff, 0, 0, 0, 0}).ok());
     bed_->sim().Run();
-    auto server = Socket::Accept(bed_->b().kernel.get(), pid_b, 4500);
+    auto server = listener_->Accept();
     ASSERT_TRUE(server.ok()) << server.status();
     while (server->RecvFrame() != nullptr) {
     }
@@ -52,6 +54,7 @@ class ReliableTest : public ::testing::Test {
   }
 
   std::unique_ptr<workload::DuplexTestBed> bed_;
+  std::unique_ptr<Listener> listener_;  // keeps the port bound for the test
   std::unique_ptr<Endpoints> endpoints_;
 };
 
@@ -101,18 +104,18 @@ TEST_P(ReliableLossTest, ExactlyOnceInOrderUnderLoss) {
   const auto pid_b = *bed.b().kernel->processes().Spawn(2, "server");
   kernel::ConnectOptions copts;
   copts.notify_rx = true;
-  ASSERT_TRUE(Socket::Listen(bed.b().kernel.get(), pid_b, 4500,
-                             net::IpProto::kUdp, copts)
-                  .ok());
+  auto listener = Listener::Create(bed.b().kernel.get(), pid_b, 4500,
+                                   net::IpProto::kUdp, copts);
+  ASSERT_TRUE(listener.ok()) << listener.status();
   auto client = Socket::Connect(bed.a().kernel.get(), pid_a, bed.ip_b(),
                                 4500, copts);
   ASSERT_TRUE(client.ok());
   // Trigger accept; the trigger datagram itself may be lost, so retry.
-  StatusOr<Socket> server = NotFoundError("pending");
+  StatusOr<Socket> server = UnavailableError("pending");
   for (int attempt = 0; attempt < 50 && !server.ok(); ++attempt) {
     ASSERT_TRUE(client->Send(std::vector<uint8_t>{0xff, 0, 0, 0, 0}).ok());
     bed.sim().Run();
-    server = Socket::Accept(bed.b().kernel.get(), pid_b, 4500);
+    server = listener->Accept();
   }
   ASSERT_TRUE(server.ok());
   while (server->RecvFrame() != nullptr) {
