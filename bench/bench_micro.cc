@@ -268,11 +268,17 @@ BENCHMARK(BM_BuildUdpFrame);
 // chain walk the cache elides is a realistic firewall's, not an empty one.
 // The regression gate compares each fastpath-on line against the
 // fastpath-off line that ran back-to-back with it (same rule count).
+// `dispatch_batch` sets the simulator's event dispatch batch (1 reproduces
+// the historical per-event loop); the batch sweep in main() emits
+// interleaved batch-off/batch-on pairs the gate can compare.
 void RunForwardingReport(uint32_t trace_sample, bool monitor,
-                         bool fastpath = false, int filter_rules = 0) {
+                         bool fastpath = false, int filter_rules = 0,
+                         uint32_t dispatch_batch =
+                             sim::Simulator::kDefaultDispatchBatch) {
   workload::TestBedOptions opts;
   opts.echo = true;
   workload::TestBed bed(opts);
+  bed.sim().set_dispatch_batch(dispatch_batch);
   bed.sim().tracer().set_sample_interval(trace_sample);
   bed.DiscardEgress();
   auto& k = bed.kernel();
@@ -331,6 +337,7 @@ void RunForwardingReport(uint32_t trace_sample, bool monitor,
   std::printf(
       "{\"bench\":\"forwarding_loop\",\"trace_sample\":%u,\"monitor\":%d,"
       "\"fastpath\":%d,\"filter_rules\":%d,"
+      "\"batch\":%u,\"stats_level\":%d,"
       "\"fastpath_hits\":%llu,\"fastpath_misses\":%llu,"
       "\"wall_s\":%.6f,\"cpu_s\":%.6f,"
       "\"events\":%llu,\"events_per_s\":%.0f,"
@@ -339,6 +346,7 @@ void RunForwardingReport(uint32_t trace_sample, bool monitor,
       "\"pool_hit_rate_all\":%.4f,\"trace_spans\":%llu,"
       "\"samples\":%llu,\"maintenance_ticks\":%llu}\n",
       trace_sample, monitor ? 1 : 0, fastpath ? 1 : 0, filter_rules,
+      dispatch_batch, telemetry::kStatsLevel,
       static_cast<unsigned long long>(
           k.nic_control().flow_cache().hits()),
       static_cast<unsigned long long>(
@@ -382,6 +390,16 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 3; ++i) {
     RunForwardingReport(0, false, /*fastpath=*/false, /*filter_rules=*/12);
     RunForwardingReport(0, false, /*fastpath=*/true, /*filter_rules=*/12);
+  }
+  // Event-dispatch batch sweep: each batch-on size runs back-to-back with a
+  // batch-off (batch=1) run, so the gate can hold the paired cpu_s ratio to
+  // a floor the way it does for monitoring overhead. The batch=64 rows also
+  // fold into the wall-clock regression pool (same config as the default).
+  for (const uint32_t b : {8u, 32u, 64u}) {
+    RunForwardingReport(0, false, /*fastpath=*/false, /*filter_rules=*/0,
+                        /*dispatch_batch=*/1);
+    RunForwardingReport(0, false, /*fastpath=*/false, /*filter_rules=*/0,
+                        /*dispatch_batch=*/b);
   }
   return 0;
 }

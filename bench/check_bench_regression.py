@@ -18,6 +18,13 @@ prints after the google-benchmark table) against the checked-in baseline:
      runs under a 12-rule firewall; the median pairwise wall-clock speedup
      (off / on) must be at least FASTPATH_MIN_SPEEDUP (default 1.3x) —
      the flow verdict cache has to actually pay for itself.
+  4. dispatch-batch sweep: bench_micro emits alternating batch=1 /
+     batch=N runs (N in {8, 32, 64}); the median pairwise cpu_s speedup
+     (batch=1 / batch=N) must stay at or above BATCH_MIN_SPEEDUP
+     (default 0.90) — batched dispatch may never cost more than 10% over
+     per-event stepping. Rows carry a "batch" field; rows with batch != 64
+     (the default) are excluded from checks 1-2 so the sweep does not
+     pollute those pools.
 
 Override: set ALLOW_BENCH_REGRESSION=1 to turn failures into warnings —
 for landing a change that knowingly trades speed for capability. Record
@@ -37,6 +44,8 @@ import sys
 REGRESSION_TOLERANCE = 0.15  # vs checked-in baseline
 MONITOR_TOLERANCE = 0.05     # monitor-on vs paired monitor-off run
 FASTPATH_MIN_SPEEDUP = 1.3   # cache-off / cache-on paired wall clocks
+BATCH_MIN_SPEEDUP = 0.90     # batch=1 / batch=N paired cpu clocks
+DEFAULT_BATCH = 64           # rows without a "batch" field predate the sweep
 
 
 def load_lines(path):
@@ -50,7 +59,7 @@ def load_lines(path):
 
 
 def times(rows, trace_sample, monitor, field="wall_s", fastpath=0,
-          filter_rules=0):
+          filter_rules=0, batch=DEFAULT_BATCH):
     return [
         r[field]
         for r in rows
@@ -59,7 +68,33 @@ def times(rows, trace_sample, monitor, field="wall_s", fastpath=0,
         and r.get("monitor", 0) == monitor
         and r.get("fastpath", 0) == fastpath
         and r.get("filter_rules", 0) == filter_rules
+        and r.get("batch", DEFAULT_BATCH) == batch
         and field in r
+    ]
+
+
+def batch_pairs(rows):
+    """(batch=1 cpu_s, batch=N cpu_s) pairs in report order.
+
+    The sweep emits each batch=1 run immediately before its batched
+    partner, so adjacency in the plain-config row stream recovers the
+    pairing regardless of how many other plain rows precede the sweep.
+    """
+    plain = [
+        r
+        for r in rows
+        if r.get("bench") == "forwarding_loop"
+        and r.get("trace_sample") == 0
+        and r.get("monitor", 0) == 0
+        and r.get("fastpath", 0) == 0
+        and r.get("filter_rules", 0) == 0
+        and "cpu_s" in r
+    ]
+    return [
+        (a["cpu_s"], b["cpu_s"])
+        for a, b in zip(plain, plain[1:])
+        if a.get("batch", DEFAULT_BATCH) == 1
+        and b.get("batch", DEFAULT_BATCH) != 1
     ]
 
 
@@ -132,6 +167,20 @@ def main():
             failures.append(
                 f"flow cache speedup {speedup:.2f}x "
                 f"(< {FASTPATH_MIN_SPEEDUP:.1f}x floor)")
+
+    bp = batch_pairs(report)
+    if not bp:
+        failures.append("missing dispatch-batch sweep forwarding_loop lines")
+    else:
+        speedups = [one / batched for one, batched in bp]
+        speedup = statistics.median(speedups)
+        print("dispatch-batch speedup per pair: "
+              + ", ".join(f"{s_:.2f}x" for s_ in speedups)
+              + f"; median {speedup:.2f}x")
+        if speedup < BATCH_MIN_SPEEDUP:
+            failures.append(
+                f"batched dispatch speedup {speedup:.2f}x "
+                f"(< {BATCH_MIN_SPEEDUP:.2f}x floor)")
 
     if failures:
         for f in failures:

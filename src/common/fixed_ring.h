@@ -8,9 +8,11 @@
 #ifndef NORMAN_COMMON_FIXED_RING_H_
 #define NORMAN_COMMON_FIXED_RING_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace norman {
@@ -52,9 +54,49 @@ class FixedRing {
     return value;
   }
 
+  // Bulk producer: move as many elements of `src` in as fit (in order).
+  // Returns the number pushed — src.size() when there was room, the free
+  // count on a partial batch, 0 when full. Elements actually pushed are
+  // left moved-from in `src`; the rest are untouched, so callers can retry
+  // the tail of a partial batch later.
+  uint32_t PushN(std::span<T> src) {
+    const uint32_t n = std::min(static_cast<uint32_t>(std::min<size_t>(
+                                    src.size(), ~uint32_t{0})),
+                                capacity_ - size());
+    for (uint32_t i = 0; i < n; ++i) {
+      slots_[(head_ + i) & mask_] = std::move(src[i]);
+    }
+    head_ += n;
+    return n;
+  }
+
+  // Bulk consumer: move up to dst.size() oldest elements out (FIFO order).
+  // Returns the number popped — min(dst.size(), size()). dst elements past
+  // the returned count are untouched.
+  uint32_t PopN(std::span<T> dst) {
+    const uint32_t n = std::min(
+        static_cast<uint32_t>(std::min<size_t>(dst.size(), ~uint32_t{0})),
+        size());
+    for (uint32_t i = 0; i < n; ++i) {
+      dst[i] = std::move(slots_[(tail_ + i) & mask_]);
+    }
+    tail_ += n;
+    return n;
+  }
+
   // Peek at the oldest element without consuming it.
   const T* Peek() const { return empty() ? nullptr : &slots_[tail_ & mask_]; }
   T* Peek() { return empty() ? nullptr : &slots_[tail_ & mask_]; }
+
+  // Peek at the i-th oldest element (0 == oldest) without consuming it;
+  // nullptr when fewer than i+1 elements are queued. Batched drains use
+  // this to issue prefetch hints for upcoming elements.
+  const T* PeekAt(uint32_t i) const {
+    return i < size() ? &slots_[(tail_ + i) & mask_] : nullptr;
+  }
+  T* PeekAt(uint32_t i) {
+    return i < size() ? &slots_[(tail_ + i) & mask_] : nullptr;
+  }
 
   void Clear() { tail_ = head_; }
 

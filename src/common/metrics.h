@@ -24,7 +24,22 @@
 
 #include "src/common/stats.h"
 
+// Compile-time stats tier (TAS-style). Level 1 (default) keeps the full
+// always-on registry. Level 0 compiles *hot-path* volume counters and
+// per-frame queue-depth updates to no-ops: registration still happens (so
+// the metric inventory/manifest keeps its shape) but the per-packet
+// increments vanish from the generated code. Accounting that feeds
+// decisions or attribution — drop ledgers, flow-cache hit/miss, filter
+// rule hits, pool recycling — is deliberately NOT tiered and stays exact
+// at every level. Set via -DNORMAN_STATS_LEVEL=0 (see CMakeLists.txt).
+#ifndef NORMAN_STATS_LEVEL
+#define NORMAN_STATS_LEVEL 1
+#endif
+
 namespace norman::telemetry {
+
+inline constexpr int kStatsLevel = NORMAN_STATS_LEVEL;
+inline constexpr bool kHotStatsEnabled = kStatsLevel >= 1;
 
 // Monotonic event count. Hot-path increment is one add through a pointer.
 class Counter {
@@ -55,6 +70,52 @@ class Gauge {
   explicit Gauge(std::string name) : name_(std::move(name)) {}
   std::string name_;
   int64_t value_ = 0;
+};
+
+// Hot-tier increment: a plain add at stats level >= 1, a no-op at level 0.
+// Use for per-packet/per-event volume counters on the fast path; use
+// Counter::Increment directly for accounting that must stay exact at every
+// level (drops, cache hits, rule matches).
+// The expected reading of a hot-tier counter: `v` when the tier is compiled
+// in, 0 when it compiled out. Lets tests (and tooling that cross-checks
+// counters against ground truth) state one assertion that holds at both
+// stats levels.
+constexpr uint64_t HotCount(uint64_t v) { return kHotStatsEnabled ? v : 0; }
+
+inline void HotIncrement(Counter* c, uint64_t n = 1) {
+  if (kHotStatsEnabled) {
+    c->Increment(n);
+  }
+}
+
+// Burst-local accumulator for one registry counter: increments land in a
+// plain stack local and are flushed to the shared counter once per burst
+// (TAS poll/empty/total style), so the per-element path touches no shared
+// state. Flushes on destruction, so early returns can't lose counts. At
+// stats level 0 both Add and Flush compile to nothing.
+class BatchedCounter {
+ public:
+  explicit BatchedCounter(Counter* counter) : counter_(counter) {}
+  BatchedCounter(const BatchedCounter&) = delete;
+  BatchedCounter& operator=(const BatchedCounter&) = delete;
+  ~BatchedCounter() { Flush(); }
+
+  void Add(uint64_t n = 1) {
+    if (kHotStatsEnabled) {
+      pending_ += n;
+    }
+  }
+  void Flush() {
+    if (kHotStatsEnabled && pending_ != 0) {
+      counter_->Increment(pending_);
+      pending_ = 0;
+    }
+  }
+  uint64_t pending() const { return pending_; }
+
+ private:
+  Counter* counter_;
+  uint64_t pending_ = 0;
 };
 
 // Point-in-time capture of all scalar metrics (counters + gauges), used for
@@ -160,6 +221,21 @@ class QueueDepthGauges {
   Gauge* depth_;
   Gauge* high_water_;
 };
+
+// Hot-tier queue-depth updates: per-frame occupancy tracking is volume
+// telemetry, so it compiles out at stats level 0 (the gauges then read 0).
+// QueueDepthGauges itself stays ungated — cold-path owners (accept queues,
+// admission control) call Set/Add directly and remain exact.
+inline void HotAdd(QueueDepthGauges* g, int64_t delta) {
+  if (kHotStatsEnabled) {
+    g->Add(delta);
+  }
+}
+inline void HotSet(QueueDepthGauges* g, int64_t depth) {
+  if (kHotStatsEnabled) {
+    g->Set(depth);
+  }
+}
 
 }  // namespace norman::telemetry
 

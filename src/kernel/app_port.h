@@ -9,6 +9,7 @@
 #define NORMAN_KERNEL_APP_PORT_H_
 
 #include <memory>
+#include <span>
 
 #include "src/common/status.h"
 #include "src/net/packet.h"
@@ -57,6 +58,13 @@ class AppPort {
     }
     auto p = rings_->PopRx();
     return p.has_value() ? std::move(*p) : nullptr;
+  }
+
+  // Bulk RX consume: pops up to out.size() frames in FIFO order with one
+  // occupancy-gauge update for the whole burst. Returns the count popped;
+  // a short count means the ring is now empty.
+  uint32_t PopRxN(std::span<net::PacketPtr> out) {
+    return rings_ == nullptr ? 0 : rings_->PopRxN(out);
   }
 
   size_t TxSpace() const {

@@ -1,5 +1,7 @@
 #include "src/kernel/kernel.h"
 
+#include <span>
+
 #include "src/common/logging.h"
 
 namespace norman::kernel {
@@ -17,6 +19,7 @@ Kernel::Kernel(sim::Simulator* sim, nic::SmartNic* nic, Options options)
   drop_unmatched_ = sim_->metrics().GetCounter("kernel.drop.unmatched");
   drop_sram_exhausted_ =
       sim_->metrics().GetCounter("kernel.drop.sram_exhausted");
+  notify_drained_ = sim_->metrics().GetCounter("kernel.notify.drained");
   nic_cp_ = nic_->TakeControlPlane();
   NORMAN_CHECK(nic_cp_ != nullptr)
       << "NIC control plane already taken: only the kernel may own it";
@@ -420,29 +423,46 @@ void Kernel::PumpNotifications(Pid pid) {
   if (queue == nullptr) {
     return;
   }
-  // Drain whatever is pending; for each notification wake matching waiters.
+  // Drain whatever is pending in bursts (bulk PollN over the shared ring:
+  // one gauge/counter flush per burst instead of one per notification);
+  // for each notification wake matching waiters.
   bool woke_any = false;
-  while (auto n = queue->Poll()) {
-    const auto it = waiters_.find(n->conn_id);
-    if (it == waiters_.end()) {
-      continue;  // nobody blocked; notification is informational
+  constexpr uint32_t kNotifyDrainBatch = 16;
+  nic::Notification batch[kNotifyDrainBatch];
+  telemetry::BatchedCounter drained(notify_drained_);
+  for (;;) {
+    const uint32_t count =
+        queue->PollN(std::span<nic::Notification>(batch));
+    if (count == 0) {
+      break;
     }
-    auto& list = it->second;
-    for (auto w = list.begin(); w != list.end();) {
-      if (w->kind == n->kind) {
-        // Waking a blocked thread costs a context switch on the kernel/app
-        // core; the continuation runs after that charge.
-        const Nanos done = kernel_core_.Serve(
-            sim_->Now(), nic_->cost().context_switch_ns);
-        sim_->ScheduleAt(done, std::move(w->resume));
-        w = list.erase(w);
-        woke_any = true;
-      } else {
-        ++w;
+    drained.Add(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      const nic::Notification& n = batch[i];
+      const auto it = waiters_.find(n.conn_id);
+      if (it == waiters_.end()) {
+        continue;  // nobody blocked; notification is informational
+      }
+      auto& list = it->second;
+      for (auto w = list.begin(); w != list.end();) {
+        if (w->kind == n.kind) {
+          // Waking a blocked thread costs a context switch on the kernel/app
+          // core; the continuation runs after that charge.
+          const Nanos done = kernel_core_.Serve(
+              sim_->Now(), nic_->cost().context_switch_ns);
+          sim_->ScheduleAt(done, std::move(w->resume));
+          w = list.erase(w);
+          woke_any = true;
+        } else {
+          ++w;
+        }
+      }
+      if (list.empty()) {
+        waiters_.erase(it);
       }
     }
-    if (list.empty()) {
-      waiters_.erase(it);
+    if (count < kNotifyDrainBatch) {
+      break;  // short burst: the queue is empty now
     }
   }
   // If waiters remain, arm the interrupt so the next Post re-enters here —

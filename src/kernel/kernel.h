@@ -286,6 +286,9 @@ class Kernel {
   telemetry::Counter* drop_malformed_ = nullptr;
   telemetry::Counter* drop_unmatched_ = nullptr;
   telemetry::Counter* drop_sram_exhausted_ = nullptr;
+  // Notifications consumed by PumpNotifications, flushed once per bulk
+  // drain (hot tier: compiles out at stats level 0).
+  telemetry::Counter* notify_drained_ = nullptr;
 
   // Handles packets the NIC diverted to the host (unmatched RX -> listen
   // dispatch; TX fallback completions).

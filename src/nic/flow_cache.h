@@ -124,6 +124,13 @@ class FlowCache {
   // unsupported rewrite shape, fallback verdict). Counted by the NIC.
   void RecordUncacheable() { uncacheable_->Increment(); }
 
+  // Accounting for a burst drain that replays the entry its previous packet
+  // just hit, without re-walking the map (see SmartNic::ConsumeTxRing). The
+  // hit counter stays exact; the LRU touch coalesces away, which is
+  // order-preserving because the entry is already most-recently-used. Hit
+  // and miss counts are decision-grade accounting, never stats-tiered.
+  void CountCoalescedHit() { hits_->Increment(); }
+
  private:
   void EvictOne();
   void Erase(const FlowCacheKey& key);

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 
 #include "src/common/fixed_ring.h"
 #include "src/common/metrics.h"
@@ -43,7 +44,7 @@ class NotificationQueue {
     if (!ok) {
       ++overflows_;
     } else if (gauges_ != nullptr) {
-      gauges_->Add(1);
+      telemetry::HotAdd(gauges_, 1);
     }
     if (interrupts_armed_ && on_interrupt_) {
       interrupts_armed_ = false;
@@ -54,7 +55,17 @@ class NotificationQueue {
 
   std::optional<Notification> Poll() {
     auto n = ring_.TryPop();
-    if (n.has_value() && gauges_ != nullptr) gauges_->Add(-1);
+    if (n.has_value() && gauges_ != nullptr) telemetry::HotAdd(gauges_, -1);
+    return n;
+  }
+
+  // Bulk drain: pops up to out.size() notifications in FIFO order with a
+  // single gauge update for the whole burst. Returns the count popped; a
+  // short count means the queue is now empty.
+  uint32_t PollN(std::span<Notification> out) {
+    const uint32_t n = ring_.PopN(out);
+    if (n != 0 && gauges_ != nullptr)
+      telemetry::HotAdd(gauges_, -static_cast<int64_t>(n));
     return n;
   }
   bool empty() const { return ring_.empty(); }

@@ -43,6 +43,13 @@ struct StageResult {
 // How a stage interacts with the flow verdict cache (megaflow-style fast
 // path). The cache replays a flow's aggregate verdict without re-running
 // the chain, so each stage must declare what a cache hit may skip.
+//
+// This contract also underwrites the NIC's batched TX drain: a burst that
+// replays one cached entry for consecutive same-flow packets (see
+// SmartNic::ConsumeTxRing) still calls Process() on every kObserver stage
+// for every packet, and never batches flows that touched a kUncacheable
+// stage — so per-packet state evolves identically whether the chain walk,
+// the cache, or the burst memo resolved the verdict.
 enum class StageCacheClass : uint8_t {
   // Pure function of the flow key under a fixed configuration: verdict and
   // instruction cost can be cached and the stage skipped entirely on hits

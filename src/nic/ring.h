@@ -11,6 +11,7 @@
 #define NORMAN_NIC_RING_H_
 
 #include <cstdint>
+#include <span>
 
 #include "src/common/fixed_ring.h"
 #include "src/common/metrics.h"
@@ -36,8 +37,10 @@ class RingPair {
 
   ~RingPair() {
     // Occupants die with the ring; keep the aggregate gauges honest.
-    if (tx_gauges_ != nullptr) tx_gauges_->Add(-static_cast<int64_t>(tx_.size()));
-    if (rx_gauges_ != nullptr) rx_gauges_->Add(-static_cast<int64_t>(rx_.size()));
+    if (tx_gauges_ != nullptr)
+      telemetry::HotAdd(tx_gauges_, -static_cast<int64_t>(tx_.size()));
+    if (rx_gauges_ != nullptr)
+      telemetry::HotAdd(rx_gauges_, -static_cast<int64_t>(rx_.size()));
   }
 
   FixedRing<net::PacketPtr>& tx() { return tx_; }
@@ -46,28 +49,66 @@ class RingPair {
   // Gauge-aware access. The gauges aggregate occupancy across every ring of
   // the NIC ("queue.nic.tx_ring" / "queue.nic.rx_ring"), so all push/pop
   // traffic must flow through these wrappers once gauges are attached.
+  // Per-frame occupancy tracking is hot-tier telemetry: at stats level 0
+  // the gauge updates compile out (see metrics.h).
   // Push takes by value like FixedRing::TryPush: a refused packet is
   // destroyed with the temporary unless the caller kept a reference.
   bool PushTx(net::PacketPtr p) {
     const bool ok = tx_.TryPush(std::move(p));
-    if (ok && tx_gauges_ != nullptr) tx_gauges_->Add(1);
+    if (ok && tx_gauges_ != nullptr) telemetry::HotAdd(tx_gauges_, 1);
     return ok;
   }
   std::optional<net::PacketPtr> PopTx() {
     auto p = tx_.TryPop();
-    if (p.has_value() && tx_gauges_ != nullptr) tx_gauges_->Add(-1);
+    if (p.has_value() && tx_gauges_ != nullptr)
+      telemetry::HotAdd(tx_gauges_, -1);
     return p;
   }
   bool PushRx(net::PacketPtr p) {
     const bool ok = rx_.TryPush(std::move(p));
-    if (ok && rx_gauges_ != nullptr) rx_gauges_->Add(1);
+    if (ok && rx_gauges_ != nullptr) telemetry::HotAdd(rx_gauges_, 1);
     return ok;
   }
   std::optional<net::PacketPtr> PopRx() {
     auto p = rx_.TryPop();
-    if (p.has_value() && rx_gauges_ != nullptr) rx_gauges_->Add(-1);
+    if (p.has_value() && rx_gauges_ != nullptr)
+      telemetry::HotAdd(rx_gauges_, -1);
     return p;
   }
+
+  // Bulk variants over FixedRing::PushN/PopN: one gauge update per burst
+  // instead of one per frame. An incremental sequence of pushes peaks at
+  // the same depth as one bulk push of the same count, so the high-water
+  // latch is unchanged by batching.
+  uint32_t PushTxN(std::span<net::PacketPtr> src) {
+    const uint32_t n = tx_.PushN(src);
+    if (n != 0 && tx_gauges_ != nullptr)
+      telemetry::HotAdd(tx_gauges_, static_cast<int64_t>(n));
+    return n;
+  }
+  uint32_t PopTxN(std::span<net::PacketPtr> dst) {
+    const uint32_t n = tx_.PopN(dst);
+    if (n != 0 && tx_gauges_ != nullptr)
+      telemetry::HotAdd(tx_gauges_, -static_cast<int64_t>(n));
+    return n;
+  }
+  uint32_t PushRxN(std::span<net::PacketPtr> src) {
+    const uint32_t n = rx_.PushN(src);
+    if (n != 0 && rx_gauges_ != nullptr)
+      telemetry::HotAdd(rx_gauges_, static_cast<int64_t>(n));
+    return n;
+  }
+  uint32_t PopRxN(std::span<net::PacketPtr> dst) {
+    const uint32_t n = rx_.PopN(dst);
+    if (n != 0 && rx_gauges_ != nullptr)
+      telemetry::HotAdd(rx_gauges_, -static_cast<int64_t>(n));
+    return n;
+  }
+
+  // Oldest (i == 0) or i-th-oldest queued TX descriptor, without consuming
+  // it; nullptr when fewer than i+1 are queued. The batched TX drain uses
+  // this to prefetch the next descriptor's payload.
+  const net::PacketPtr* PeekTx(uint32_t i = 0) const { return tx_.PeekAt(i); }
 
   void AttachGauges(telemetry::QueueDepthGauges* tx_gauges,
                     telemetry::QueueDepthGauges* rx_gauges) {

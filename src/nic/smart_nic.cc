@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/prefetch.h"
 #include "src/net/frame_checksum.h"
 #include "src/net/packet_builder.h"
 #include "src/nic/fifo_scheduler.h"
@@ -483,24 +484,36 @@ void SmartNic::ConsumeTxRing(net::ConnectionId conn_id) {
   // virtual-time trace stays bit-identical to unbatched execution.
   Nanos now = sim_->Now();
   const uint32_t batch = std::max<uint32_t>(1, options_.tx_fetch_batch);
+  const auto it = rings_.find(conn_id);
+  if (it == rings_.end()) {
+    tx_consumer_active_.erase(conn_id);  // teardown: drop the entry too
+    return;
+  }
+  // Hoisted per burst: no other event can run between inline iterations
+  // (the continuation check above guarantees it), so the ring and flow
+  // entry cannot be torn down or replaced mid-burst — the per-frame hash
+  // walks the old loop did were pure overhead.
+  RingPair* ring = it->second.get();
+  FlowEntry* entry = flow_table_.Lookup(conn_id);
+  TxBurst burst(&stats_);
+  FastPathMemo memo;
   for (uint32_t fetched = 0;;) {
-    const auto it = rings_.find(conn_id);
-    if (it == rings_.end()) {
-      tx_consumer_active_.erase(conn_id);  // teardown: drop the entry too
-      return;
-    }
-    auto pkt = it->second->PopTx();
+    auto pkt = ring->PopTx();
     if (!pkt.has_value()) {
       // Ring drained: stop the consumer and post the drain notification if
       // the connection asked for it (blocking send support, §4.3).
       tx_consumer_active_[conn_id] = false;
-      FlowEntry* entry = flow_table_.Lookup(conn_id);
       if (entry != nullptr && entry->notify_tx_drain) {
         PostNotification(*entry, NotificationKind::kTxDrained, now);
       }
       return;
     }
-    ProcessTxDescriptor(std::move(*pkt), conn_id, now);
+    // Warm the next descriptor while this one runs the pipeline.
+    if (const net::PacketPtr* next_pkt = ring->PeekTx();
+        next_pkt != nullptr && *next_pkt != nullptr) {
+      PrefetchRead(next_pkt->get());
+    }
+    ProcessTxDescriptor(std::move(*pkt), conn_id, entry, now, burst, &memo);
     // Next descriptor fetch when the DMA engine frees up.
     const Nanos next = std::max(dma_engine_.next_free(), now + 1);
     if (++fetched >= batch || sim_->HasEventAtOrBefore(next)) {
@@ -512,9 +525,10 @@ void SmartNic::ConsumeTxRing(net::ConnectionId conn_id) {
 }
 
 void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
-                                   net::ConnectionId conn_id, Nanos now) {
-  stats_.tx_seen_->Increment();
-  FlowEntry* entry = flow_table_.Lookup(conn_id);
+                                   net::ConnectionId conn_id, FlowEntry* entry,
+                                   Nanos now, TxBurst& burst,
+                                   FastPathMemo* memo) {
+  burst.seen.Add();
 
   // Lifecycle tracing: deterministic 1-in-N arrival sampling. A zero id
   // makes every Record() below a no-op; virtual time is never touched.
@@ -526,7 +540,7 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
   const bool ddio_hit = ddio_.Access(TxRingId(conn_id), ring_ws);
   const Nanos dma_done = dma_engine_.Serve(
       now, options_.cost.DmaCost(packet->size(), ddio_hit));
-  stats_.dma_transfers_->Increment();
+  burst.dma.Add();
   sim_->tracer().Record(trace_id, "tx.dma", now, dma_done);
 
   // 2) Pipeline occupancy (line-rate cap) + per-stage latency.
@@ -567,11 +581,26 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
   bool fp_hit = false;
   if (fp_eligible) {
     fp_key = FlowCacheKey{net::Direction::kTx, *flow, conn_id};
-    if (const FlowCacheEntry* e = flow_cache_.Lookup(fp_key)) {
+    const FlowCacheEntry* e = nullptr;
+    if (memo != nullptr && memo->entry != nullptr && memo->key == fp_key) {
+      // Same flow as the previous packet of this burst: replay its entry
+      // without re-walking the hash map. Hit accounting stays exact; the
+      // LRU touch coalesces (the entry is already most-recently-used).
+      e = memo->entry;
+      flow_cache_.CountCoalescedHit();
+    } else {
+      e = flow_cache_.Lookup(fp_key);
+      if (memo != nullptr) {
+        memo->entry = e;  // null on miss: the memo never outlives a miss
+        if (e != nullptr) {
+          memo->key = fp_key;
+        }
+      }
+    }
+    if (e != nullptr) {
       const uint32_t observer_instructions =
           ReplayFastPath(*e, tx_stages_, *packet, ctx);
-      stats_.overlay_instructions_->Increment(e->pure_instructions +
-                                              observer_instructions);
+      burst.overlay.Add(e->pure_instructions + observer_instructions);
       stages_done = pipe_done + options_.cost.flow_cache_hit_ns +
                     static_cast<Nanos>(observer_instructions) *
                         options_.cost.overlay_instr_ns;
@@ -591,7 +620,7 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
         packet->meta().software_fallback) {
       result.verdict = Verdict::kAccept;
     }
-    stats_.overlay_instructions_->Increment(result.overlay_instructions);
+    burst.overlay.Add(result.overlay_instructions);
     stages_done = pipe_done +
                   static_cast<Nanos>(tx_stages_.size()) *
                       options_.cost.nic_stage_latency_ns +
@@ -623,7 +652,7 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
                         ctx.conn.owner_pid);
       return;
     case Verdict::kSoftwareFallback: {
-      stats_.tx_fallback_->Increment();
+      burst.fallback.Add();
       packet->meta().software_fallback = true;
       sim_->ScheduleAt(stages_done, [this, p = std::move(packet)]() mutable {
         if (fallback_sink_) {
@@ -635,7 +664,7 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
     case Verdict::kAccept:
       break;
   }
-  stats_.tx_accepted_->Increment();
+  burst.accepted.Add();
 
   // 3) Hand to the queueing discipline at the time the pipeline finishes,
   // then keep the wire busy.
@@ -657,7 +686,8 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
                         conn_meta.owner_pid);
       return;
     }
-    qdisc_gauges_.Set(static_cast<int64_t>(scheduler_->backlog_packets()));
+    telemetry::HotSet(&qdisc_gauges_,
+                      static_cast<int64_t>(scheduler_->backlog_packets()));
     DrainWire();
   });
 }
@@ -669,7 +699,11 @@ void SmartNic::InjectHostPacket(net::PacketPtr packet, Nanos now) {
     return;
   }
   const net::ConnectionId conn = packet->meta().connection;
-  ProcessTxDescriptor(std::move(packet), conn, now);
+  // A single-packet burst: the accumulators flush on return. No memo —
+  // host-injected packets have no burst neighbor to share a flow with.
+  TxBurst burst(&stats_);
+  ProcessTxDescriptor(std::move(packet), conn, flow_table_.Lookup(conn), now,
+                      burst, nullptr);
 }
 
 void SmartNic::ScheduleDrain(Nanos when) {
@@ -693,7 +727,8 @@ void SmartNic::DrainWire() {
     return;
   }
   net::PacketPtr pkt = scheduler_->Dequeue(now);
-  qdisc_gauges_.Set(static_cast<int64_t>(scheduler_->backlog_packets()));
+  telemetry::HotSet(&qdisc_gauges_,
+                    static_cast<int64_t>(scheduler_->backlog_packets()));
   if (pkt == nullptr) {
     const Nanos eligible = scheduler_->NextEligibleTime(now);
     if (eligible > now) {
@@ -709,7 +744,7 @@ void SmartNic::DrainWire() {
     sim_->tracer().Record(pkt->meta().trace_id, "tx.wire", now, done);
   }
   pkt->meta().completed_at = done;
-  stats_.tx_bytes_wire_->Increment(pkt->size());
+  telemetry::HotIncrement(stats_.tx_bytes_wire_, pkt->size());
   sim_->ScheduleAt(done, [this, p = std::move(pkt)]() mutable {
     EmitToWire(std::move(p));
     DrainWire();
@@ -780,7 +815,11 @@ void SmartNic::PostNotification(const FlowEntry& entry, NotificationKind kind,
 }
 
 void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
-  stats_.rx_seen_->Increment();
+  // RX arrivals are one event each (wire deliveries are serialized by the
+  // peer), so there is no burst scope to accumulate into; the volume
+  // counters go through the hot tier instead. Drop accounting below stays
+  // exact at every stats level.
+  telemetry::HotIncrement(stats_.rx_seen_);
   packet->meta().direction = net::Direction::kRx;
   packet->meta().nic_arrival = now;
   const uint32_t trace_id = sim_->tracer().SampleArrival();
@@ -835,8 +874,8 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
     if (const FlowCacheEntry* e = flow_cache_.Lookup(fp_key)) {
       const uint32_t observer_instructions =
           ReplayFastPath(*e, rx_stages_, *packet, ctx);
-      stats_.overlay_instructions_->Increment(e->pure_instructions +
-                                              observer_instructions);
+      telemetry::HotIncrement(stats_.overlay_instructions_,
+                              e->pure_instructions + observer_instructions);
       ready = pipe_done + options_.cost.flow_cache_hit_ns +
               static_cast<Nanos>(observer_instructions) *
                   options_.cost.overlay_instr_ns;
@@ -850,7 +889,8 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
     FlowCacheMint mint;
     StageResult result = RunStages(rx_stages_, *packet, ctx, pipe_done,
                                    trace_id, fp_eligible ? &mint : nullptr);
-    stats_.overlay_instructions_->Increment(result.overlay_instructions);
+    telemetry::HotIncrement(stats_.overlay_instructions_,
+                            result.overlay_instructions);
     ready = pipe_done +
             static_cast<Nanos>(rx_stages_.size()) *
                 options_.cost.nic_stage_latency_ns +
@@ -878,9 +918,9 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
   if (entry == nullptr || verdict == Verdict::kSoftwareFallback) {
     // No registered connection (or explicitly diverted): host slow path.
     if (entry == nullptr) {
-      stats_.rx_unmatched_->Increment();
+      telemetry::HotIncrement(stats_.rx_unmatched_);
     } else {
-      stats_.rx_fallback_->Increment();
+      telemetry::HotIncrement(stats_.rx_fallback_);
     }
     packet->meta().software_fallback = true;
     sim_->ScheduleAt(ready, [this, p = std::move(packet)]() mutable {
@@ -915,7 +955,7 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
                                          : kHotWorkingSetBytes);
   const Nanos dma_done = dma_engine_.Serve(
       ready, options_.cost.DmaCost(packet->size(), ddio_hit));
-  stats_.dma_transfers_->Increment();
+  telemetry::HotIncrement(stats_.dma_transfers_);
   sim_->tracer().Record(trace_id, "rx.dma", ready, dma_done);
 
   const net::ConnectionId conn_id = entry->conn_id;
@@ -937,7 +977,7 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
     // Delivery into the app-visible ring (zero-width: the push itself is
     // instantaneous in the cost model; the wait was charged to rx.dma).
     sim_->tracer().Record(tid, "rx.ring", ring_at, ring_at);
-    stats_.rx_accepted_->Increment();
+    telemetry::HotIncrement(stats_.rx_accepted_);
     if (e->notify_rx) {
       PostNotification(*e, NotificationKind::kRxData, sim_->Now());
     }

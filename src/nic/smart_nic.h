@@ -345,8 +345,42 @@ class SmartNic {
                           const std::vector<PipelineStage*>& stages,
                           net::Packet& packet, overlay::PacketContext& ctx);
 
+  // Burst-local accumulators for the TX volume counters (tentpole (c)):
+  // per-packet increments land in stack locals and flush to the registry
+  // once per burst — on scope exit, so early returns cannot lose counts.
+  // Drop accounting never goes through here; RecordDrop stays per-event and
+  // exact at every stats level.
+  struct TxBurst {
+    explicit TxBurst(NicStats* s)
+        : seen(s->tx_seen_),
+          accepted(s->tx_accepted_),
+          fallback(s->tx_fallback_),
+          dma(s->dma_transfers_),
+          overlay(s->overlay_instructions_) {}
+    telemetry::BatchedCounter seen;
+    telemetry::BatchedCounter accepted;
+    telemetry::BatchedCounter fallback;
+    telemetry::BatchedCounter dma;
+    telemetry::BatchedCounter overlay;
+  };
+
+  // Consecutive-packet flow-cache memo for one TX burst. A burst serves a
+  // single connection, so back-to-back packets almost always share the
+  // cache key; the memo replays the previous packet's hit without the hash
+  // walk. `entry` is non-null only immediately after a successful Lookup
+  // and is dropped on any other cache path (miss, insert, uncacheable) —
+  // those can evict or rehash and would dangle it. LRU order is unchanged:
+  // only consecutive hits on the already-most-recent entry coalesce.
+  struct FastPathMemo {
+    FlowCacheKey key;
+    const FlowCacheEntry* entry = nullptr;
+  };
+
+  // `entry` is the burst-hoisted flow-table entry for conn_id (nullable);
+  // `memo` may be null (host-injected packets bypass burst memoization).
   void ProcessTxDescriptor(net::PacketPtr packet, net::ConnectionId conn_id,
-                           Nanos now);
+                           FlowEntry* entry, Nanos now, TxBurst& burst,
+                           FastPathMemo* memo);
   void ConsumeTxRing(net::ConnectionId conn_id);
   void DrainWire();
   void ScheduleDrain(Nanos when);

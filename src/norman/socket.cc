@@ -124,6 +124,18 @@ net::PacketPtr Socket::RecvFrame() {
   return p;
 }
 
+size_t Socket::RecvFrames(std::span<net::PacketPtr> out) {
+  if (!valid()) {
+    return 0;
+  }
+  const uint32_t n = port_.PopRxN(out);
+  for (uint32_t i = 0; i < n; ++i) {
+    ++stats_.rx_packets;
+    stats_.rx_bytes += out[i]->size();
+  }
+  return n;
+}
+
 StatusOr<std::vector<uint8_t>> Socket::Recv() {
   net::PacketPtr p = RecvFrame();
   if (p == nullptr) {

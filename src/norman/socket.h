@@ -120,6 +120,11 @@ class Socket {
   Status SendFrame(net::PacketPtr frame);
   // Whole received frame (headers included), or nullptr when empty.
   net::PacketPtr RecvFrame();
+  // Bulk zero-copy receive: fills `out` with up to out.size() whole frames
+  // in delivery order (one ring/gauge transaction for the burst — the
+  // batched-drain analog of RecvFrame for hot RX loops). Returns the count
+  // received; a short count means the RX ring is now empty.
+  size_t RecvFrames(std::span<net::PacketPtr> out);
 
   // close(2).
   Status Close();

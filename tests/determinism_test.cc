@@ -20,7 +20,8 @@ struct RunTrace {
 };
 
 RunTrace RunWorld(uint64_t seed, uint32_t trace_sample = 0,
-                  bool monitor = false, bool fastpath = false) {
+                  bool monitor = false, bool fastpath = false,
+                  uint32_t dispatch_batch = 0) {
   workload::TestBedOptions opts;
   opts.echo = true;
   if (monitor) {
@@ -29,6 +30,9 @@ RunTrace RunWorld(uint64_t seed, uint32_t trace_sample = 0,
     opts.kernel.housekeeping_period = 250 * kMicrosecond;
   }
   workload::TestBed bed(opts);
+  if (dispatch_batch != 0) {
+    bed.sim().set_dispatch_batch(dispatch_batch);
+  }
   bed.sim().tracer().set_sample_interval(trace_sample);
   auto& k = bed.kernel();
   k.processes().AddUser(1, "u");
@@ -147,6 +151,46 @@ TEST(DeterminismTest, FastPathOnMatchesGoldenTrajectory) {
   const RunTrace again =
       RunWorld(42, /*trace_sample=*/0, /*monitor=*/false, /*fastpath=*/true);
   EXPECT_EQ(again.completions, t.completions);
+}
+
+// Batched event dispatch (StepBatch) only groups events that already share
+// the ready horizon, so the dispatch *order* is untouched by construction —
+// but batching also changes when callbacks observe the heap (undispatched
+// siblings live in a buffer, not the heap) and when device loops decide to
+// continue inline. This pins the whole trajectory, final clock included, at
+// batch sizes 1 (the historical per-event loop), 8, and 64: any divergence
+// means batching leaked into observable virtual-time behavior.
+TEST(DeterminismTest, GoldenTraceIdenticalAtEveryDispatchBatchSize) {
+  for (const uint32_t batch : {1u, 8u, 64u}) {
+    SCOPED_TRACE("dispatch_batch=" + std::to_string(batch));
+    ExpectMatchesGolden(RunWorld(42, /*trace_sample=*/0, /*monitor=*/false,
+                                 /*fastpath=*/false, batch));
+  }
+}
+
+// Same pinning for the fast-path trajectory: the TX burst memo and
+// per-burst lookup hoisting must not shift a single completion timestamp.
+TEST(DeterminismTest, FastPathGoldenIdenticalAtEveryDispatchBatchSize) {
+  for (const uint32_t batch : {1u, 8u, 64u}) {
+    SCOPED_TRACE("dispatch_batch=" + std::to_string(batch));
+    const RunTrace t = RunWorld(42, /*trace_sample=*/0, /*monitor=*/false,
+                                /*fastpath=*/true, batch);
+    EXPECT_EQ(t.egress_frames, 413u);
+    EXPECT_EQ(t.egress_bytes, 202446u);
+    ASSERT_EQ(t.completions.size(), 413u);
+    EXPECT_EQ(Fnv1aHash(t.completions), 12554163209316526794ULL);
+    EXPECT_EQ(t.final_time, 5052014);
+  }
+}
+
+// The stats tier must be invisible to virtual time: counters observe, they
+// never schedule. Whichever level this binary was built at (CI builds both
+// NORMAN_STATS_LEVEL=0 and =1), the golden trajectory must hold — that is
+// the cross-tier equivalence check, pinned to one shared golden.
+TEST(DeterminismTest, GoldenTraceHoldsAtThisStatsLevel) {
+  static_assert(telemetry::kStatsLevel == 0 || telemetry::kStatsLevel == 1,
+                "unknown stats tier");
+  ExpectMatchesGolden(RunWorld(42));
 }
 
 TEST(DeterminismTest, DifferentSeedsDifferentTraces) {

@@ -60,7 +60,8 @@ TEST_F(NicServicesTest, PingForOtherAddressIgnored) {
   bed_.sim().Run();
   EXPECT_EQ(bed_.kernel().icmp().echo_replies(), 0u);
   EXPECT_TRUE(bed_.egress().empty());
-  EXPECT_EQ(bed_.nic().stats().rx_unmatched(), 1u);  // fell to the host path
+  EXPECT_EQ(bed_.nic().stats().rx_unmatched(),
+            telemetry::HotCount(1));  // fell to the host path
 }
 
 TEST_F(NicServicesTest, CustomTxPolicyDropsLowTtl) {

@@ -62,7 +62,7 @@ TEST(PcapReplayTest, TimeScaleCompresses) {
   EXPECT_EQ(report->first_at, 500);
   EXPECT_EQ(report->last_at, 500);
   bed.sim().Run();
-  EXPECT_EQ(bed.nic().stats().rx_seen(), 3u);
+  EXPECT_EQ(bed.nic().stats().rx_seen(), telemetry::HotCount(3));
 }
 
 TEST(PcapReplayTest, FilterSkipsFrames) {
@@ -117,7 +117,7 @@ TEST(PcapReplayTest, CaptureThenReplayRoundTrip) {
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->frames_injected, 5u);
   target.sim().Run();
-  EXPECT_EQ(target.nic().stats().rx_seen(), 5u);
+  EXPECT_EQ(target.nic().stats().rx_seen(), telemetry::HotCount(5));
 }
 
 }  // namespace

@@ -129,6 +129,148 @@ TEST(SimulatorTest, HasEventAtOrBefore) {
   EXPECT_FALSE(s.HasEventAtOrBefore(1000));
 }
 
+TEST(SimulatorBatchTest, StepBatchPopsOnlyHorizonSharers) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(10, [&] { order.push_back(1); });
+  s.ScheduleAt(10, [&] { order.push_back(2); });
+  s.ScheduleAt(20, [&] { order.push_back(3); });
+  // Both t=10 events dispatch in one pass; t=20 must wait for the next.
+  EXPECT_EQ(s.StepBatch(64), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.Now(), 10);
+  EXPECT_EQ(s.StepBatch(64), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), 20);
+  EXPECT_EQ(s.StepBatch(64), 0u);
+}
+
+TEST(SimulatorBatchTest, MaxNCapsOnePass) {
+  Simulator s;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    s.ScheduleAt(7, [&] { ++fired; });
+  }
+  EXPECT_EQ(s.StepBatch(2), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.pending_events(), 3u);
+  EXPECT_EQ(s.StepBatch(64), 3u);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(SimulatorBatchTest, SameTimeEventScheduledInsideBatchRunsAfterIt) {
+  // An event scheduled at the current horizon from inside a batched
+  // callback has a higher seq than everything buffered: it must run in a
+  // later pass at the same time, exactly as per-event stepping orders it.
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(10, [&] {
+    order.push_back(1);
+    s.ScheduleAt(10, [&] { order.push_back(9); });
+  });
+  s.ScheduleAt(10, [&] { order.push_back(2); });
+  EXPECT_EQ(s.StepBatch(64), 2u);  // the late arrival is NOT in this pass
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.StepBatch(64), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 9}));
+  EXPECT_EQ(s.Now(), 10);
+}
+
+TEST(SimulatorBatchTest, QueueObserversSeeUndispatchedBatchSiblings) {
+  // While batch element i runs, elements i+1..n-1 are out of the heap but
+  // not yet dispatched; Idle/pending_events/HasEventAtOrBefore must still
+  // count them or device loops behave differently at different batch sizes.
+  Simulator s;
+  bool sibling_visible = false;
+  size_t pending_seen = 0;
+  bool idle_seen = true;
+  s.ScheduleAt(10, [&] {
+    sibling_visible = s.HasEventAtOrBefore(10);
+    pending_seen = s.pending_events();
+    idle_seen = s.Idle();
+  });
+  s.ScheduleAt(10, [] {});
+  s.Run();
+  EXPECT_TRUE(sibling_visible);
+  EXPECT_EQ(pending_seen, 1u);
+  EXPECT_FALSE(idle_seen);
+  // After the run everything drains for real.
+  EXPECT_TRUE(s.Idle());
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_FALSE(s.HasEventAtOrBefore(1'000'000));
+}
+
+TEST(SimulatorBatchTest, RunUntilDeadlineBetweenHorizons) {
+  // Deadline falls between two event timestamps: the t=10 pair runs, the
+  // t=100 pair stays queued, and Now() lands exactly on the deadline.
+  Simulator s;
+  int fired = 0;
+  s.ScheduleAt(10, [&] { ++fired; });
+  s.ScheduleAt(10, [&] { ++fired; });
+  s.ScheduleAt(100, [&] { ++fired; });
+  s.ScheduleAt(100, [&] { ++fired; });
+  s.RunUntil(50);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.Now(), 50);
+  EXPECT_EQ(s.pending_events(), 2u);
+  s.Run();
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(s.Now(), 100);
+}
+
+TEST(SimulatorBatchTest, RunUntilDoesNotRunPastDeadlineEventsScheduledInBatch) {
+  // A batched callback schedules work beyond the deadline; RunUntil must
+  // leave it queued even though the scheduling happened mid-pass.
+  Simulator s;
+  bool late_ran = false;
+  s.ScheduleAt(10, [&] { s.ScheduleAt(60, [&] { late_ran = true; }); });
+  s.ScheduleAt(10, [] {});
+  s.RunUntil(50);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(s.Now(), 50);
+  s.Run();
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(SimulatorBatchTest, DispatchBatchSizeClampsAndReproducesStepping) {
+  Simulator s;
+  EXPECT_EQ(s.dispatch_batch(), Simulator::kDefaultDispatchBatch);
+  s.set_dispatch_batch(0);
+  EXPECT_EQ(s.dispatch_batch(), 1u);
+  s.set_dispatch_batch(1u << 20);
+  EXPECT_EQ(s.dispatch_batch(), Simulator::kMaxDispatchBatch);
+  s.set_dispatch_batch(1);
+  std::vector<int> order;
+  s.ScheduleAt(5, [&] { order.push_back(1); });
+  s.ScheduleAt(5, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorBatchTest, IdenticalScheduleAnyBatchSize) {
+  // The same self-scheduling workload must produce the same dispatch order
+  // and final clock at every batch size.
+  auto run_world = [](uint32_t batch) {
+    Simulator s;
+    s.set_dispatch_batch(batch);
+    std::vector<std::pair<Nanos, int>> trace;
+    std::function<void(int)> tick = [&](int id) {
+      trace.emplace_back(s.Now(), id);
+      if (trace.size() < 64) {
+        s.ScheduleAfter(id % 3 == 0 ? 0 : 5, [&tick, id] { tick(id + 1); });
+      }
+    };
+    for (int i = 0; i < 4; ++i) {
+      s.ScheduleAt(10, [&tick, i] { tick(i * 100); });
+    }
+    s.Run();
+    return std::make_pair(trace, s.Now());
+  };
+  const auto golden = run_world(1);
+  EXPECT_EQ(run_world(8), golden);
+  EXPECT_EQ(run_world(64), golden);
+}
+
 TEST(InlineCallbackTest, SmallLambdaStaysInline) {
   int x = 0;
   InlineCallback cb([&x] { ++x; });

@@ -239,7 +239,7 @@ TEST(DropAccountingTest, EveryDropHasExactlyOneReason) {
   // The scenario hit the reasons it was built to hit.
   EXPECT_EQ(s.tx_drops(DropReason::kFilterDeny), 6u);
   EXPECT_EQ(s.rx_drops(DropReason::kNicConsumed), 1u);
-  EXPECT_GE(s.rx_unmatched(), 2u);
+  EXPECT_GE(s.rx_unmatched(), telemetry::HotCount(2));
 
   // Per-reason counters reproduce the aggregates...
   uint64_t tx_sum = 0;
@@ -252,11 +252,15 @@ TEST(DropAccountingTest, EveryDropHasExactlyOneReason) {
   EXPECT_EQ(s.tx_dropped() + s.tx_sched_dropped(), tx_sum);
   EXPECT_EQ(s.rx_dropped() + s.rx_ring_overflow(), rx_sum);
 
-  // ...the conservation equations still balance...
-  EXPECT_EQ(s.tx_seen(), s.tx_accepted() + s.tx_dropped() + s.tx_fallback() +
-                             s.tx_sched_dropped());
-  EXPECT_EQ(s.rx_seen(), s.rx_accepted() + s.rx_dropped() + s.rx_fallback() +
-                             s.rx_unmatched() + s.rx_ring_overflow());
+  // ...the conservation equations still balance (they mix hot-tier volume
+  // counters with exact drop counters, so only at stats level >= 1)...
+  if (telemetry::kHotStatsEnabled) {
+    EXPECT_EQ(s.tx_seen(), s.tx_accepted() + s.tx_dropped() +
+                               s.tx_fallback() + s.tx_sched_dropped());
+    EXPECT_EQ(s.rx_seen(), s.rx_accepted() + s.rx_dropped() +
+                               s.rx_fallback() + s.rx_unmatched() +
+                               s.rx_ring_overflow());
+  }
 
   // ...and the owner ledger accounts for every drop exactly once.
   uint64_t ledger_sum = 0;
