@@ -271,15 +271,22 @@ BENCHMARK(BM_BuildUdpFrame);
 // `dispatch_batch` sets the simulator's event dispatch batch (1 reproduces
 // the historical per-event loop); the batch sweep in main() emits
 // interleaved batch-off/batch-on pairs the gate can compare.
+// `profiler` turns on full cycle attribution (scopes + owner ledger); the
+// profiler sweep in main() emits interleaved off/on pairs the gate holds
+// to PROFILER_TOLERANCE on paired cpu_s.
 void RunForwardingReport(uint32_t trace_sample, bool monitor,
                          bool fastpath = false, int filter_rules = 0,
                          uint32_t dispatch_batch =
-                             sim::Simulator::kDefaultDispatchBatch) {
+                             sim::Simulator::kDefaultDispatchBatch,
+                         bool profiler = false) {
   workload::TestBedOptions opts;
   opts.echo = true;
   workload::TestBed bed(opts);
   bed.sim().set_dispatch_batch(dispatch_batch);
   bed.sim().tracer().set_sample_interval(trace_sample);
+  if (profiler) {
+    bed.sim().profiler().set_enabled(true);
+  }
   bed.DiscardEgress();
   auto& k = bed.kernel();
   k.processes().AddUser(1, "u");
@@ -337,7 +344,7 @@ void RunForwardingReport(uint32_t trace_sample, bool monitor,
   std::printf(
       "{\"bench\":\"forwarding_loop\",\"trace_sample\":%u,\"monitor\":%d,"
       "\"fastpath\":%d,\"filter_rules\":%d,"
-      "\"batch\":%u,\"stats_level\":%d,"
+      "\"batch\":%u,\"stats_level\":%d,\"profiler\":%d,"
       "\"fastpath_hits\":%llu,\"fastpath_misses\":%llu,"
       "\"wall_s\":%.6f,\"cpu_s\":%.6f,"
       "\"events\":%llu,\"events_per_s\":%.0f,"
@@ -346,7 +353,7 @@ void RunForwardingReport(uint32_t trace_sample, bool monitor,
       "\"pool_hit_rate_all\":%.4f,\"trace_spans\":%llu,"
       "\"samples\":%llu,\"maintenance_ticks\":%llu}\n",
       trace_sample, monitor ? 1 : 0, fastpath ? 1 : 0, filter_rules,
-      dispatch_batch, telemetry::kStatsLevel,
+      dispatch_batch, telemetry::kStatsLevel, profiler ? 1 : 0,
       static_cast<unsigned long long>(
           k.nic_control().flow_cache().hits()),
       static_cast<unsigned long long>(
@@ -383,6 +390,19 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 3; ++i) {
     RunForwardingReport(0, false);
     RunForwardingReport(0, true);
+  }
+  // Profiler attribution overhead: interleaved profiler-off / profiler-on
+  // pairs (same pairing rationale as monitoring); the gate holds the
+  // median paired cpu_s ratio within PROFILER_TOLERANCE. Five pairs, not
+  // three: the expected overhead (~3-4%) sits close enough to the 5% gate
+  // that the median needs headroom against one preempted run.
+  for (int i = 0; i < 5; ++i) {
+    RunForwardingReport(0, false, /*fastpath=*/false, /*filter_rules=*/0,
+                        sim::Simulator::kDefaultDispatchBatch,
+                        /*profiler=*/false);
+    RunForwardingReport(0, false, /*fastpath=*/false, /*filter_rules=*/0,
+                        sim::Simulator::kDefaultDispatchBatch,
+                        /*profiler=*/true);
   }
   // Fast-path speedup: interleaved cache-off / cache-on pairs under a
   // 12-rule firewall on both chains. Pairing cancels machine drift; the

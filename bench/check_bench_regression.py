@@ -25,6 +25,12 @@ prints after the google-benchmark table) against the checked-in baseline:
      per-event stepping. Rows carry a "batch" field; rows with batch != 64
      (the default) are excluded from checks 1-2 so the sweep does not
      pollute those pools.
+  5. profiler overhead: bench_micro emits alternating profiler-off /
+     profiler-on runs; each on-run is divided by the off-run that ran
+     back-to-back with it and the median pairwise cpu_s ratio must stay
+     within PROFILER_TOLERANCE (default 5%) — full cycle attribution has
+     to stay cheap enough to leave on. Rows carry a "profiler" field;
+     profiler-on rows are excluded from checks 1-4.
 
 Override: set ALLOW_BENCH_REGRESSION=1 to turn failures into warnings —
 for landing a change that knowingly trades speed for capability. Record
@@ -45,6 +51,7 @@ REGRESSION_TOLERANCE = 0.15  # vs checked-in baseline
 MONITOR_TOLERANCE = 0.05     # monitor-on vs paired monitor-off run
 FASTPATH_MIN_SPEEDUP = 1.3   # cache-off / cache-on paired wall clocks
 BATCH_MIN_SPEEDUP = 0.90     # batch=1 / batch=N paired cpu clocks
+PROFILER_TOLERANCE = 0.05    # profiler-on vs paired profiler-off run
 DEFAULT_BATCH = 64           # rows without a "batch" field predate the sweep
 
 
@@ -69,6 +76,7 @@ def times(rows, trace_sample, monitor, field="wall_s", fastpath=0,
         and r.get("fastpath", 0) == fastpath
         and r.get("filter_rules", 0) == filter_rules
         and r.get("batch", DEFAULT_BATCH) == batch
+        and r.get("profiler", 0) == 0
         and field in r
     ]
 
@@ -88,6 +96,7 @@ def batch_pairs(rows):
         and r.get("monitor", 0) == 0
         and r.get("fastpath", 0) == 0
         and r.get("filter_rules", 0) == 0
+        and r.get("profiler", 0) == 0
         and "cpu_s" in r
     ]
     return [
@@ -95,6 +104,31 @@ def batch_pairs(rows):
         for a, b in zip(plain, plain[1:])
         if a.get("batch", DEFAULT_BATCH) == 1
         and b.get("batch", DEFAULT_BATCH) != 1
+    ]
+
+
+def profiler_pairs(rows):
+    """(profiler-off cpu_s, profiler-on cpu_s) pairs in report order.
+
+    The profiler sweep emits each off-run immediately before its on-run
+    at the default config, so adjacency in that row stream recovers the
+    pairing the same way batch_pairs does.
+    """
+    plain = [
+        r
+        for r in rows
+        if r.get("bench") == "forwarding_loop"
+        and r.get("trace_sample") == 0
+        and r.get("monitor", 0) == 0
+        and r.get("fastpath", 0) == 0
+        and r.get("filter_rules", 0) == 0
+        and r.get("batch", DEFAULT_BATCH) == DEFAULT_BATCH
+        and "cpu_s" in r
+    ]
+    return [
+        (a["cpu_s"], b["cpu_s"])
+        for a, b in zip(plain, plain[1:])
+        if a.get("profiler", 0) == 0 and b.get("profiler", 0) == 1
     ]
 
 
@@ -181,6 +215,20 @@ def main():
             failures.append(
                 f"batched dispatch speedup {speedup:.2f}x "
                 f"(< {BATCH_MIN_SPEEDUP:.2f}x floor)")
+
+    pp = profiler_pairs(report)
+    if not pp:
+        failures.append("missing profiler on/off forwarding_loop lines")
+    else:
+        ratios = [on_ / off_ for off_, on_ in pp]
+        ratio = statistics.median(ratios)
+        print("profiler overhead per pair: "
+              + ", ".join(f"{(r - 1) * 100:+.1f}%" for r in ratios)
+              + f"; median {(ratio - 1) * 100:+.1f}%")
+        if ratio > 1 + PROFILER_TOLERANCE:
+            failures.append(
+                f"cycle attribution costs {(ratio - 1) * 100:.1f}% "
+                f"(> {PROFILER_TOLERANCE * 100:.0f}% tolerance)")
 
     if failures:
         for f in failures:

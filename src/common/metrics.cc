@@ -81,6 +81,7 @@ const LatencyHistogram* MetricsRegistry::FindHistogram(
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  FlushPending();
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) {
     snap.values.emplace(name, static_cast<int64_t>(c->value()));
@@ -103,6 +104,7 @@ MetricsSnapshot MetricsRegistry::Delta(const MetricsSnapshot& before,
 }
 
 std::string MetricsRegistry::TextReport() const {
+  FlushPending();
   std::string out;
   char buf[64];
   for (const auto& [name, c] : counters_) {
@@ -125,6 +127,7 @@ std::string MetricsRegistry::TextReport() const {
 }
 
 std::string MetricsRegistry::JsonReport() const {
+  FlushPending();
   std::string out = "{\"counters\":{";
   char buf[96];
   bool first = true;

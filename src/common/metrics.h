@@ -15,6 +15,7 @@
 #ifndef NORMAN_COMMON_METRICS_H_
 #define NORMAN_COMMON_METRICS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -88,17 +89,26 @@ inline void HotIncrement(Counter* c, uint64_t n = 1) {
   }
 }
 
+class MetricsRegistry;
+
 // Burst-local accumulator for one registry counter: increments land in a
 // plain stack local and are flushed to the shared counter once per burst
 // (TAS poll/empty/total style), so the per-element path touches no shared
 // state. Flushes on destruction, so early returns can't lose counts. At
 // stats level 0 both Add and Flush compile to nothing.
+//
+// The registry-tracked constructor additionally registers the live
+// accumulator with the registry: every report path (TextReport, JsonReport,
+// Snapshot) and Simulator teardown folds pending counts in first, so a
+// report taken while a burst is mid-flight — or after an odd-sized final
+// burst — can never under-count.
 class BatchedCounter {
  public:
   explicit BatchedCounter(Counter* counter) : counter_(counter) {}
+  BatchedCounter(Counter* counter, MetricsRegistry* registry);
   BatchedCounter(const BatchedCounter&) = delete;
   BatchedCounter& operator=(const BatchedCounter&) = delete;
-  ~BatchedCounter() { Flush(); }
+  ~BatchedCounter();
 
   void Add(uint64_t n = 1) {
     if (kHotStatsEnabled) {
@@ -115,6 +125,7 @@ class BatchedCounter {
 
  private:
   Counter* counter_;
+  MetricsRegistry* registry_ = nullptr;
   uint64_t pending_ = 0;
 };
 
@@ -187,6 +198,22 @@ class MetricsRegistry {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
+  // Live burst-local accumulators (see BatchedCounter's tracked ctor).
+  void TrackBatched(BatchedCounter* b) { batched_.push_back(b); }
+  void UntrackBatched(BatchedCounter* b) {
+    batched_.erase(std::remove(batched_.begin(), batched_.end(), b),
+                   batched_.end());
+  }
+  // Fold every live accumulator's pending count into its backing counter.
+  // Const because report paths call it: only the pointed-to accumulators
+  // and counters mutate, never the registry's own structure.
+  void FlushPending() const {
+    for (BatchedCounter* b : batched_) {
+      b->Flush();
+    }
+  }
+  size_t num_tracked_batched() const { return batched_.size(); }
+
  private:
   // Sorted maps: deterministic export order, heterogeneous string_view
   // lookup, stable unique_ptr targets.
@@ -194,7 +221,23 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
       histograms_;
+  std::vector<BatchedCounter*> batched_;
 };
+
+inline BatchedCounter::BatchedCounter(Counter* counter,
+                                      MetricsRegistry* registry)
+    : counter_(counter), registry_(registry) {
+  if (registry_ != nullptr) {
+    registry_->TrackBatched(this);
+  }
+}
+
+inline BatchedCounter::~BatchedCounter() {
+  if (registry_ != nullptr) {
+    registry_->UntrackBatched(this);
+  }
+  Flush();
+}
 
 // Paired depth + high-watermark gauges for one bounded queue, registered as
 // "queue.<name>.depth" and "queue.<name>.high_water". Queue owners attach one

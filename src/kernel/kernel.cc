@@ -11,6 +11,10 @@ Kernel::Kernel(sim::Simulator* sim, nic::SmartNic* nic, Options options)
       nic_(nic),
       options_(options),
       accept_gauges_(&sim->metrics(), "kernel.accept") {
+  prof_ = &sim_->profiler();
+  prof_core_kernel_ = prof_->RegisterCore(
+      "kernel.core", telemetry::Profiler::CoreKind::kHost,
+      [this] { return kernel_core_.busy_ns(); });
   sampler_ = std::make_unique<telemetry::TimeSeriesSampler>(&sim_->metrics());
   watchdog_ = std::make_unique<telemetry::HealthWatchdog>(sampler_.get(),
                                                           &sim_->metrics());
@@ -136,6 +140,9 @@ void Kernel::MaintenanceTick() {
     return;  // StopMaintenance() raced an already-scheduled tick
   }
   ++maintenance_ticks_;
+  // Zero-cost attribution scope: the tick charges no virtual time, but its
+  // entry count keeps periodic kernel work visible in the context tree.
+  telemetry::ProfScope maint_scope(prof_, prof_maint_site_);
   const Nanos now = sim_->Now();
   if (conntrack_->Sweep(now) > 0) {
     nic_cp_->InvalidateFastPath();  // see Housekeeping()
@@ -197,6 +204,9 @@ StatusOr<AppPort> Kernel::Connect(Pid pid, net::Ipv4Address remote_ip,
     if (install.code() == StatusCode::kResourceExhausted &&
         opts.allow_software_fallback) {
       // NIC memory is full: register a host-software connection (§5).
+      // Intern the owner even without a NIC flow: slow-path cycles for this
+      // connection are still attributed to the pid.
+      prof_->RegisterOwner(pid);
       fallback_conns_.emplace(conn_id,
                               FallbackConn{entry.tuple, entry.owner});
       conn_owner_pid_.emplace(conn_id, pid);
@@ -426,10 +436,13 @@ void Kernel::PumpNotifications(Pid pid) {
   // Drain whatever is pending in bursts (bulk PollN over the shared ring:
   // one gauge/counter flush per burst instead of one per notification);
   // for each notification wake matching waiters.
+  telemetry::ProfScope notify_scope(prof_, prof_notify_site_);
   bool woke_any = false;
   constexpr uint32_t kNotifyDrainBatch = 16;
   nic::Notification batch[kNotifyDrainBatch];
-  telemetry::BatchedCounter drained(notify_drained_);
+  // Registry-tracked: if a report (or simulator teardown) lands while this
+  // pump is mid-drain, the pending partial burst still folds in.
+  telemetry::BatchedCounter drained(notify_drained_, &sim_->metrics());
   for (;;) {
     const uint32_t count =
         queue->PollN(std::span<nic::Notification>(batch));
@@ -447,9 +460,13 @@ void Kernel::PumpNotifications(Pid pid) {
       for (auto w = list.begin(); w != list.end();) {
         if (w->kind == n.kind) {
           // Waking a blocked thread costs a context switch on the kernel/app
-          // core; the continuation runs after that charge.
-          const Nanos done = kernel_core_.Serve(
-              sim_->Now(), nic_->cost().context_switch_ns);
+          // core; the continuation runs after that charge. Attributed to the
+          // pid being woken (this queue's owner).
+          const Nanos cs = nic_->cost().context_switch_ns;
+          const Nanos done = kernel_core_.Serve(sim_->Now(), cs);
+          if (prof_->enabled()) {
+            prof_->ChargeCurrent(prof_core_kernel_, prof_->OwnerSlot(pid), cs);
+          }
           sim_->ScheduleAt(done, std::move(w->resume));
           w = list.erase(w);
           woke_any = true;
@@ -478,9 +495,15 @@ void Kernel::PumpNotifications(Pid pid) {
   }
   if (have_waiters) {
     queue->ArmInterrupt([this, pid] {
-      // Interrupt dispatch cost, then pump again.
-      const Nanos done =
-          kernel_core_.Serve(sim_->Now(), nic_->cost().context_switch_ns / 2);
+      // Interrupt dispatch cost, then pump again. The scope opens under
+      // whatever context raised the interrupt (often the NIC RX path), so
+      // the flamegraph shows where interrupt load originates.
+      telemetry::ProfScope irq_scope(prof_, prof_irq_site_);
+      const Nanos cs = nic_->cost().context_switch_ns / 2;
+      const Nanos done = kernel_core_.Serve(sim_->Now(), cs);
+      if (prof_->enabled()) {
+        prof_->ChargeCurrent(prof_core_kernel_, prof_->OwnerSlot(pid), cs);
+      }
       sim_->ScheduleAt(done, [this, pid] { PumpNotifications(pid); });
     });
   } else {
@@ -615,11 +638,20 @@ Status Kernel::SoftwareTransmit(net::ConnectionId conn_id,
   if (it == fallback_conns_.end()) {
     return NotFoundError("software tx: not a fallback connection");
   }
-  // Host kernel-stack costs: syscall + per-packet processing + copy.
+  // Host kernel-stack costs: syscall + per-packet processing + copy. All of
+  // it charged to the fallback connection's owner — the slow path is where
+  // per-process attribution matters most (§5: fallback traffic must not
+  // hide inside an anonymous kernel bucket).
+  telemetry::ProfScope slow_scope(prof_, prof_slow_site_);
+  const uint32_t owner_pid = it->second.owner.owner_pid;
+  packet->meta().owner_pid = owner_pid;
   const auto& cost = nic_->cost();
   const Nanos cpu = cost.syscall_ns + cost.kernel_stack_per_packet_ns +
                     cost.CopyCost(packet->size());
   const Nanos ready = kernel_core_.Serve(sim_->Now(), cpu);
+  if (prof_->enabled()) {
+    prof_->ChargeCurrent(prof_core_kernel_, prof_->OwnerSlot(owner_pid), cpu);
+  }
   // Software-path packets still traverse the NIC pipeline (they are not
   // exempt from interposition) via an anonymous descriptor: we deliver them
   // through a temporary flow-less injection, tagging fallback in metadata.

@@ -262,6 +262,16 @@ class Kernel {
 
   sim::Resource kernel_core_{"kernel.core"};
 
+  // Cycle attribution (src/common/profiler.h): the kernel registers its core
+  // and charges every kernel_core_.Serve under a named scope, attributed to
+  // the pid the work was done for.
+  telemetry::Profiler* prof_ = nullptr;
+  uint32_t prof_core_kernel_ = 0;
+  telemetry::ProfSite prof_notify_site_{"kernel.notify"};
+  telemetry::ProfSite prof_irq_site_{"kernel.irq"};
+  telemetry::ProfSite prof_slow_site_{"kernel.slow_path"};
+  telemetry::ProfSite prof_maint_site_{"kernel.maintenance"};
+
   net::ConnectionId next_conn_id_ = 1;
   uint16_t next_ephemeral_port_ = 30000;
 

@@ -38,6 +38,11 @@ struct PacketMeta {
   uint16_t rx_queue = 0;      // RSS result (RX only)
   uint32_t flow_hash = 0;
   bool software_fallback = false;  // diverted through host slow path (E7)
+  // Owning process, stamped where the dataplane first resolves it (flow
+  // entry owner on TX, kernel fallback-connection owner on injected
+  // frames). Carried so later charge points (wire drain) can attribute
+  // cycles without re-walking the flow table. 0 = no registered owner.
+  uint32_t owner_pid = 0;
   // Lifecycle tracing (telemetry::PacketTracer): nonzero when this packet
   // was sampled at NIC arrival; spans are recorded under this id.
   uint32_t trace_id = 0;

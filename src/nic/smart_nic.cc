@@ -24,6 +24,7 @@ DropReason NormalizeDropReason(DropReason reason) {
 }  // namespace
 
 NicStats::NicStats(telemetry::MetricsRegistry* registry) {
+  registry_ = registry;
   tx_seen_ = registry->GetCounter("nic.tx.seen");
   tx_accepted_ = registry->GetCounter("nic.tx.accepted");
   tx_fallback_ = registry->GetCounter("nic.tx.fallback");
@@ -100,6 +101,9 @@ void NicStats::RecordDrop(net::Direction dir, DropReason reason,
   (dir == net::Direction::kTx ? tx_drop_ : rx_drop_)[r]->Increment();
   ++ledger_[{static_cast<uint8_t>(dir), static_cast<uint8_t>(reason),
              owner_pid}];
+  if (prof_ != nullptr && prof_->enabled()) {
+    prof_->CountDrop(prof_->OwnerSlot(owner_pid));
+  }
 }
 
 void NicStats::Reset() {
@@ -136,8 +140,24 @@ SmartNic::SmartNic(sim::Simulator* sim, Options options)
       // which features a run turned on).
       flow_cache_(&sram_, &sim->metrics()),
       scheduler_(std::make_unique<FifoScheduler>()),
+      prof_(&sim->profiler()),
       stats_(&sim->metrics()) {
   sram_.AttachGauges(&sram_gauges_);
+  // Attribution cores: the profiler reads each resource's busy time at
+  // export, and the conservation invariant holds per core. Registration is
+  // unconditional (like metric registration) so inventories never depend
+  // on whether a run enabled profiling.
+  using telemetry::Profiler;
+  prof_core_dma_ = prof_->RegisterCore(
+      "nic.dma", Profiler::CoreKind::kNic, [this] { return dma_engine_.busy_ns(); });
+  prof_core_pipe_ = prof_->RegisterCore(
+      "nic.pipeline", Profiler::CoreKind::kNic,
+      [this] { return pipeline_.busy_ns(); });
+  prof_core_stages_ = prof_->RegisterCore(
+      "nic.stages", Profiler::CoreKind::kNic, [this] { return stages_.busy_ns(); });
+  prof_core_wire_ = prof_->RegisterCore(
+      "nic.wire", Profiler::CoreKind::kNic, [this] { return wire_.busy_ns(); });
+  stats_.AttachProfiler(prof_);
   // NIC-side fault instrumentation, eagerly registered so the metric
   // manifest is shape-stable whether or not a chaos campaign ever runs.
   fault_sram_pressure_gauge_ = sim->metrics().GetGauge(
@@ -172,12 +192,25 @@ Status SmartNic::ControlPlane::InstallFlow(const FlowEntry& entry) {
     return s;
   }
   nic_->rings_.emplace(entry.conn_id, std::move(ring));
+  // Intern the owner pid (ungated: slot numbering is tier-independent) and
+  // bill the flow's SRAM footprint — table entry + ring descriptor state —
+  // to its ledger.
+  const uint32_t owner_slot =
+      nic_->prof_->RegisterOwner(entry.owner.owner_pid);
+  nic_->prof_->ChargeSram(owner_slot,
+                          static_cast<int64_t>(kFlowEntryBytes + 64));
   InvalidateFastPath();
   return OkStatus();
 }
 
 Status SmartNic::ControlPlane::RemoveFlow(net::ConnectionId conn_id) {
+  uint32_t owner_pid = 0;
+  if (const FlowEntry* e = nic_->flow_table_.Lookup(conn_id); e != nullptr) {
+    owner_pid = e->owner.owner_pid;
+  }
   NORMAN_RETURN_IF_ERROR(nic_->flow_table_.Remove(conn_id));
+  nic_->prof_->ChargeSram(nic_->prof_->OwnerSlot(owner_pid),
+                          -static_cast<int64_t>(kFlowEntryBytes + 64));
   nic_->rings_.erase(conn_id);
   nic_->sram_.Free("ring_state", 64);
   nic_->ddio_.Invalidate(TxRingId(conn_id));
@@ -201,18 +234,34 @@ DoorbellWindow SmartNic::ControlPlane::MapDoorbell(net::ConnectionId conn_id) {
 
 void SmartNic::ControlPlane::AddTxStage(PipelineStage* stage) {
   nic_->tx_stages_.push_back(stage);
+  nic_->RebuildStageSites();
   InvalidateFastPath();
 }
 
 void SmartNic::ControlPlane::AddRxStage(PipelineStage* stage) {
   nic_->rx_stages_.push_back(stage);
+  nic_->RebuildStageSites();
   InvalidateFastPath();
 }
 
 void SmartNic::ControlPlane::ClearStages() {
   nic_->tx_stages_.clear();
   nic_->rx_stages_.clear();
+  nic_->RebuildStageSites();
   InvalidateFastPath();
+}
+
+void SmartNic::RebuildStageSites() {
+  // Fresh sites (empty memos) per chain mutation: stage indices — and
+  // therefore the site a given chain position charges — may have shifted.
+  tx_stage_sites_.assign(tx_stages_.size(), telemetry::ProfSite{});
+  for (size_t i = 0; i < tx_stages_.size(); ++i) {
+    tx_stage_sites_[i].name = tx_stages_[i]->name();
+  }
+  rx_stage_sites_.assign(rx_stages_.size(), telemetry::ProfSite{});
+  for (size_t i = 0; i < rx_stages_.size(); ++i) {
+    rx_stage_sites_[i].name = rx_stages_[i]->name();
+  }
 }
 
 Status SmartNic::ControlPlane::SetScheduler(
@@ -349,7 +398,9 @@ StageResult SmartNic::RunStages(const std::vector<PipelineStage*>& stages,
                                 net::Packet& packet,
                                 overlay::PacketContext& ctx,
                                 Nanos stage_start, uint32_t trace_id,
-                                FlowCacheMint* mint) {
+                                FlowCacheMint* mint,
+                                std::vector<telemetry::ProfSite>& stage_sites,
+                                uint32_t owner_slot) {
   StageResult aggregate;
   for (size_t i = 0; i < stages.size(); ++i) {
     PipelineStage* stage = stages[i];
@@ -411,14 +462,20 @@ StageResult SmartNic::RunStages(const std::vector<PipelineStage*>& stages,
         }
       }
     }
+    // Each executed stage occupies stage latency plus its own overlay
+    // instructions. The stage engine accrues exactly this (conservation
+    // ground truth) and, when profiling, the same amount lands on the
+    // stage's attribution node for the owning process.
+    const Nanos stage_cost =
+        options_.cost.nic_stage_latency_ns +
+        static_cast<Nanos>(r.overlay_instructions) *
+            options_.cost.overlay_instr_ns;
+    stages_.AddBusy(stage_cost);
+    prof_->Charge(stage_sites[i], prof_core_stages_, owner_slot, stage_cost);
     if (trace_id != 0) {
-      // Each executed stage occupies stage latency plus its own overlay
-      // instructions; spans are laid end to end from `stage_start` so the
-      // chain tiles exactly onto the cost model's stage window.
-      const Nanos span_end =
-          stage_start + options_.cost.nic_stage_latency_ns +
-          static_cast<Nanos>(r.overlay_instructions) *
-              options_.cost.overlay_instr_ns;
+      // Spans are laid end to end from `stage_start` so the chain tiles
+      // exactly onto the cost model's stage window.
+      const Nanos span_end = stage_start + stage_cost;
       sim_->tracer().Record(trace_id, stage->name(), stage_start, span_end);
       stage_start = span_end;
     }
@@ -530,6 +587,20 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
                                    FastPathMemo* memo) {
   burst.seen.Add();
 
+  // Attribution context for the whole descriptor: everything below charges
+  // under dispatch;nic.tx for the flow's owning pid (resolved through the
+  // flow entry the kernel installed — the interposition layer's flow→pid
+  // map). Host-injected frames carry their owner in packet metadata.
+  telemetry::ProfScope tx_scope(prof_, prof_tx_site_);
+  const uint32_t owner_pid = entry != nullptr ? entry->owner.owner_pid
+                                              : packet->meta().owner_pid;
+  packet->meta().owner_pid = owner_pid;  // for downstream charge points
+  uint32_t owner_slot = 0;
+  if (prof_->enabled()) {
+    owner_slot = prof_->OwnerSlot(owner_pid);
+    prof_->CountPacket(owner_slot, packet->size());
+  }
+
   // Lifecycle tracing: deterministic 1-in-N arrival sampling. A zero id
   // makes every Record() below a no-op; virtual time is never touched.
   const uint32_t trace_id = sim_->tracer().SampleArrival();
@@ -538,14 +609,16 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
   const uint64_t ring_ws =
       entry != nullptr ? entry->tx_ring_bytes : kHotWorkingSetBytes;
   const bool ddio_hit = ddio_.Access(TxRingId(conn_id), ring_ws);
-  const Nanos dma_done = dma_engine_.Serve(
-      now, options_.cost.DmaCost(packet->size(), ddio_hit));
+  const Nanos dma_cost = options_.cost.DmaCost(packet->size(), ddio_hit);
+  const Nanos dma_done = dma_engine_.Serve(now, dma_cost);
+  prof_->Charge(prof_tx_dma_site_, prof_core_dma_, owner_slot, dma_cost);
   burst.dma.Add();
   sim_->tracer().Record(trace_id, "tx.dma", now, dma_done);
 
   // 2) Pipeline occupancy (line-rate cap) + per-stage latency.
-  const Nanos pipe_done =
-      pipeline_.Serve(dma_done, options_.cost.NicPipelineOccupancy());
+  const Nanos pipe_cost = options_.cost.NicPipelineOccupancy();
+  const Nanos pipe_done = pipeline_.Serve(dma_done, pipe_cost);
+  prof_->Charge(prof_tx_pipe_site_, prof_core_pipe_, owner_slot, pipe_cost);
   sim_->tracer().Record(trace_id, "tx.pipeline", dma_done, pipe_done);
 
   // Single-pass parse: stored on the packet, refreshed only if a stage
@@ -598,12 +671,16 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
       }
     }
     if (e != nullptr) {
+      telemetry::ProfScope fp_scope(prof_, prof_tx_fastpath_site_);
       const uint32_t observer_instructions =
           ReplayFastPath(*e, tx_stages_, *packet, ctx);
       burst.overlay.Add(e->pure_instructions + observer_instructions);
-      stages_done = pipe_done + options_.cost.flow_cache_hit_ns +
-                    static_cast<Nanos>(observer_instructions) *
-                        options_.cost.overlay_instr_ns;
+      const Nanos fp_cost = options_.cost.flow_cache_hit_ns +
+                            static_cast<Nanos>(observer_instructions) *
+                                options_.cost.overlay_instr_ns;
+      stages_.AddBusy(fp_cost);
+      prof_->ChargeCurrent(prof_core_stages_, owner_slot, fp_cost);
+      stages_done = pipe_done + fp_cost;
       sim_->tracer().Record(trace_id, "fastpath", pipe_done, stages_done);
       verdict = static_cast<Verdict>(e->verdict);
       drop_reason = e->drop_reason;
@@ -611,9 +688,11 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
     }
   }
   if (!fp_hit) {
+    telemetry::ProfScope stages_scope(prof_, prof_tx_stages_site_);
     FlowCacheMint mint;
     StageResult result = RunStages(tx_stages_, *packet, ctx, pipe_done,
-                                   trace_id, fp_eligible ? &mint : nullptr);
+                                   trace_id, fp_eligible ? &mint : nullptr,
+                                   tx_stage_sites_, owner_slot);
     // A packet already diverted once (software path) is not diverted again
     // — repeat FALLBACK verdicts pass through, preventing divert loops.
     if (result.verdict == Verdict::kSoftwareFallback &&
@@ -736,7 +815,14 @@ void SmartNic::DrainWire() {
     }
     return;
   }
-  const Nanos done = wire_.Serve(now, options_.cost.WireCost(pkt->size()));
+  const Nanos wire_cost = options_.cost.WireCost(pkt->size());
+  const Nanos done = wire_.Serve(now, wire_cost);
+  if (prof_->enabled()) {
+    // Serialization is charged to whoever owned the frame at TX time; the
+    // pid rode along in packet metadata so we need no flow-table re-walk.
+    prof_->Charge(prof_wire_site_, prof_core_wire_,
+                  prof_->OwnerSlot(pkt->meta().owner_pid), wire_cost);
+  }
   if (pkt->meta().trace_id != 0) {
     // Time parked in the discipline, then serialization onto the wire.
     sim_->tracer().Record(pkt->meta().trace_id, "tx.qdisc",
@@ -819,14 +905,15 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
   // peer), so there is no burst scope to accumulate into; the volume
   // counters go through the hot tier instead. Drop accounting below stays
   // exact at every stats level.
+  telemetry::ProfScope rx_scope(prof_, prof_rx_site_);
   telemetry::HotIncrement(stats_.rx_seen_);
   packet->meta().direction = net::Direction::kRx;
   packet->meta().nic_arrival = now;
   const uint32_t trace_id = sim_->tracer().SampleArrival();
   packet->meta().trace_id = trace_id;
 
-  const Nanos pipe_done =
-      pipeline_.Serve(now, options_.cost.NicPipelineOccupancy());
+  const Nanos pipe_cost = options_.cost.NicPipelineOccupancy();
+  const Nanos pipe_done = pipeline_.Serve(now, pipe_cost);
   sim_->tracer().Record(trace_id, "rx.pipeline", now, pipe_done);
 
   // Single-pass parse, stored on the packet (see ProcessTxDescriptor).
@@ -839,6 +926,18 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
   if (flow) {
     entry = flow_table_.LookupByInboundTuple(*flow);
   }
+
+  // RX ownership: the receiving connection's pid (flow-table owner), or
+  // "unowned" for unmatched frames bound for the host slow path. Restamp the
+  // metadata — the TX-side pid from the sending NIC is not this side's owner.
+  const uint32_t owner_pid = entry != nullptr ? entry->owner.owner_pid : 0;
+  packet->meta().owner_pid = owner_pid;
+  uint32_t owner_slot = 0;
+  if (prof_->enabled()) {
+    owner_slot = prof_->OwnerSlot(owner_pid);
+    prof_->CountPacket(owner_slot, packet->size());
+  }
+  prof_->Charge(prof_rx_pipe_site_, prof_core_pipe_, owner_slot, pipe_cost);
 
   // Graceful degradation under wire faults: frames whose IPv4 or L4
   // checksum no longer verifies were damaged in flight and are dropped here,
@@ -872,13 +971,17 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
   if (fp_eligible) {
     fp_key = FlowCacheKey{net::Direction::kRx, *flow, entry->conn_id};
     if (const FlowCacheEntry* e = flow_cache_.Lookup(fp_key)) {
+      telemetry::ProfScope fp_scope(prof_, prof_rx_fastpath_site_);
       const uint32_t observer_instructions =
           ReplayFastPath(*e, rx_stages_, *packet, ctx);
       telemetry::HotIncrement(stats_.overlay_instructions_,
                               e->pure_instructions + observer_instructions);
-      ready = pipe_done + options_.cost.flow_cache_hit_ns +
-              static_cast<Nanos>(observer_instructions) *
-                  options_.cost.overlay_instr_ns;
+      const Nanos fp_cost = options_.cost.flow_cache_hit_ns +
+                            static_cast<Nanos>(observer_instructions) *
+                                options_.cost.overlay_instr_ns;
+      stages_.AddBusy(fp_cost);
+      prof_->ChargeCurrent(prof_core_stages_, owner_slot, fp_cost);
+      ready = pipe_done + fp_cost;
       sim_->tracer().Record(trace_id, "fastpath", pipe_done, ready);
       verdict = static_cast<Verdict>(e->verdict);
       drop_reason = e->drop_reason;
@@ -886,9 +989,11 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
     }
   }
   if (!fp_hit) {
+    telemetry::ProfScope stages_scope(prof_, prof_rx_stages_site_);
     FlowCacheMint mint;
     StageResult result = RunStages(rx_stages_, *packet, ctx, pipe_done,
-                                   trace_id, fp_eligible ? &mint : nullptr);
+                                   trace_id, fp_eligible ? &mint : nullptr,
+                                   rx_stage_sites_, owner_slot);
     telemetry::HotIncrement(stats_.overlay_instructions_,
                             result.overlay_instructions);
     ready = pipe_done +
@@ -953,8 +1058,9 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
                                      entry->rx_ring_bytes != 0
                                          ? entry->rx_ring_bytes
                                          : kHotWorkingSetBytes);
-  const Nanos dma_done = dma_engine_.Serve(
-      ready, options_.cost.DmaCost(packet->size(), ddio_hit));
+  const Nanos dma_cost = options_.cost.DmaCost(packet->size(), ddio_hit);
+  const Nanos dma_done = dma_engine_.Serve(ready, dma_cost);
+  prof_->Charge(prof_rx_dma_site_, prof_core_dma_, owner_slot, dma_cost);
   telemetry::HotIncrement(stats_.dma_transfers_);
   sim_->tracer().Record(trace_id, "rx.dma", ready, dma_done);
 

@@ -30,6 +30,7 @@
 
 #include "src/common/drop_reason.h"
 #include "src/common/metrics.h"
+#include "src/common/profiler.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/net/packet.h"
@@ -114,8 +115,12 @@ class NicStats {
   std::vector<DropRecord> DropLedger() const;
 
   // The single accounting point: bumps the per-reason counter and the
-  // owner ledger. `reason` must not be kNone.
+  // owner ledger. `reason` must not be kNone. When a profiler is attached
+  // the drop also lands in the owner's attr.* resource ledger.
   void RecordDrop(net::Direction dir, DropReason reason, uint32_t owner_pid);
+
+  // Mirror drops into the cycle-attribution owner ledger (attr.*.drops).
+  void AttachProfiler(telemetry::Profiler* prof) { prof_ = prof; }
 
   // Zero this NIC's counters and ledger (registrations survive; other
   // metrics in the registry are untouched).
@@ -139,6 +144,10 @@ class NicStats {
   std::array<telemetry::Counter*, kNumDropReasons> rx_drop_{};
   // (direction, reason, pid) -> count. Ordered map for stable output.
   std::map<std::tuple<uint8_t, uint8_t, uint32_t>, uint64_t> ledger_;
+  telemetry::Profiler* prof_ = nullptr;
+  // Backing registry, kept so TxBurst accumulators register as pending
+  // (reports and simulator teardown flush them; see MetricsRegistry).
+  telemetry::MetricsRegistry* registry_ = nullptr;
 };
 
 class SmartNic {
@@ -288,6 +297,12 @@ class SmartNic {
   const sim::Resource& wire() const { return wire_; }
   const sim::Resource& pipeline_resource() const { return pipeline_; }
   const sim::Resource& dma_engine() const { return dma_engine_; }
+  // Aggregate stage-execution time (per-stage latency + overlay
+  // instructions, or the flow-cache hit cost on fast-path replays).
+  // Accounting-only: the completion-time model is unchanged; this resource
+  // exists so stage time is invariant-bound in the profiler like every
+  // other core.
+  const sim::Resource& stage_engine() const { return stages_; }
   const DdioModel& ddio() const { return ddio_; }
   const sim::CostModel& cost() const { return options_.cost; }
   uint64_t mmio_writes() const { return regs_.write_count(); }
@@ -331,10 +346,16 @@ class SmartNic {
   // starting at `stage_start`, each charged stage latency + its overlay
   // instructions, so the spans tile exactly onto the pipeline's cost-model
   // time.
+  // `stage_sites` is the per-stage attribution-site vector parallel to
+  // `stages` (tx_stage_sites_/rx_stage_sites_); each executed stage's cost
+  // is charged to the stage engine and, when profiling, to the stage's own
+  // node under the enclosing scope for `owner_slot`.
   StageResult RunStages(const std::vector<PipelineStage*>& stages,
                         net::Packet& packet, overlay::PacketContext& ctx,
                         Nanos stage_start, uint32_t trace_id,
-                        FlowCacheMint* mint);
+                        FlowCacheMint* mint,
+                        std::vector<telemetry::ProfSite>& stage_sites,
+                        uint32_t owner_slot);
 
   // Replays a cached entry instead of walking the chain: applies the cached
   // header rewrite at its recorded chain position (re-parsing in place) and
@@ -352,11 +373,11 @@ class SmartNic {
   // exact at every stats level.
   struct TxBurst {
     explicit TxBurst(NicStats* s)
-        : seen(s->tx_seen_),
-          accepted(s->tx_accepted_),
-          fallback(s->tx_fallback_),
-          dma(s->dma_transfers_),
-          overlay(s->overlay_instructions_) {}
+        : seen(s->tx_seen_, s->registry_),
+          accepted(s->tx_accepted_, s->registry_),
+          fallback(s->tx_fallback_, s->registry_),
+          dma(s->dma_transfers_, s->registry_),
+          overlay(s->overlay_instructions_, s->registry_) {}
     telemetry::BatchedCounter seen;
     telemetry::BatchedCounter accepted;
     telemetry::BatchedCounter fallback;
@@ -419,6 +440,13 @@ class SmartNic {
   std::vector<PipelineStage*> rx_stages_;
   std::unique_ptr<Scheduler> scheduler_;
 
+  // Per-stage attribution sites, kept parallel to tx_stages_/rx_stages_
+  // (rebuilt on every chain mutation). Site names alias the stages' own
+  // name() storage, which outlives the chain registration.
+  std::vector<telemetry::ProfSite> tx_stage_sites_;
+  std::vector<telemetry::ProfSite> rx_stage_sites_;
+  void RebuildStageSites();
+
   struct SlotState {
     overlay::Program program;
     uint64_t generation = 0;
@@ -428,6 +456,28 @@ class SmartNic {
   sim::Resource dma_engine_{"nic.dma"};
   sim::Resource pipeline_{"nic.pipeline"};
   sim::Resource wire_{"nic.wire"};
+  sim::Resource stages_{"nic.stages"};
+
+  // ---- Cycle attribution (telemetry::Profiler, owned by the simulator) --
+  telemetry::Profiler* prof_;
+  uint32_t prof_core_dma_ = 0;
+  uint32_t prof_core_pipe_ = 0;
+  uint32_t prof_core_stages_ = 0;
+  uint32_t prof_core_wire_ = 0;
+  // Scope/charge sites. TX and RX keep separate sites for the shared frame
+  // names (dma/pipeline/...) so each memo sees a constant parent and the
+  // steady state never re-resolves.
+  telemetry::ProfSite prof_tx_site_{"nic.tx"};
+  telemetry::ProfSite prof_tx_dma_site_{"dma"};
+  telemetry::ProfSite prof_tx_pipe_site_{"pipeline"};
+  telemetry::ProfSite prof_tx_stages_site_{"stages"};
+  telemetry::ProfSite prof_tx_fastpath_site_{"fastpath"};
+  telemetry::ProfSite prof_rx_site_{"nic.rx"};
+  telemetry::ProfSite prof_rx_dma_site_{"dma"};
+  telemetry::ProfSite prof_rx_pipe_site_{"pipeline"};
+  telemetry::ProfSite prof_rx_stages_site_{"stages"};
+  telemetry::ProfSite prof_rx_fastpath_site_{"fastpath"};
+  telemetry::ProfSite prof_wire_site_{"nic.wire"};
 
   std::function<void(net::PacketPtr)> wire_sink_;
   std::function<void(net::PacketPtr, net::Direction)> fallback_sink_;

@@ -6,7 +6,12 @@
 
 namespace norman::sim {
 
-Simulator::~Simulator() = default;
+Simulator::~Simulator() {
+  // Fold any still-live BatchedCounter accumulators into their backing
+  // counters so teardown-order observers (and a final partial burst) can
+  // never under-count. Report paths flush too; this is the backstop.
+  metrics_.FlushPending();
+}
 
 Simulator::EventNode* Simulator::AcquireNode() {
   if (!free_nodes_.empty()) {
@@ -60,6 +65,10 @@ uint32_t Simulator::StepBatch(uint32_t max_n) {
   // the callback schedules can reuse it immediately.
   InlineCallback first = std::move(node->fn);
   ReleaseNode(node);
+  // Attribution root for everything this pass dispatches. One guard per
+  // pass (not per event): a single predicted branch when the profiler is
+  // off, so the single-event fast path keeps its historical cost.
+  telemetry::ProfScope dispatch_scope(&profiler_, dispatch_site_);
   if (max_n == 1 || heap_.empty() || heap_.front()->when != horizon) {
     // Single-event fast path — the overwhelmingly common case (most ready
     // horizons hold exactly one event). Must cost what the historical

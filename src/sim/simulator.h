@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/profiler.h"
 #include "src/common/stats.h"
 #include "src/common/trace.h"
 #include "src/common/units.h"
@@ -212,6 +213,11 @@ class Simulator {
   const telemetry::MetricsRegistry& metrics() const { return metrics_; }
   telemetry::PacketTracer& tracer() { return tracer_; }
   const telemetry::PacketTracer& tracer() const { return tracer_; }
+  // Cycle-attribution profiler for this world (off by default; devices
+  // register their cores at construction, charges appear only once
+  // profiler().set_enabled(true)).
+  telemetry::Profiler& profiler() { return profiler_; }
+  const telemetry::Profiler& profiler() const { return profiler_; }
 
  private:
   struct EventNode {
@@ -259,6 +265,10 @@ class Simulator {
   PoolCounters node_counters_{"event"};
   telemetry::MetricsRegistry metrics_;
   telemetry::PacketTracer tracer_{&metrics_};
+  telemetry::Profiler profiler_;
+  // Root attribution frame: every StepBatch() pass runs under "dispatch",
+  // so device scopes (nic.tx, kernel.slow_path, ...) nest beneath it.
+  telemetry::ProfSite dispatch_site_{"dispatch"};
   // Dispatch telemetry, flushed once per batch pass (never per event):
   // batches = StepBatch passes, batched events / batches = mean burst size.
   telemetry::Counter* dispatch_batches_ =

@@ -145,9 +145,14 @@ int Main(int argc, char** argv) {
   opts.echo = true;
   workload::TestBed bed(opts);
   bed.sim().tracer().set_sample_interval(sample);
+  // Cycle attribution on: the prof.*/attr.* gauge families published below
+  // must appear in the manifest CI diffs. Registration is ungated, so the
+  // inventory (though not the values) is identical at stats level 0.
+  bed.sim().profiler().set_enabled(true);
   RunScenario(bed, show_fastpath);
 
   auto& metrics = bed.sim().metrics();
+  bed.sim().profiler().PublishToRegistry(&metrics);
   // Pool levels enter the registry at report time ("pool.<name>.*"), plus a
   // merged view across both pools ("pool.all.*").
   const auto& packet_pool = net::PacketPool::Default().counters();

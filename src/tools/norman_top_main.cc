@@ -125,6 +125,7 @@ void RunChaosScenario(workload::TestBed& bed) {
 int Main(int argc, char** argv) {
   bool show_json = false;
   bool show_text = false;
+  bool by_pid = false;
   bool chaos = false;
   std::string series_path;
   size_t max_flows = 10;
@@ -135,6 +136,8 @@ int Main(int argc, char** argv) {
       show_json = true;
     } else if (arg == "--text") {
       show_text = true;
+    } else if (arg == "--by-pid") {
+      by_pid = true;
     } else if (arg == "--chaos") {
       chaos = true;
     } else if (arg == "--series-out" && i + 1 < argc) {
@@ -143,7 +146,7 @@ int Main(int argc, char** argv) {
       max_flows = std::strtoul(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json] [--text] [--chaos] "
+                   "usage: %s [--json] [--text] [--by-pid] [--chaos] "
                    "[--series-out FILE] [--flows N]\n",
                    argv[0]);
       return 2;
@@ -156,6 +159,9 @@ int Main(int argc, char** argv) {
   // hold enough windows for rates and stall detection to mean something.
   opts.kernel.housekeeping_period = 100 * kMicrosecond;
   workload::TestBed bed(opts);
+  // Attribution is pure observation (no events, no virtual-time cost), so
+  // it can stay on for every view without perturbing the goldens.
+  bed.sim().profiler().set_enabled(true);
   if (chaos) {
     RunChaosScenario(bed);
   } else {
@@ -175,6 +181,10 @@ int Main(int argc, char** argv) {
                  series_path.c_str());
   }
 
+  if (by_pid) {
+    std::printf("%s", tools::TopByPid(bed.kernel()).c_str());
+    return 0;
+  }
   if (show_json) {
     std::printf("%s\n", tools::TopJson(bed.kernel(), bed.nic(), max_flows).c_str());
     return 0;

@@ -856,6 +856,98 @@ std::string TopJson(const kernel::Kernel& k, const nic::SmartNic& nic,
   return out.str();
 }
 
+// ---- norman-prof --------------------------------------------------------------
+
+namespace {
+
+std::string ProfOwnerName(const kernel::Kernel& k, uint32_t pid) {
+  if (pid == 0) {
+    return "unowned";
+  }
+  if (pid == telemetry::Profiler::kOverflowPid) {
+    return "overflow";
+  }
+  const kernel::Process* proc = k.processes().Lookup(pid);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "pid %u (%s)", pid,
+                proc != nullptr ? proc->comm.c_str() : "?");
+  return buf;
+}
+
+}  // namespace
+
+std::string ProfByStage(const kernel::Kernel& k) {
+  const telemetry::Profiler& prof =
+      const_cast<kernel::Kernel&>(k).simulator()->profiler();
+  std::ostringstream out;
+  char line[200];
+  if (!prof.enabled()) {
+    out << "profiler: disabled (no attribution recorded)\n";
+  }
+  out << "cores (busy == attributed + unaccounted):\n";
+  std::snprintf(line, sizeof(line), "  %-14s %-5s %14s %14s %14s\n", "core",
+                "kind", "busy-ns", "attributed-ns", "unaccounted-ns");
+  out << line;
+  for (const auto& c : prof.CoreReports()) {
+    std::snprintf(
+        line, sizeof(line), "  %-14s %-5s %14llu %14llu %14llu\n",
+        c.name.c_str(),
+        c.kind == telemetry::Profiler::CoreKind::kNic ? "nic" : "host",
+        static_cast<unsigned long long>(c.busy_ns),
+        static_cast<unsigned long long>(c.attributed_ns),
+        static_cast<unsigned long long>(c.unaccounted_ns));
+    out << line;
+  }
+  out << "stages (attribution-context tree, per core):\n";
+  std::snprintf(line, sizeof(line), "  %-44s %-14s %14s %10s\n", "stack",
+                "core", "ns", "entries");
+  out << line;
+  for (const auto& s : prof.StackReports()) {
+    std::snprintf(line, sizeof(line), "  %-44s %-14s %14llu %10llu\n",
+                  s.stack.c_str(), s.core.empty() ? "-" : s.core.c_str(),
+                  static_cast<unsigned long long>(s.ns),
+                  static_cast<unsigned long long>(s.entries));
+    out << line;
+  }
+  return out.str();
+}
+
+std::string ProfByOwner(const kernel::Kernel& k) {
+  const telemetry::Profiler& prof =
+      const_cast<kernel::Kernel&>(k).simulator()->profiler();
+  std::ostringstream out;
+  char line[200];
+  if (!prof.enabled()) {
+    out << "profiler: disabled (no attribution recorded)\n";
+  }
+  out << "owners (cycle & resource attribution):\n";
+  std::snprintf(line, sizeof(line), "  %-24s %12s %12s %9s %12s %7s %8s\n",
+                "owner", "nic-ns", "host-ns", "pkts", "bytes", "drops",
+                "sram-B");
+  out << line;
+  for (const auto& o : prof.OwnerReports()) {
+    std::snprintf(line, sizeof(line),
+                  "  %-24s %12llu %12llu %9llu %12llu %7llu %8lld\n",
+                  ProfOwnerName(k, o.pid).c_str(),
+                  static_cast<unsigned long long>(o.nic_ns),
+                  static_cast<unsigned long long>(o.host_ns),
+                  static_cast<unsigned long long>(o.pkts),
+                  static_cast<unsigned long long>(o.bytes),
+                  static_cast<unsigned long long>(o.drops),
+                  static_cast<long long>(o.sram_bytes));
+    out << line;
+  }
+  return out.str();
+}
+
+std::string TopByPid(const kernel::Kernel& k) {
+  std::ostringstream out;
+  const Nanos now = const_cast<kernel::Kernel&>(k).simulator()->Now();
+  out << "norman-top --by-pid (virtual time " << FormatNanos(now) << ")\n";
+  out << ProfByOwner(k);
+  return out.str();
+}
+
 // ---- netstat ------------------------------------------------------------------
 
 std::string Netstat(const kernel::Kernel& k) {

@@ -85,6 +85,19 @@ std::string TopRender(const kernel::Kernel& k, const nic::SmartNic& nic,
 std::string TopJson(const kernel::Kernel& k, const nic::SmartNic& nic,
                     size_t max_flows = 10);
 
+// ---- norman-prof -----------------------------------------------------------
+// Dataplane cycle & resource attribution (src/common/profiler.h). ByStage
+// renders the per-core conservation table plus the attribution-context tree;
+// ByOwner renders the per-process resource ledger (cycles split by core
+// kind, packets, bytes, drops, SRAM). Both are byte-stable for a
+// deterministic run.
+std::string ProfByStage(const kernel::Kernel& k);
+std::string ProfByOwner(const kernel::Kernel& k);
+
+// The `norman-top --by-pid` view: the profiler's owner ledger framed as a
+// process dashboard.
+std::string TopByPid(const kernel::Kernel& k);
+
 // ---- norman-netstat --------------------------------------------------------
 // Connection table with owner annotations, like `netstat -tupn`.
 std::string Netstat(const kernel::Kernel& k);

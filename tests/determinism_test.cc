@@ -17,11 +17,14 @@ struct RunTrace {
   Nanos final_time = 0;
   std::vector<Nanos> completions;
   uint64_t events = 0;
+  // Profiler exports, captured when the run had attribution enabled.
+  std::string folded_stacks;
+  std::string prof_json;
 };
 
 RunTrace RunWorld(uint64_t seed, uint32_t trace_sample = 0,
                   bool monitor = false, bool fastpath = false,
-                  uint32_t dispatch_batch = 0) {
+                  uint32_t dispatch_batch = 0, bool profiler = false) {
   workload::TestBedOptions opts;
   opts.echo = true;
   if (monitor) {
@@ -34,6 +37,9 @@ RunTrace RunWorld(uint64_t seed, uint32_t trace_sample = 0,
     bed.sim().set_dispatch_batch(dispatch_batch);
   }
   bed.sim().tracer().set_sample_interval(trace_sample);
+  if (profiler) {
+    bed.sim().profiler().set_enabled(true);
+  }
   auto& k = bed.kernel();
   k.processes().AddUser(1, "u");
   const auto pid = *k.processes().Spawn(1, "app");
@@ -63,6 +69,10 @@ RunTrace RunWorld(uint64_t seed, uint32_t trace_sample = 0,
   trace.egress_bytes = bed.egress_bytes();
   trace.final_time = bed.sim().Now();
   trace.events = bed.sim().events_processed();
+  if (profiler) {
+    trace.folded_stacks = bed.sim().profiler().FoldedStacks();
+    trace.prof_json = bed.sim().profiler().JsonReport();
+  }
   return trace;
 }
 
@@ -191,6 +201,29 @@ TEST(DeterminismTest, GoldenTraceHoldsAtThisStatsLevel) {
   static_assert(telemetry::kStatsLevel == 0 || telemetry::kStatsLevel == 1,
                 "unknown stats tier");
   ExpectMatchesGolden(RunWorld(42));
+}
+
+// The profiler, like the tracer, is pure observation: no events, no RNG,
+// no virtual-time cost. With attribution fully enabled the trajectory must
+// still match the pre-telemetry golden bit-for-bit at every batch size —
+// and the profiler's own exports must be byte-stable across reruns.
+TEST(DeterminismTest, ProfilerOnMatchesGoldenTrace) {
+  for (const uint32_t batch : {1u, 8u, 64u}) {
+    SCOPED_TRACE("dispatch_batch=" + std::to_string(batch));
+    ExpectMatchesGolden(RunWorld(42, /*trace_sample=*/0, /*monitor=*/false,
+                                 /*fastpath=*/false, batch,
+                                 /*profiler=*/true));
+  }
+}
+
+TEST(DeterminismTest, ProfilerExportsAreByteStable) {
+  const RunTrace a = RunWorld(42, 0, false, /*fastpath=*/true, 0,
+                              /*profiler=*/true);
+  const RunTrace b = RunWorld(42, 0, false, /*fastpath=*/true, 0,
+                              /*profiler=*/true);
+  EXPECT_FALSE(a.prof_json.empty());
+  EXPECT_EQ(a.folded_stacks, b.folded_stacks);
+  EXPECT_EQ(a.prof_json, b.prof_json);
 }
 
 TEST(DeterminismTest, DifferentSeedsDifferentTraces) {
