@@ -274,11 +274,15 @@ BENCHMARK(BM_BuildUdpFrame);
 // `profiler` turns on full cycle attribution (scopes + owner ledger); the
 // profiler sweep in main() emits interleaved off/on pairs the gate holds
 // to PROFILER_TOLERANCE on paired cpu_s.
+// `probes` arms every kernel tracepoint (unfiltered); the probes sweep in
+// main() emits interleaved off/on pairs the gate holds to PROBES_TOLERANCE
+// on paired cpu_s — the "disarmed probes are one branch, armed probes are
+// cheap" claim, measured.
 void RunForwardingReport(uint32_t trace_sample, bool monitor,
                          bool fastpath = false, int filter_rules = 0,
                          uint32_t dispatch_batch =
                              sim::Simulator::kDefaultDispatchBatch,
-                         bool profiler = false) {
+                         bool profiler = false, bool probes = false) {
   workload::TestBedOptions opts;
   opts.echo = true;
   workload::TestBed bed(opts);
@@ -286,6 +290,9 @@ void RunForwardingReport(uint32_t trace_sample, bool monitor,
   bed.sim().tracer().set_sample_interval(trace_sample);
   if (profiler) {
     bed.sim().profiler().set_enabled(true);
+  }
+  if (probes) {
+    bed.sim().tracepoints().ArmAll();
   }
   bed.DiscardEgress();
   auto& k = bed.kernel();
@@ -344,7 +351,7 @@ void RunForwardingReport(uint32_t trace_sample, bool monitor,
   std::printf(
       "{\"bench\":\"forwarding_loop\",\"trace_sample\":%u,\"monitor\":%d,"
       "\"fastpath\":%d,\"filter_rules\":%d,"
-      "\"batch\":%u,\"stats_level\":%d,\"profiler\":%d,"
+      "\"batch\":%u,\"stats_level\":%d,\"profiler\":%d,\"probes\":%d,"
       "\"fastpath_hits\":%llu,\"fastpath_misses\":%llu,"
       "\"wall_s\":%.6f,\"cpu_s\":%.6f,"
       "\"events\":%llu,\"events_per_s\":%.0f,"
@@ -354,6 +361,7 @@ void RunForwardingReport(uint32_t trace_sample, bool monitor,
       "\"samples\":%llu,\"maintenance_ticks\":%llu}\n",
       trace_sample, monitor ? 1 : 0, fastpath ? 1 : 0, filter_rules,
       dispatch_batch, telemetry::kStatsLevel, profiler ? 1 : 0,
+      probes ? 1 : 0,
       static_cast<unsigned long long>(
           k.nic_control().flow_cache().hits()),
       static_cast<unsigned long long>(
@@ -420,6 +428,18 @@ int main(int argc, char** argv) {
                         /*dispatch_batch=*/1);
     RunForwardingReport(0, false, /*fastpath=*/false, /*filter_rules=*/0,
                         /*dispatch_batch=*/b);
+  }
+  // Tracepoint overhead: interleaved probes-disarmed / probes-armed pairs
+  // (every probe armed, no predicates — the worst case short of a trigger).
+  // Seven pairs, more than the profiler sweep: armed emits add ~3% and the
+  // gate sits at 5%, so the median needs two preempted runs of headroom.
+  for (int i = 0; i < 7; ++i) {
+    RunForwardingReport(0, false, /*fastpath=*/false, /*filter_rules=*/0,
+                        sim::Simulator::kDefaultDispatchBatch,
+                        /*profiler=*/false, /*probes=*/false);
+    RunForwardingReport(0, false, /*fastpath=*/false, /*filter_rules=*/0,
+                        sim::Simulator::kDefaultDispatchBatch,
+                        /*profiler=*/false, /*probes=*/true);
   }
   return 0;
 }

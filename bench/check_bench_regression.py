@@ -31,6 +31,13 @@ prints after the google-benchmark table) against the checked-in baseline:
      within PROFILER_TOLERANCE (default 5%) — full cycle attribution has
      to stay cheap enough to leave on. Rows carry a "profiler" field;
      profiler-on rows are excluded from checks 1-4.
+  6. tracepoint overhead: bench_micro emits alternating probes-disarmed /
+     probes-armed runs (every probe armed, no predicates); each armed run
+     is divided by the disarmed run that ran back-to-back with it and the
+     median pairwise cpu_s ratio must stay within PROBES_TOLERANCE
+     (default 5%) — always-on tracing only earns its keep if arming the
+     full probe set is nearly free. Rows carry a "probes" field;
+     probes-armed rows are excluded from checks 1-5.
 
 Override: set ALLOW_BENCH_REGRESSION=1 to turn failures into warnings —
 for landing a change that knowingly trades speed for capability. Record
@@ -52,6 +59,7 @@ MONITOR_TOLERANCE = 0.05     # monitor-on vs paired monitor-off run
 FASTPATH_MIN_SPEEDUP = 1.3   # cache-off / cache-on paired wall clocks
 BATCH_MIN_SPEEDUP = 0.90     # batch=1 / batch=N paired cpu clocks
 PROFILER_TOLERANCE = 0.05    # profiler-on vs paired profiler-off run
+PROBES_TOLERANCE = 0.05      # probes-armed vs paired probes-disarmed run
 DEFAULT_BATCH = 64           # rows without a "batch" field predate the sweep
 
 
@@ -77,6 +85,7 @@ def times(rows, trace_sample, monitor, field="wall_s", fastpath=0,
         and r.get("filter_rules", 0) == filter_rules
         and r.get("batch", DEFAULT_BATCH) == batch
         and r.get("profiler", 0) == 0
+        and r.get("probes", 0) == 0
         and field in r
     ]
 
@@ -97,6 +106,7 @@ def batch_pairs(rows):
         and r.get("fastpath", 0) == 0
         and r.get("filter_rules", 0) == 0
         and r.get("profiler", 0) == 0
+        and r.get("probes", 0) == 0
         and "cpu_s" in r
     ]
     return [
@@ -123,12 +133,39 @@ def profiler_pairs(rows):
         and r.get("fastpath", 0) == 0
         and r.get("filter_rules", 0) == 0
         and r.get("batch", DEFAULT_BATCH) == DEFAULT_BATCH
+        and r.get("probes", 0) == 0
         and "cpu_s" in r
     ]
     return [
         (a["cpu_s"], b["cpu_s"])
         for a, b in zip(plain, plain[1:])
         if a.get("profiler", 0) == 0 and b.get("profiler", 0) == 1
+    ]
+
+
+def probes_pairs(rows):
+    """(probes-disarmed cpu_s, probes-armed cpu_s) pairs in report order.
+
+    The tracepoint sweep emits each disarmed run immediately before its
+    armed partner at the default config, so adjacency in that row stream
+    recovers the pairing the same way profiler_pairs does.
+    """
+    plain = [
+        r
+        for r in rows
+        if r.get("bench") == "forwarding_loop"
+        and r.get("trace_sample") == 0
+        and r.get("monitor", 0) == 0
+        and r.get("fastpath", 0) == 0
+        and r.get("filter_rules", 0) == 0
+        and r.get("batch", DEFAULT_BATCH) == DEFAULT_BATCH
+        and r.get("profiler", 0) == 0
+        and "cpu_s" in r
+    ]
+    return [
+        (a["cpu_s"], b["cpu_s"])
+        for a, b in zip(plain, plain[1:])
+        if a.get("probes", 0) == 0 and b.get("probes", 0) == 1
     ]
 
 
@@ -139,6 +176,7 @@ def fastpath_rows(rows, fastpath):
         if r.get("bench") == "forwarding_loop"
         and r.get("fastpath", 0) == fastpath
         and r.get("filter_rules", 0) > 0
+        and r.get("probes", 0) == 0
         and "wall_s" in r
     ]
 
@@ -229,6 +267,20 @@ def main():
             failures.append(
                 f"cycle attribution costs {(ratio - 1) * 100:.1f}% "
                 f"(> {PROFILER_TOLERANCE * 100:.0f}% tolerance)")
+
+    tp = probes_pairs(report)
+    if not tp:
+        failures.append("missing probes armed/disarmed forwarding_loop lines")
+    else:
+        ratios = [on_ / off_ for off_, on_ in tp]
+        ratio = statistics.median(ratios)
+        print("tracepoint overhead per pair: "
+              + ", ".join(f"{(r - 1) * 100:+.1f}%" for r in ratios)
+              + f"; median {(ratio - 1) * 100:+.1f}%")
+        if ratio > 1 + PROBES_TOLERANCE:
+            failures.append(
+                f"armed tracepoints cost {(ratio - 1) * 100:.1f}% "
+                f"(> {PROBES_TOLERANCE * 100:.0f}% tolerance)")
 
     if failures:
         for f in failures:

@@ -1,0 +1,109 @@
+// Black-box flight recorder: trigger rules over the tracepoint stream that
+// freeze the rings and export a byte-stable postmortem bundle.
+//
+// The tracepoint journal answers "what happened" only if it is still there
+// when someone asks. The flight recorder watches every armed emit for a
+// matching trigger — "a watchdog component left healthy", "the first
+// corrupt-frame drop", "an SRAM allocation was refused" — and on the first
+// match latches: the rings freeze (preserving the decision sequence that
+// led up to the event), the firing record is pinned, and Bundle() renders
+// a postmortem — journal tail decoded to sorted JSON, metrics snapshot,
+// health alert log, profiler flamegraph — that is byte-identical across
+// runs of a deterministic world. The aviation black box, for a dataplane.
+//
+// Trigger evaluation costs nothing while no probe is armed (OnRecord is
+// only reachable from an armed emit) and observes only — no events, no
+// clock reads — so goldens hold with triggers installed.
+#ifndef NORMAN_COMMON_FLIGHT_RECORDER_H_
+#define NORMAN_COMMON_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/tracepoint.h"
+
+namespace norman::telemetry {
+
+class HealthWatchdog;
+class MetricsRegistry;
+class Profiler;
+
+// One armed trigger: fires on the first record of `probe` whose pinned
+// fields all match. Unset optionals match anything.
+struct TriggerRule {
+  std::string name;
+  Probe probe = Probe::kFilterVerdict;
+  std::optional<uint64_t> a0;
+  std::optional<uint64_t> a1;
+  uint32_t pid = 0;  // 0 = any
+
+  bool Matches(const TraceRecord& rec) const {
+    return rec.probe == static_cast<uint16_t>(probe) &&
+           (!a0.has_value() || rec.a0 == *a0) &&
+           (!a1.has_value() || rec.a1 == *a1) &&
+           (pid == 0 || rec.pid == pid);
+  }
+};
+
+class FlightRecorder {
+ public:
+  // Attaches itself to `tracepoints`; emitted records flow into OnRecord.
+  explicit FlightRecorder(Tracepoints* tracepoints);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // ---- trigger installation (cold) ---------------------------------------
+
+  // Installing a trigger arms its probe (keeping any existing predicate) —
+  // a trigger that cannot see its probe would never fire.
+  void AddTrigger(TriggerRule rule);
+
+  // The canned rules the norman_probe scenario ships with.
+  // Fires when any watchdog component leaves healthy (from == kHealthy; the
+  // watchdog only logs actual transitions, so to != kHealthy is implied).
+  void AddWatchdogUnhealthyTrigger();
+  // Fires on the first NIC drop with this DropReason (pass the enum value;
+  // untyped here so common/ stays free of nic/ headers).
+  void AddDropReasonTrigger(std::string name, uint64_t drop_reason);
+  // Fires the first time an SRAM allocation is refused.
+  void AddSramExhaustedTrigger();
+
+  // ---- the trigger engine ------------------------------------------------
+
+  // Called by Tracepoints for every appended record. First match wins:
+  // latches the trigger, freezes the rings.
+  void OnRecord(const TraceRecord& rec);
+
+  bool triggered() const { return triggered_; }
+  const std::string& fired_trigger() const { return fired_name_; }
+  const TraceRecord& fired_record() const { return fired_record_; }
+  const std::vector<TriggerRule>& triggers() const { return triggers_; }
+
+  // "name probe conditions state" lines in installation order; byte-stable.
+  std::string TriggersReport() const;
+
+  // ---- postmortem export (cold; byte-stable) ------------------------------
+
+  // {"trigger":...,"journal":[...],"metrics":...,"health":...,"flame":"..."}
+  // `watchdog` / `profiler` may be null (rendered as null members) so the
+  // bundle shape is stable across worlds with and without them.
+  std::string Bundle(const MetricsRegistry& metrics,
+                     const HealthWatchdog* watchdog,
+                     const Profiler* profiler) const;
+
+  // Clears the latch and unfreezes the rings; installed triggers survive.
+  void Reset();
+
+ private:
+  Tracepoints* tracepoints_;
+  std::vector<TriggerRule> triggers_;
+  bool triggered_ = false;
+  std::string fired_name_;
+  TraceRecord fired_record_{};
+};
+
+}  // namespace norman::telemetry
+
+#endif  // NORMAN_COMMON_FLIGHT_RECORDER_H_

@@ -181,6 +181,13 @@ void HealthWatchdog::LogTransition(Nanos now, const std::string& component,
   alert.reason = next.reason.empty() ? std::string("recovered") : next.reason;
   alerts_.push_back(std::move(alert));
   alerts_total_->Increment();
+  if (tp_ != nullptr) {
+    // a0 = state entered, a1 = state left; the flight recorder's canned
+    // "unhealthy" trigger matches a1 == kHealthy (any departure from green).
+    tp_->Emit(Probe::kWatchdogTransition, Tracepoints::kCoreHost, /*pid=*/0,
+              static_cast<uint64_t>(next.state),
+              static_cast<uint64_t>(prev.state));
+  }
 }
 
 void HealthWatchdog::Evaluate(Nanos now) {

@@ -25,6 +25,7 @@
 
 #include "src/common/metrics.h"
 #include "src/common/timeseries.h"
+#include "src/common/tracepoint.h"
 #include "src/common/units.h"
 
 namespace norman::telemetry {
@@ -92,6 +93,10 @@ class HealthWatchdog {
   uint64_t alerts_dropped() const { return alerts_dropped_; }
   size_t num_components() const { return components_.size(); }
 
+  // "watchdog.transition" probe hookup; fires on every logged transition,
+  // which is what the flight recorder's unhealthy trigger latches on.
+  void AttachTracepoints(Tracepoints* tp) { tp_ = tp; }
+
   // "component state owner [reason]" lines, sorted by component, followed by
   // the alert log; byte-stable for a deterministic run.
   std::string Render() const;
@@ -136,6 +141,7 @@ class HealthWatchdog {
   Gauge* gauge_healthy_;      // health.components.healthy
   Gauge* gauge_degraded_;     // health.components.degraded
   Gauge* gauge_stalled_;      // health.components.stalled
+  Tracepoints* tp_ = nullptr;
 };
 
 }  // namespace norman::telemetry

@@ -69,10 +69,12 @@ class Profiler {
   enum class CoreKind : uint8_t { kNic, kHost };
 
   // Dense attribution-cell bounds. Cores are registered at construction
-  // time (five today); owners are pids interned first-touch. Slot 0 is the
-  // unowned/system bucket (pid 0); pids beyond the cap fold into one
-  // explicit overflow slot rather than being dropped.
-  static constexpr uint32_t kMaxCores = 8;
+  // time (five per stack; a duplex world puts two full stacks — ten
+  // cores — on one simulator, so the cap must clear that). Owners are
+  // pids interned first-touch. Slot 0 is the unowned/system bucket
+  // (pid 0); pids beyond the cap fold into one explicit overflow slot
+  // rather than being dropped.
+  static constexpr uint32_t kMaxCores = 12;
   static constexpr uint32_t kMaxOwners = 32;
   static constexpr uint32_t kOverflowSlot = kMaxOwners - 1;
   static constexpr uint32_t kOverflowPid = UINT32_MAX;

@@ -9,12 +9,16 @@ namespace norman::telemetry {
 PacketTracer::PacketTracer(MetricsRegistry* registry, size_t capacity)
     : registry_(registry), ring_(capacity == 0 ? 1 : capacity) {
   NORMAN_CHECK(registry_ != nullptr);
+  dropped_counter_ = registry_->GetCounter("trace.dropped");
 }
 
 void PacketTracer::Record(uint32_t trace_id, std::string_view stage,
                           Nanos start, Nanos end) {
   if (trace_id == 0) {
     return;
+  }
+  if (total_ >= ring_.size()) {
+    dropped_counter_->Increment();  // overwrite: the oldest span is lost
   }
   ring_[total_ % ring_.size()] = TraceSpan{trace_id, stage, start, end};
   ++total_;

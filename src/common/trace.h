@@ -74,6 +74,9 @@ class PacketTracer {
   std::vector<TraceSpan> Spans() const;
 
   uint64_t total_recorded() const { return total_; }
+  // Spans overwritten by ring wrap; mirrored to the "trace.dropped"
+  // registry counter so dashboards see span loss without polling the
+  // tracer object.
   uint64_t dropped_spans() const {
     return total_ > ring_.size() ? total_ - ring_.size() : 0;
   }
@@ -94,6 +97,7 @@ class PacketTracer {
  private:
   MetricsRegistry* registry_;
   std::vector<TraceSpan> ring_;
+  Counter* dropped_counter_ = nullptr;  // trace.dropped
   uint64_t total_ = 0;
   uint32_t sample_interval_ = 0;
   uint64_t arrivals_ = 0;

@@ -87,7 +87,23 @@ nic::StageResult Conntrack::Process(net::Packet& packet,
   ++entry.packets;
   entry.bytes += packet.size();
   entry.last_seen = now;
+  const ConnState prev = entry.state;
   Advance(entry, tcp_flags, from_initiator);
+  if (tp_ != nullptr && entry.state != prev) {
+    // Canonical (first-packet) orientation, like the table key.
+    const telemetry::TraceFlow flow{
+        entry.tuple.src_ip.addr,
+        entry.tuple.dst_ip.addr,
+        entry.tuple.src_port,
+        entry.tuple.dst_port,
+        static_cast<uint8_t>(entry.tuple.proto),
+        ctx.direction == net::Direction::kTx ? telemetry::kDirTx
+                                             : telemetry::kDirRx};
+    tp_->Emit(telemetry::Probe::kConntrackTransition,
+              telemetry::Tracepoints::kCoreNic, ctx.conn.owner_pid,
+              static_cast<uint64_t>(entry.state), static_cast<uint64_t>(prev),
+              0, &flow);
+  }
   return result;
 }
 

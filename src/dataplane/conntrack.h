@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "src/common/tracepoint.h"
 #include "src/net/headers.h"
 #include "src/net/types.h"
 #include "src/nic/pipeline.h"
@@ -59,6 +60,9 @@ class Conntrack : public nic::PipelineStage {
   size_t size() const { return table_.size(); }
   uint64_t untracked() const { return untracked_; }
 
+  // "conntrack.transition" probe hookup.
+  void AttachTracepoints(telemetry::Tracepoints* tp) { tp_ = tp; }
+
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (const auto& [tuple, entry] : table_) {
@@ -74,6 +78,7 @@ class Conntrack : public nic::PipelineStage {
   std::unordered_map<net::FiveTuple, ConntrackEntry, net::FiveTupleHash>
       table_;
   uint64_t untracked_ = 0;
+  telemetry::Tracepoints* tp_ = nullptr;
 };
 
 }  // namespace norman::dataplane

@@ -234,6 +234,26 @@ nic::StageResult FilterEngine::Process(net::Packet& /*packet*/,
   NORMAN_CHECK(exec.ok()) << exec.status();
   const auto rule_index = static_cast<uint32_t>(exec->verdict >> 2);
   const auto action = static_cast<FilterAction>(exec->verdict & 0x3);
+  if (tp_ != nullptr && tp_->armed(telemetry::Probe::kFilterVerdict)) {
+    telemetry::TraceFlow flow{};
+    flow.dir = ctx.direction == net::Direction::kTx ? telemetry::kDirTx
+                                                    : telemetry::kDirRx;
+    // This runs once per packet per chain: walk the headers only if a
+    // predicate actually matches on the tuple.
+    if (tp_->wants_flow(telemetry::Probe::kFilterVerdict) &&
+        ctx.parsed != nullptr) {
+      if (const auto tuple = ctx.parsed->flow()) {
+        flow.src_ip = tuple->src_ip.addr;
+        flow.dst_ip = tuple->dst_ip.addr;
+        flow.src_port = tuple->src_port;
+        flow.dst_port = tuple->dst_port;
+        flow.proto = static_cast<uint8_t>(tuple->proto);
+      }
+    }
+    tp_->Emit(telemetry::Probe::kFilterVerdict, telemetry::Tracepoints::kCoreNic,
+              ctx.conn.owner_pid, static_cast<uint64_t>(action), rule_index,
+              exec->instructions_executed, &flow);
+  }
   if (rule_index == kDefaultRuleIndex) {
     ++default_hits_;
   } else if (rule_index < hits_.size()) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/tracepoint.h"
 #include "src/net/types.h"
 #include "src/nic/pipeline.h"
 #include "src/overlay/isa.h"
@@ -106,6 +107,9 @@ class FilterEngine : public nic::PipelineStage {
   nic::StageResult Process(net::Packet& packet,
                       const overlay::PacketContext& ctx) override;
 
+  // "filter.verdict" probe hookup.
+  void AttachTracepoints(telemetry::Tracepoints* tp) { tp_ = tp; }
+
  private:
   // Rebuilds the compiled program; on failure the ruleset must be restored
   // by the caller before returning.
@@ -126,6 +130,7 @@ class FilterEngine : public nic::PipelineStage {
   overlay::Program tcp_program_;
   overlay::Program udp_program_;
   overlay::Program icmp_program_;
+  telemetry::Tracepoints* tp_ = nullptr;
 };
 
 }  // namespace norman::dataplane

@@ -43,6 +43,12 @@ Kernel::Kernel(sim::Simulator* sim, nic::SmartNic* nic, Options options)
       std::make_unique<dataplane::OverlayStage>(nic_cp_.get(), kCustomTxSlot);
   custom_rx_ =
       std::make_unique<dataplane::OverlayStage>(nic_cp_.get(), kCustomRxSlot);
+  // Probe hookup: the kernel owns the interposition stages, so it is the
+  // one place every decision site can be armed from.
+  filter_input_->AttachTracepoints(&sim_->tracepoints());
+  filter_output_->AttachTracepoints(&sim_->tracepoints());
+  conntrack_->AttachTracepoints(&sim_->tracepoints());
+  watchdog_->AttachTracepoints(&sim_->tracepoints());
   arp_->SetReplyInjector([this](net::PacketPtr reply) {
     nic_->InjectHostPacket(std::move(reply), sim_->Now());
   });
@@ -174,6 +180,11 @@ Status Kernel::RequireRoot(Uid caller) const {
 StatusOr<AppPort> Kernel::Connect(Pid pid, net::Ipv4Address remote_ip,
                                   uint16_t remote_port,
                                   const ConnectOptions& opts) {
+  // Socket-surface probes fire at call entry (strace semantics: the
+  // syscall is traced whether or not it succeeds).
+  sim_->tracepoints().Emit(
+      telemetry::Probe::kSocketCall, telemetry::Tracepoints::kCoreHost, pid,
+      static_cast<uint64_t>(telemetry::SocketOp::kConnect), remote_port);
   Process* proc = processes_.Lookup(pid);
   if (proc == nullptr || proc->state == ProcessState::kExited) {
     return NotFoundError("connect: no such process");
@@ -229,6 +240,12 @@ StatusOr<AppPort> Kernel::Connect(Pid pid, net::Ipv4Address remote_ip,
 }
 
 Status Kernel::Close(net::ConnectionId conn_id) {
+  const auto owner_it = conn_owner_pid_.find(conn_id);
+  sim_->tracepoints().Emit(
+      telemetry::Probe::kSocketCall, telemetry::Tracepoints::kCoreHost,
+      owner_it == conn_owner_pid_.end() ? 0 : owner_it->second,
+      static_cast<uint64_t>(telemetry::SocketOp::kClose),
+      static_cast<uint64_t>(conn_id));
   waiters_.erase(conn_id);
   conn_owner_pid_.erase(conn_id);
   if (rate_limits_.erase(conn_id) > 0) {
@@ -242,6 +259,9 @@ Status Kernel::Close(net::ConnectionId conn_id) {
 
 Status Kernel::Listen(Pid pid, uint16_t local_port, net::IpProto proto,
                       const ConnectOptions& accept_opts) {
+  sim_->tracepoints().Emit(
+      telemetry::Probe::kSocketCall, telemetry::Tracepoints::kCoreHost, pid,
+      static_cast<uint64_t>(telemetry::SocketOp::kListen), local_port);
   Process* proc = processes_.Lookup(pid);
   if (proc == nullptr || proc->state == ProcessState::kExited) {
     return NotFoundError("listen: no such process");
@@ -259,6 +279,9 @@ Status Kernel::Listen(Pid pid, uint16_t local_port, net::IpProto proto,
 }
 
 StatusOr<AppPort> Kernel::Accept(Pid pid, uint16_t local_port) {
+  sim_->tracepoints().Emit(
+      telemetry::Probe::kSocketCall, telemetry::Tracepoints::kCoreHost, pid,
+      static_cast<uint64_t>(telemetry::SocketOp::kAccept), local_port);
   for (auto& [key, state] : listeners_) {
     if (key.first != local_port) {
       continue;
@@ -298,6 +321,12 @@ Status Kernel::StopListening(Pid pid, uint16_t local_port) {
 }
 
 void Kernel::HandleHostPacket(net::PacketPtr packet, net::Direction dir) {
+  sim_->tracepoints().Emit(
+      telemetry::Probe::kSlowPath, telemetry::Tracepoints::kCoreHost,
+      packet->meta().owner_pid,
+      static_cast<uint64_t>(telemetry::SlowPathOp::kHostDeliver),
+      dir == net::Direction::kTx ? telemetry::kDirTx : telemetry::kDirRx,
+      packet->size());
   if (dir == net::Direction::kTx) {
     // A TX packet diverted by a FALLBACK rule: it already traversed the
     // interposition pipeline; re-inject for transmission. The NIC treats
@@ -645,6 +674,10 @@ Status Kernel::SoftwareTransmit(net::ConnectionId conn_id,
   telemetry::ProfScope slow_scope(prof_, prof_slow_site_);
   const uint32_t owner_pid = it->second.owner.owner_pid;
   packet->meta().owner_pid = owner_pid;
+  sim_->tracepoints().Emit(
+      telemetry::Probe::kSlowPath, telemetry::Tracepoints::kCoreHost,
+      owner_pid, static_cast<uint64_t>(telemetry::SlowPathOp::kSoftTransmit),
+      static_cast<uint64_t>(conn_id), packet->size());
   const auto& cost = nic_->cost();
   const Nanos cpu = cost.syscall_ns + cost.kernel_stack_per_packet_ns +
                     cost.CopyCost(packet->size());

@@ -4,6 +4,17 @@ namespace norman::nic {
 
 namespace {
 const std::string kSramCategory = "flow_cache";
+
+telemetry::TraceFlow FlowOf(const FlowCacheKey& key) {
+  return telemetry::TraceFlow{
+      key.tuple.src_ip.addr,
+      key.tuple.dst_ip.addr,
+      key.tuple.src_port,
+      key.tuple.dst_port,
+      static_cast<uint8_t>(key.tuple.proto),
+      key.direction == net::Direction::kTx ? telemetry::kDirTx
+                                           : telemetry::kDirRx};
+}
 }  // namespace
 
 FlowCache::FlowCache(SramAllocator* sram, telemetry::MetricsRegistry* registry)
@@ -40,7 +51,14 @@ void FlowCache::Invalidate() {
   // The epoch advances even while disabled so that entries minted before a
   // Disable/Enable cycle can never resurrect stale configuration.
   ++epoch_;
-  if (enabled_) invalidations_->Increment();
+  if (enabled_) {
+    invalidations_->Increment();
+    if (tp_ != nullptr) {
+      tp_->Emit(telemetry::Probe::kFlowCacheInvalidate,
+                telemetry::Tracepoints::kCoreNic, /*pid=*/0, epoch_,
+                map_.size());
+    }
+  }
 }
 
 const FlowCacheEntry* FlowCache::Lookup(const FlowCacheKey& key) {
@@ -78,16 +96,28 @@ void FlowCache::Insert(const FlowCacheKey& key, FlowCacheEntry entry) {
   map_.emplace(key, lru_.begin());
   entries_->Set(static_cast<int64_t>(map_.size()));
   sram_gauge_->Set(static_cast<int64_t>(sram_bytes()));
+  if (tp_ != nullptr) {
+    const telemetry::TraceFlow flow = FlowOf(key);
+    tp_->Emit(telemetry::Probe::kFlowCacheInstall,
+              telemetry::Tracepoints::kCoreNic, /*pid=*/0, epoch_,
+              map_.size(), 0, &flow);
+  }
 }
 
 void FlowCache::EvictOne() {
   if (lru_.empty()) return;
+  const telemetry::TraceFlow flow = FlowOf(lru_.back().first);
   map_.erase(lru_.back().first);
   lru_.pop_back();
   sram_->Free(kSramCategory, kFlowCacheEntryBytes);
   evictions_->Increment();
   entries_->Set(static_cast<int64_t>(map_.size()));
   sram_gauge_->Set(static_cast<int64_t>(sram_bytes()));
+  if (tp_ != nullptr) {
+    tp_->Emit(telemetry::Probe::kFlowCacheEvict,
+              telemetry::Tracepoints::kCoreNic, /*pid=*/0, map_.size(), 0, 0,
+              &flow);
+  }
 }
 
 void FlowCache::Erase(const FlowCacheKey& key) {

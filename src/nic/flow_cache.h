@@ -124,6 +124,9 @@ class FlowCache {
   // unsupported rewrite shape, fallback verdict). Counted by the NIC.
   void RecordUncacheable() { uncacheable_->Increment(); }
 
+  // "flowcache.{install,evict,invalidate}" probe hookup.
+  void AttachTracepoints(telemetry::Tracepoints* tp) { tp_ = tp; }
+
   // Accounting for a burst drain that replays the entry its previous packet
   // just hit, without re-walking the map (see SmartNic::ConsumeTxRing). The
   // hit counter stays exact; the LRU touch coalesces away, which is
@@ -154,6 +157,7 @@ class FlowCache {
   telemetry::Counter* uncacheable_;    // fastpath.uncacheable
   telemetry::Gauge* entries_;          // fastpath.entries
   telemetry::Gauge* sram_gauge_;       // fastpath.sram_bytes
+  telemetry::Tracepoints* tp_ = nullptr;
 };
 
 }  // namespace norman::nic

@@ -104,6 +104,24 @@ void NicStats::RecordDrop(net::Direction dir, DropReason reason,
   if (prof_ != nullptr && prof_->enabled()) {
     prof_->CountDrop(prof_->OwnerSlot(owner_pid));
   }
+  if (tp_ != nullptr) {
+    // Every drop class routes through here (single choke point), so this
+    // one emit covers the qdisc/rate-limit, ring-full and generic drop
+    // probes; the reason rides in a0 for trigger matching.
+    using telemetry::Probe;
+    const Probe probe =
+        reason == DropReason::kSchedOverflow ||
+                reason == DropReason::kRateLimited
+            ? Probe::kQdiscDrop
+            : reason == DropReason::kRingFull ? Probe::kRingFull
+                                              : Probe::kNicDrop;
+    const telemetry::TraceFlow flow{
+        .dir = dir == net::Direction::kTx ? telemetry::kDirTx
+                                          : telemetry::kDirRx};
+    tp_->Emit(probe, telemetry::Tracepoints::kCoreNic, owner_pid,
+              static_cast<uint64_t>(reason), static_cast<uint64_t>(flow.dir),
+              0, &flow);
+  }
 }
 
 void NicStats::Reset() {
@@ -158,6 +176,11 @@ SmartNic::SmartNic(sim::Simulator* sim, Options options)
   prof_core_wire_ = prof_->RegisterCore(
       "nic.wire", Profiler::CoreKind::kNic, [this] { return wire_.busy_ns(); });
   stats_.AttachProfiler(prof_);
+  // Probe-point hookup mirrors the profiler's: attachment is unconditional
+  // and cold; disarmed probes stay a single branch on the emit path.
+  stats_.AttachTracepoints(&sim->tracepoints());
+  sram_.AttachTracepoints(&sim->tracepoints());
+  flow_cache_.AttachTracepoints(&sim->tracepoints());
   // NIC-side fault instrumentation, eagerly registered so the metric
   // manifest is shape-stable whether or not a chaos campaign ever runs.
   fault_sram_pressure_gauge_ = sim->metrics().GetGauge(
@@ -891,6 +914,11 @@ void SmartNic::PostNotification(const FlowEntry& entry, NotificationKind kind,
     stalled_notifications_.emplace_back(entry.owner.owner_pid,
                                         Notification{kind, entry.conn_id, now});
     fault_notify_deferred_->Increment();
+    sim_->tracepoints().Emit(telemetry::Probe::kNotifyStall,
+                             telemetry::Tracepoints::kCoreNic,
+                             entry.owner.owner_pid,
+                             stalled_notifications_.size(),
+                             static_cast<uint64_t>(kind));
     return;
   }
   const auto it = notif_queues_.find(entry.owner.owner_pid);

@@ -32,6 +32,7 @@
 #include "src/common/metrics.h"
 #include "src/common/profiler.h"
 #include "src/common/status.h"
+#include "src/common/tracepoint.h"
 #include "src/common/units.h"
 #include "src/net/packet.h"
 #include "src/net/parsed_packet.h"
@@ -122,6 +123,10 @@ class NicStats {
   // Mirror drops into the cycle-attribution owner ledger (attr.*.drops).
   void AttachProfiler(telemetry::Profiler* prof) { prof_ = prof; }
 
+  // Mirror drops into the tracepoint stream: qdisc/rate-limit drops emit
+  // "qdisc.drop", ring-full drops "ring.full", everything else "nic.drop".
+  void AttachTracepoints(telemetry::Tracepoints* tp) { tp_ = tp; }
+
   // Zero this NIC's counters and ledger (registrations survive; other
   // metrics in the registry are untouched).
   void Reset();
@@ -145,6 +150,7 @@ class NicStats {
   // (direction, reason, pid) -> count. Ordered map for stable output.
   std::map<std::tuple<uint8_t, uint8_t, uint32_t>, uint64_t> ledger_;
   telemetry::Profiler* prof_ = nullptr;
+  telemetry::Tracepoints* tp_ = nullptr;
   // Backing registry, kept so TxBurst accumulators register as pending
   // (reports and simulator teardown flush them; see MetricsRegistry).
   telemetry::MetricsRegistry* registry_ = nullptr;

@@ -15,6 +15,7 @@
 
 #include "src/common/metrics.h"
 #include "src/common/status.h"
+#include "src/common/tracepoint.h"
 
 namespace norman::nic {
 
@@ -30,6 +31,11 @@ class SramAllocator {
   // Charges `bytes` to the named category (e.g. "flow_table", "qdisc").
   Status Allocate(const std::string& category, uint64_t bytes) {
     if (bytes > available()) {
+      if (tp_ != nullptr) {
+        tp_->Emit(telemetry::Probe::kSramExhausted,
+                  telemetry::Tracepoints::kCoreNic, /*pid=*/0, bytes,
+                  available());
+      }
       return ResourceExhaustedError(
           "NIC SRAM exhausted: need " + std::to_string(bytes) + "B, have " +
           std::to_string(available()) + "B (category " + category + ")");
@@ -37,6 +43,10 @@ class SramAllocator {
     used_ += bytes;
     by_category_[category] += bytes;
     if (gauges_ != nullptr) gauges_->Set(static_cast<int64_t>(used_));
+    if (tp_ != nullptr) {
+      tp_->Emit(telemetry::Probe::kSramAlloc, telemetry::Tracepoints::kCoreNic,
+                /*pid=*/0, bytes, used_);
+    }
     return OkStatus();
   }
 
@@ -58,6 +68,10 @@ class SramAllocator {
     if (gauges_ != nullptr) gauges_->Set(static_cast<int64_t>(used_));
   }
 
+  // "sram.alloc" / "sram.exhausted" probe hookup (same attachment pattern
+  // as the gauges; the allocator has no simulator pointer of its own).
+  void AttachTracepoints(telemetry::Tracepoints* tp) { tp_ = tp; }
+
   uint64_t UsedBy(const std::string& category) const {
     const auto it = by_category_.find(category);
     return it == by_category_.end() ? 0 : it->second;
@@ -72,6 +86,7 @@ class SramAllocator {
   uint64_t used_ = 0;
   std::map<std::string, uint64_t> by_category_;
   telemetry::QueueDepthGauges* gauges_ = nullptr;
+  telemetry::Tracepoints* tp_ = nullptr;
 };
 
 }  // namespace norman::nic

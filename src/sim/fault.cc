@@ -10,6 +10,16 @@
 
 namespace norman::sim {
 
+namespace {
+// "fault.inject" probe: a0 = which fault activated, a1 = link index.
+void EmitFault(Simulator* sim, telemetry::FaultActivation kind, size_t link) {
+  sim->tracepoints().Emit(telemetry::Probe::kFaultInject,
+                          telemetry::Tracepoints::kCoreNic, /*pid=*/0,
+                          static_cast<uint64_t>(kind),
+                          static_cast<uint64_t>(link));
+}
+}  // namespace
+
 FaultInjector::FaultInjector(Simulator* sim, uint64_t seed) : sim_(sim) {
   // Each link gets an independent RNG stream expanded from the one seed, so
   // traffic on link 0 never perturbs the dice on link 1.
@@ -83,6 +93,7 @@ void FaultInjector::Transmit(size_t link, net::PacketPtr packet, Nanos when) {
   if (!link_up(link, when)) {
     l.stats.dropped_link_down++;
     injected_link_down_->Increment();
+    EmitFault(sim_, telemetry::FaultActivation::kLinkDown, link);
     return;  // the frame evaporates; the PacketPtr returns to its pool
   }
   if (!l.profile.active()) {
@@ -94,6 +105,7 @@ void FaultInjector::Transmit(size_t link, net::PacketPtr packet, Nanos when) {
   if (l.profile.loss > 0.0 && l.rng.NextBool(l.profile.loss)) {
     l.stats.lost++;
     injected_loss_->Increment();
+    EmitFault(sim_, telemetry::FaultActivation::kLoss, link);
     return;
   }
   if (l.profile.duplication > 0.0 && l.rng.NextBool(l.profile.duplication)) {
@@ -105,6 +117,7 @@ void FaultInjector::Transmit(size_t link, net::PacketPtr packet, Nanos when) {
     dup->meta() = packet->meta();
     l.stats.duplicated++;
     injected_duplicate_->Increment();
+    EmitFault(sim_, telemetry::FaultActivation::kDuplicate, link);
     Deliver(l, std::move(dup), when);
   }
   if (l.profile.corruption > 0.0 && l.rng.NextBool(l.profile.corruption)) {
@@ -117,6 +130,7 @@ void FaultInjector::Transmit(size_t link, net::PacketPtr packet, Nanos when) {
     if (extra > 0) {
       l.stats.jittered++;
       injected_jitter_->Increment();
+      EmitFault(sim_, telemetry::FaultActivation::kJitter, link);
       t += extra;
     }
   }
@@ -124,6 +138,7 @@ void FaultInjector::Transmit(size_t link, net::PacketPtr packet, Nanos when) {
       l.rng.NextBool(l.profile.reorder)) {
     l.stats.reordered++;
     injected_reorder_->Increment();
+    EmitFault(sim_, telemetry::FaultActivation::kReorder, link);
     t += l.profile.reorder_delay;
   }
   Deliver(l, std::move(packet), t);
@@ -155,6 +170,8 @@ void FaultInjector::Corrupt(Link& link, net::Packet& packet) {
   packet.InvalidateParse();
   link.stats.corrupted++;
   injected_corrupt_->Increment();
+  EmitFault(sim_, telemetry::FaultActivation::kCorrupt,
+            static_cast<size_t>(&link - links_.data()));
 }
 
 uint64_t FaultInjector::frames_lost() const {

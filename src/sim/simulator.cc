@@ -6,6 +6,12 @@
 
 namespace norman::sim {
 
+Simulator::Simulator() {
+  // Tracepoint records carry virtual timestamps; the clock indirection is
+  // only paid on the armed emit path.
+  tracepoints_.SetClock(&now_);
+}
+
 Simulator::~Simulator() {
   // Fold any still-live BatchedCounter accumulators into their backing
   // counters so teardown-order observers (and a final partial burst) can

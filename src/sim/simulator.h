@@ -21,10 +21,12 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/flight_recorder.h"
 #include "src/common/metrics.h"
 #include "src/common/profiler.h"
 #include "src/common/stats.h"
 #include "src/common/trace.h"
+#include "src/common/tracepoint.h"
 #include "src/common/units.h"
 
 namespace norman::sim {
@@ -133,7 +135,7 @@ class Simulator {
  public:
   using Callback = InlineCallback;
 
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
   ~Simulator();
@@ -218,6 +220,14 @@ class Simulator {
   // profiler().set_enabled(true)).
   telemetry::Profiler& profiler() { return profiler_; }
   const telemetry::Profiler& profiler() const { return profiler_; }
+  // Armable probe points + the black-box trigger engine riding on them
+  // (all probes disarmed by default; see tracepoint.h).
+  telemetry::Tracepoints& tracepoints() { return tracepoints_; }
+  const telemetry::Tracepoints& tracepoints() const { return tracepoints_; }
+  telemetry::FlightRecorder& flight_recorder() { return flight_recorder_; }
+  const telemetry::FlightRecorder& flight_recorder() const {
+    return flight_recorder_;
+  }
 
  private:
   struct EventNode {
@@ -266,6 +276,8 @@ class Simulator {
   telemetry::MetricsRegistry metrics_;
   telemetry::PacketTracer tracer_{&metrics_};
   telemetry::Profiler profiler_;
+  telemetry::Tracepoints tracepoints_{&metrics_};
+  telemetry::FlightRecorder flight_recorder_{&tracepoints_};
   // Root attribution frame: every StepBatch() pass runs under "dispatch",
   // so device scopes (nic.tx, kernel.slow_path, ...) nest beneath it.
   telemetry::ProfSite dispatch_site_{"dispatch"};

@@ -17,8 +17,8 @@
 // component through degraded -> stalled -> recovered and the alert log
 // keeps every transition.
 //
-// Usage: norman_top [--json] [--text] [--chaos] [--series-out FILE]
-//                   [--flows N]
+// Usage: norman_top [--json] [--text] [--by-pid] [--alerts] [--chaos]
+//                   [--series-out FILE] [--flows N]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -126,6 +126,7 @@ int Main(int argc, char** argv) {
   bool show_json = false;
   bool show_text = false;
   bool by_pid = false;
+  bool alerts = false;
   bool chaos = false;
   std::string series_path;
   size_t max_flows = 10;
@@ -138,6 +139,8 @@ int Main(int argc, char** argv) {
       show_text = true;
     } else if (arg == "--by-pid") {
       by_pid = true;
+    } else if (arg == "--alerts") {
+      alerts = true;
     } else if (arg == "--chaos") {
       chaos = true;
     } else if (arg == "--series-out" && i + 1 < argc) {
@@ -146,8 +149,8 @@ int Main(int argc, char** argv) {
       max_flows = std::strtoul(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json] [--text] [--by-pid] [--chaos] "
-                   "[--series-out FILE] [--flows N]\n",
+                   "usage: %s [--json] [--text] [--by-pid] [--alerts] "
+                   "[--chaos] [--series-out FILE] [--flows N]\n",
                    argv[0]);
       return 2;
     }
@@ -183,6 +186,10 @@ int Main(int argc, char** argv) {
 
   if (by_pid) {
     std::printf("%s", tools::TopByPid(bed.kernel()).c_str());
+    return 0;
+  }
+  if (alerts) {
+    std::printf("%s", tools::TopAlerts(bed.kernel()).c_str());
     return 0;
   }
   if (show_json) {

@@ -795,6 +795,26 @@ std::string TopRender(const kernel::Kernel& k, const nic::SmartNic& nic,
   for (std::string hline; std::getline(health, hline);) {
     out << "  " << hline << "\n";
   }
+  std::snprintf(line, sizeof(line), "  alerts dropped: %llu\n",
+                static_cast<unsigned long long>(k.watchdog().alerts_dropped()));
+  out << line;
+  return out.str();
+}
+
+std::string TopAlerts(const kernel::Kernel& k) {
+  std::ostringstream out;
+  char line[224];
+  const telemetry::HealthWatchdog& dog = k.watchdog();
+  out << "alerts (" << dog.alerts().size() << " kept, "
+      << dog.alerts_dropped() << " dropped):\n";
+  for (const telemetry::HealthAlert& a : dog.alerts()) {
+    std::snprintf(line, sizeof(line), "  t=%-12lld %-10s %s->%s owner=%s  %s\n",
+                  static_cast<long long>(a.t), a.component.c_str(),
+                  telemetry::HealthStateName(a.from),
+                  telemetry::HealthStateName(a.to), a.owner.c_str(),
+                  a.reason.c_str());
+    out << line;
+  }
   return out.str();
 }
 

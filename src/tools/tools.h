@@ -85,6 +85,11 @@ std::string TopRender(const kernel::Kernel& k, const nic::SmartNic& nic,
 std::string TopJson(const kernel::Kernel& k, const nic::SmartNic& nic,
                     size_t max_flows = 10);
 
+// The `norman-top --alerts` view: just the health watchdog's alert log
+// (every logged state transition, oldest first) plus the drop count for
+// entries the bounded log already evicted.
+std::string TopAlerts(const kernel::Kernel& k);
+
 // ---- norman-prof -----------------------------------------------------------
 // Dataplane cycle & resource attribution (src/common/profiler.h). ByStage
 // renders the per-core conservation table plus the attribution-context tree;

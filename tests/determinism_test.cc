@@ -20,11 +20,14 @@ struct RunTrace {
   // Profiler exports, captured when the run had attribution enabled.
   std::string folded_stacks;
   std::string prof_json;
+  // Tracepoint journal, captured when the run had every probe armed.
+  std::string journal_json;
 };
 
 RunTrace RunWorld(uint64_t seed, uint32_t trace_sample = 0,
                   bool monitor = false, bool fastpath = false,
-                  uint32_t dispatch_batch = 0, bool profiler = false) {
+                  uint32_t dispatch_batch = 0, bool profiler = false,
+                  bool tracepoints = false) {
   workload::TestBedOptions opts;
   opts.echo = true;
   if (monitor) {
@@ -39,6 +42,9 @@ RunTrace RunWorld(uint64_t seed, uint32_t trace_sample = 0,
   bed.sim().tracer().set_sample_interval(trace_sample);
   if (profiler) {
     bed.sim().profiler().set_enabled(true);
+  }
+  if (tracepoints) {
+    bed.sim().tracepoints().ArmAll();
   }
   auto& k = bed.kernel();
   k.processes().AddUser(1, "u");
@@ -72,6 +78,9 @@ RunTrace RunWorld(uint64_t seed, uint32_t trace_sample = 0,
   if (profiler) {
     trace.folded_stacks = bed.sim().profiler().FoldedStacks();
     trace.prof_json = bed.sim().profiler().JsonReport();
+  }
+  if (tracepoints) {
+    trace.journal_json = bed.sim().tracepoints().JournalJson();
   }
   return trace;
 }
@@ -224,6 +233,50 @@ TEST(DeterminismTest, ProfilerExportsAreByteStable) {
   EXPECT_FALSE(a.prof_json.empty());
   EXPECT_EQ(a.folded_stacks, b.folded_stacks);
   EXPECT_EQ(a.prof_json, b.prof_json);
+}
+
+// Armed tracepoints, like the tracer and the profiler, are pure
+// observation: no events, no RNG, no virtual-time cost, no steady-state
+// allocation. With every probe armed the trajectory must match the
+// pre-telemetry golden bit-for-bit at batch sizes 1, 8 and 64 — and at
+// whichever stats tier this binary was built (at NORMAN_STATS_LEVEL=0 the
+// emits compile away entirely, so the golden holds trivially).
+TEST(DeterminismTest, TracepointsArmedMatchesGoldenTrace) {
+  for (const uint32_t batch : {1u, 8u, 64u}) {
+    SCOPED_TRACE("dispatch_batch=" + std::to_string(batch));
+    ExpectMatchesGolden(RunWorld(42, /*trace_sample=*/0, /*monitor=*/false,
+                                 /*fastpath=*/false, batch,
+                                 /*profiler=*/false, /*tracepoints=*/true));
+  }
+}
+
+// Same pinning over the fast-path trajectory, where the flow-cache probes
+// (install/evict/invalidate) actually fire.
+TEST(DeterminismTest, TracepointsArmedFastPathGoldenHolds) {
+  for (const uint32_t batch : {1u, 8u, 64u}) {
+    SCOPED_TRACE("dispatch_batch=" + std::to_string(batch));
+    const RunTrace t = RunWorld(42, /*trace_sample=*/0, /*monitor=*/false,
+                                /*fastpath=*/true, batch,
+                                /*profiler=*/false, /*tracepoints=*/true);
+    EXPECT_EQ(t.egress_frames, 413u);
+    EXPECT_EQ(t.egress_bytes, 202446u);
+    ASSERT_EQ(t.completions.size(), 413u);
+    EXPECT_EQ(Fnv1aHash(t.completions), 12554163209316526794ULL);
+    EXPECT_EQ(t.final_time, 5052014);
+  }
+}
+
+// The decoded journal itself must be byte-stable across reruns — the
+// postmortem bundle's core section rests on this.
+TEST(DeterminismTest, TracepointsJournalIsByteStable) {
+  const RunTrace a = RunWorld(42, 0, /*monitor=*/true, /*fastpath=*/true, 0,
+                              /*profiler=*/false, /*tracepoints=*/true);
+  const RunTrace b = RunWorld(42, 0, /*monitor=*/true, /*fastpath=*/true, 0,
+                              /*profiler=*/false, /*tracepoints=*/true);
+  if (telemetry::kHotStatsEnabled) {
+    EXPECT_GT(a.journal_json.size(), 2u);  // more than "[]"
+  }
+  EXPECT_EQ(a.journal_json, b.journal_json);
 }
 
 TEST(DeterminismTest, DifferentSeedsDifferentTraces) {

@@ -165,6 +165,70 @@ TEST(WatchdogTest, StalledQueueDegradesThenStallsThenRecovers) {
   EXPECT_EQ(reg.GetGauge("health.components.healthy")->value(), 1);
 }
 
+TEST(WatchdogTest, AlertLogOverflowEvictsOldestFirst) {
+  telemetry::MetricsRegistry reg;
+  auto* depth = reg.GetGauge("queue.test.depth");
+  telemetry::TimeSeriesSampler sampler(&reg);
+  telemetry::HealthWatchdog::Options opts;
+  opts.max_alerts = 4;
+  telemetry::HealthWatchdog dog(&sampler, &reg, opts);
+  dog.AddQueueStallRule("test.q", "queue.test.depth", "o", /*windows=*/3, 1);
+
+  Nanos t = 0;
+  auto window = [&](int64_t d) {
+    depth->Set(d);
+    t += kMillisecond;
+    sampler.Sample(t);
+    dog.Evaluate(t);
+  };
+  // Each stall/drain cycle logs degraded, stalled, recovered — three
+  // cycles log 9 alerts against a bound of 4.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    window(5);
+    window(5);  // degraded
+    window(6);  // stalled
+    window(0);  // recovered
+  }
+  EXPECT_EQ(dog.alerts().size(), 4u);
+  EXPECT_EQ(dog.alerts_dropped(), 5u);
+  // The registry counter still counts every transition ever logged.
+  EXPECT_EQ(reg.GetCounter("health.alerts")->value(), 9u);
+  // Oldest-first eviction: the survivors are the newest four (cycle 2's
+  // recovery at t=8ms, then all of cycle 3), in chronological order.
+  EXPECT_EQ(dog.alerts().front().t, 8 * kMillisecond);
+  EXPECT_EQ(dog.alerts().front().to, HealthState::kHealthy);
+  EXPECT_EQ(dog.alerts().back().t, 12 * kMillisecond);
+  for (size_t i = 1; i < dog.alerts().size(); ++i) {
+    EXPECT_LT(dog.alerts()[i - 1].t, dog.alerts()[i].t);
+  }
+}
+
+TEST(WatchdogTest, StalledHealthyStalledFlapLogsDistinctAlerts) {
+  telemetry::MetricsRegistry reg;
+  auto* down = reg.GetGauge("fault.link.down");
+  telemetry::TimeSeriesSampler sampler(&reg);
+  telemetry::HealthWatchdog dog(&sampler, &reg);
+  dog.AddLinkDownRule("link", "fault.link.down", "net.wire");
+
+  Nanos t = 0;
+  auto window = [&](int64_t v) {
+    down->Set(v);
+    t += kMillisecond;
+    sampler.Sample(t);
+    dog.Evaluate(t);
+  };
+  window(1);  // stalled
+  window(0);  // recovered
+  window(1);  // stalled again: a distinct alert, not a dedup
+  ASSERT_EQ(dog.alerts().size(), 3u);
+  EXPECT_EQ(dog.alerts()[0].to, HealthState::kStalled);
+  EXPECT_EQ(dog.alerts()[1].to, HealthState::kHealthy);
+  EXPECT_EQ(dog.alerts()[1].reason, "recovered");
+  EXPECT_EQ(dog.alerts()[2].to, HealthState::kStalled);
+  EXPECT_NE(dog.alerts()[0].t, dog.alerts()[2].t);
+  EXPECT_EQ(dog.alerts_dropped(), 0u);
+}
+
 TEST(WatchdogTest, DrainingQueueIsNotAStall) {
   telemetry::MetricsRegistry reg;
   auto* depth = reg.GetGauge("queue.test.depth");
