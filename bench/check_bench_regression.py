@@ -39,6 +39,15 @@ prints after the google-benchmark table) against the checked-in baseline:
      full probe set is nearly free. Rows carry a "probes" field;
      probes-armed rows are excluded from checks 1-5.
 
+  7. multicore scaling: bench_multicore emits "multicore_scaling" rows in
+     1-queue / N-queue pairs (matched by the "pair" field, the 1-queue
+     partner running back-to-back in the same process); the 4-queue
+     events-per-virtual-second ratio over its paired 1-queue run must be
+     at least MULTICORE_MIN_SCALING (default 1.8x) — sharding the
+     dataplane across lanes has to actually buy parallel virtual time.
+     These rows live in a separate report file (bench_multicore's stdout);
+     pass it as the report when gating that binary.
+
 Override: set ALLOW_BENCH_REGRESSION=1 to turn failures into warnings —
 for landing a change that knowingly trades speed for capability. Record
 the new baseline in the same commit:
@@ -60,6 +69,7 @@ FASTPATH_MIN_SPEEDUP = 1.3   # cache-off / cache-on paired wall clocks
 BATCH_MIN_SPEEDUP = 0.90     # batch=1 / batch=N paired cpu clocks
 PROFILER_TOLERANCE = 0.05    # profiler-on vs paired profiler-off run
 PROBES_TOLERANCE = 0.05      # probes-armed vs paired probes-disarmed run
+MULTICORE_MIN_SCALING = 1.8  # 4-queue vs paired 1-queue virtual throughput
 DEFAULT_BATCH = 64           # rows without a "batch" field predate the sweep
 
 
@@ -181,11 +191,62 @@ def fastpath_rows(rows, fastpath):
     ]
 
 
+def multicore_scaling(rows, queues):
+    """events_per_s ratios of each `queues`-lane run over its 1-queue pair."""
+    by_pair = {}
+    for r in rows:
+        if r.get("bench") != "multicore_scaling" or "events_per_s" not in r:
+            continue
+        by_pair.setdefault(r.get("pair"), {})[r.get("queues")] = (
+            r["events_per_s"])
+    return [
+        p[queues] / p[1]
+        for p in by_pair.values()
+        if queues in p and 1 in p and p[1] > 0
+    ]
+
+
+def check_multicore(report, failures):
+    ratios = multicore_scaling(report, 4)
+    if not ratios:
+        failures.append("missing multicore_scaling 1q/4q row pairs")
+        return
+    scaling = statistics.median(ratios)
+    print("multicore 4-queue scaling per pair: "
+          + ", ".join(f"{s_:.2f}x" for s_ in ratios)
+          + f"; median {scaling:.2f}x")
+    for q in (2, 8):
+        extra = multicore_scaling(report, q)
+        if extra:
+            print(f"multicore {q}-queue scaling: median "
+                  f"{statistics.median(extra):.2f}x")
+    if scaling < MULTICORE_MIN_SCALING:
+        failures.append(
+            f"multicore 4-queue scaling {scaling:.2f}x "
+            f"(< {MULTICORE_MIN_SCALING:.1f}x floor)")
+
+
 def main():
     if len(sys.argv) < 2:
         print(__doc__)
         return 2
     report = load_lines(sys.argv[1])
+
+    # A bench_multicore report gates only the scaling floor: the
+    # forwarding-loop pools don't exist in that file and vice versa.
+    if any(r.get("bench") == "multicore_scaling" for r in report):
+        allow = os.environ.get("ALLOW_BENCH_REGRESSION") == "1"
+        failures = []
+        check_multicore(report, failures)
+        if failures:
+            for f in failures:
+                print(f"{'WARNING' if allow else 'FAIL'}: {f}")
+            if allow:
+                print("ALLOW_BENCH_REGRESSION=1 set; not failing the build")
+                return 0
+            return 1
+        print("bench gate: OK")
+        return 0
     baseline_path = (
         sys.argv[2]
         if len(sys.argv) > 2

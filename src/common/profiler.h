@@ -74,7 +74,9 @@ class Profiler {
   // pids interned first-touch. Slot 0 is the unowned/system bucket
   // (pid 0); pids beyond the cap fold into one explicit overflow slot
   // rather than being dropped.
-  static constexpr uint32_t kMaxCores = 12;
+  // Sized for the sharded dataplane: up to 8 lanes × 3 resources per NIC
+  // on top of the base cores, with headroom for duplex worlds.
+  static constexpr uint32_t kMaxCores = 64;
   static constexpr uint32_t kMaxOwners = 32;
   static constexpr uint32_t kOverflowSlot = kMaxOwners - 1;
   static constexpr uint32_t kOverflowPid = UINT32_MAX;

@@ -142,11 +142,17 @@ struct ProbePredicate {
 
 class Tracepoints {
  public:
-  // Record lanes: the NIC-side ring and the host-side ring, mirroring the
-  // profiler's CoreKind split of the simulated machine.
+  // Record lanes: the aggregate NIC-side ring, the host-side ring
+  // (mirroring the profiler's CoreKind split of the simulated machine),
+  // and one ring per sharded dataplane lane. An unsharded world only ever
+  // emits on the first two; lane rings cost nothing until armed (rings
+  // are carved lazily) and keep a sharded run's per-core decision
+  // sequences separable in the journal.
   static constexpr uint32_t kCoreNic = 0;
   static constexpr uint32_t kCoreHost = 1;
-  static constexpr uint32_t kNumCores = 2;
+  static constexpr uint32_t kCoreLaneBase = 2;
+  static constexpr uint32_t kMaxLaneCores = 8;
+  static constexpr uint32_t kNumCores = kCoreLaneBase + kMaxLaneCores;
   // Records retained per core ring (newest win; older are overwritten).
   static constexpr size_t kRingCapacity = 4096;
 

@@ -24,6 +24,10 @@ Kernel::Kernel(sim::Simulator* sim, nic::SmartNic* nic, Options options)
   drop_sram_exhausted_ =
       sim_->metrics().GetCounter("kernel.drop.sram_exhausted");
   notify_drained_ = sim_->metrics().GetCounter("kernel.notify.drained");
+  for (uint16_t q = 0; q < nic::SmartNic::kMaxShardQueues; ++q) {
+    notify_drained_q_[q] = sim_->metrics().GetCounter(
+        "kernel.notify.q" + std::to_string(q) + ".drained");
+  }
   nic_cp_ = nic_->TakeControlPlane();
   NORMAN_CHECK(nic_cp_ != nullptr)
       << "NIC control plane already taken: only the kernel may own it";
@@ -115,6 +119,17 @@ void Kernel::InstallDefaultHealthRules() {
   watchdog_->AddQueueStallRule("nic.qdisc", "queue.nic.qdisc.depth",
                                "kernel.tc");
   watchdog_->AddQueueStallRule("app.rx", "queue.nic.rx_ring.depth", "app.rx");
+  // Per-lane stall rules for the sharded dataplane: a single wedged lane
+  // moves its own ring-depth series while the aggregate may look healthy
+  // (7 draining lanes mask the stuck one). The per-queue gauges are
+  // registered eagerly whether or not a run shards, and an absent/zero
+  // series reads healthy, so unsharded worlds see no change.
+  for (uint16_t q = 0; q < nic::SmartNic::kMaxShardQueues; ++q) {
+    const std::string qs = std::to_string(q);
+    watchdog_->AddQueueStallRule("app.rx.q" + qs,
+                                 "queue.nic.rx_ring.q" + qs + ".depth",
+                                 "app.rx");
+  }
   // Any sustained drop rate is a health event: thresholds are "more than
   // zero per second" because drops on these paths are exceptional.
   watchdog_->AddRateSpikeRule("nic.qdisc", "nic.tx.drop.sched_overflow.rate",
@@ -481,6 +496,9 @@ void Kernel::PumpNotifications(Pid pid) {
     drained.Add(count);
     for (uint32_t i = 0; i < count; ++i) {
       const nic::Notification& n = batch[i];
+      if (n.queue < notify_drained_q_.size()) {
+        telemetry::HotIncrement(notify_drained_q_[n.queue]);
+      }
       const auto it = waiters_.find(n.conn_id);
       if (it == waiters_.end()) {
         continue;  // nobody blocked; notification is informational

@@ -11,6 +11,7 @@
 #ifndef NORMAN_KERNEL_KERNEL_H_
 #define NORMAN_KERNEL_KERNEL_H_
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <map>
@@ -297,8 +298,13 @@ class Kernel {
   telemetry::Counter* drop_unmatched_ = nullptr;
   telemetry::Counter* drop_sram_exhausted_ = nullptr;
   // Notifications consumed by PumpNotifications, flushed once per bulk
-  // drain (hot tier: compiles out at stats level 0).
+  // drain (hot tier: compiles out at stats level 0). The per-queue
+  // breakdown (kernel.notify.q<N>.drained) keys on Notification::queue so
+  // a sharded world's per-lane completion flow is visible end to end;
+  // registered eagerly for every possible lane (manifest shape-stability).
   telemetry::Counter* notify_drained_ = nullptr;
+  std::array<telemetry::Counter*, nic::SmartNic::kMaxShardQueues>
+      notify_drained_q_{};
 
   // Handles packets the NIC diverted to the host (unmatched RX -> listen
   // dispatch; TX fallback completions).

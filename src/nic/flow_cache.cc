@@ -1,5 +1,7 @@
 #include "src/nic/flow_cache.h"
 
+#include "src/common/tracepoint.h"
+
 namespace norman::nic {
 
 namespace {
@@ -25,26 +27,63 @@ FlowCache::FlowCache(SramAllocator* sram, telemetry::MetricsRegistry* registry)
       evictions_(registry->GetCounter("fastpath.evictions")),
       uncacheable_(registry->GetCounter("fastpath.uncacheable")),
       entries_(registry->GetGauge("fastpath.entries")),
-      sram_gauge_(registry->GetGauge("fastpath.sram_bytes")) {}
+      sram_gauge_(registry->GetGauge("fastpath.sram_bytes")) {
+  parts_.resize(1);
+  parts_[0].sram_category = kSramCategory;
+}
 
 FlowCache::~FlowCache() {
-  sram_->Free(kSramCategory, map_.size() * kFlowCacheEntryBytes);
+  for (Partition& part : parts_) {
+    sram_->Free(part.sram_category, part.map.size() * kFlowCacheEntryBytes);
+  }
+}
+
+uint32_t FlowCache::TpCore(const Partition& part) const {
+  if (parts_.size() <= 1) {
+    return telemetry::Tracepoints::kCoreNic;
+  }
+  return telemetry::Tracepoints::kCoreLaneBase +
+         static_cast<uint32_t>(&part - parts_.data());
 }
 
 void FlowCache::Enable(size_t max_entries) {
   enabled_ = true;
   max_entries_ = max_entries;
-  // Shrink to the (possibly smaller) new bound.
-  while (map_.size() > max_entries_) EvictOne();
+  // Shrink each partition to its (possibly smaller) new share.
+  for (Partition& part : parts_) {
+    while (part.map.size() > PartitionCapacity()) EvictOne(part);
+  }
 }
 
 void FlowCache::Disable() {
   enabled_ = false;
-  sram_->Free(kSramCategory, map_.size() * kFlowCacheEntryBytes);
-  map_.clear();
-  lru_.clear();
+  Flush();
+}
+
+void FlowCache::Flush() {
+  for (Partition& part : parts_) {
+    sram_->Free(part.sram_category, part.map.size() * kFlowCacheEntryBytes);
+    part.map.clear();
+    part.lru.clear();
+  }
+  count_ = 0;
   entries_->Set(0);
   sram_gauge_->Set(0);
+}
+
+void FlowCache::SetPartitions(uint16_t n) {
+  if (n == 0) n = 1;
+  if (n > kMaxPartitions) n = kMaxPartitions;
+  Flush();
+  parts_.clear();
+  parts_.resize(n);
+  if (n == 1) {
+    parts_[0].sram_category = kSramCategory;
+  } else {
+    for (uint16_t p = 0; p < n; ++p) {
+      parts_[p].sram_category = kSramCategory + ".q" + std::to_string(p);
+    }
+  }
 }
 
 void FlowCache::Invalidate() {
@@ -55,78 +94,97 @@ void FlowCache::Invalidate() {
     invalidations_->Increment();
     if (tp_ != nullptr) {
       tp_->Emit(telemetry::Probe::kFlowCacheInvalidate,
-                telemetry::Tracepoints::kCoreNic, /*pid=*/0, epoch_,
-                map_.size());
+                telemetry::Tracepoints::kCoreNic, /*pid=*/0, epoch_, count_);
     }
   }
 }
 
-const FlowCacheEntry* FlowCache::Lookup(const FlowCacheKey& key) {
+void FlowCache::InvalidatePartition(uint16_t partition) {
+  if (partition >= parts_.size()) return;
+  Partition& part = parts_[partition];
+  ++part.epoch;
+  if (enabled_) {
+    invalidations_->Increment();
+    if (tp_ != nullptr) {
+      tp_->Emit(telemetry::Probe::kFlowCacheInvalidate, TpCore(part),
+                /*pid=*/0, epoch_ + part.epoch, part.map.size());
+    }
+  }
+}
+
+const FlowCacheEntry* FlowCache::Lookup(const FlowCacheKey& key,
+                                        uint16_t partition) {
   if (!enabled_) return nullptr;
-  const auto it = map_.find(key);
-  if (it == map_.end()) {
+  Partition& part = parts_[partition];
+  const auto it = part.map.find(key);
+  if (it == part.map.end()) {
     misses_->Increment();
     return nullptr;
   }
-  if (it->second->second.epoch != epoch_) {
+  if (it->second->second.epoch != epoch_ + part.epoch) {
     // Minted under an older configuration: lazily discard.
-    Erase(key);
+    Erase(part, key);
     misses_->Increment();
     return nullptr;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to MRU
+  part.lru.splice(part.lru.begin(), part.lru, it->second);  // touch: MRU
   hits_->Increment();
   return &it->second->second;
 }
 
-void FlowCache::Insert(const FlowCacheKey& key, FlowCacheEntry entry) {
+void FlowCache::Insert(const FlowCacheKey& key, FlowCacheEntry entry,
+                       uint16_t partition) {
   if (!enabled_) return;
-  entry.epoch = epoch_;
-  if (const auto it = map_.find(key); it != map_.end()) {
+  Partition& part = parts_[partition];
+  entry.epoch = epoch_ + part.epoch;
+  if (const auto it = part.map.find(key); it != part.map.end()) {
     it->second->second = entry;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    part.lru.splice(part.lru.begin(), part.lru, it->second);
     return;
   }
-  while (map_.size() >= max_entries_ && !map_.empty()) EvictOne();
-  while (!sram_->Allocate(kSramCategory, kFlowCacheEntryBytes).ok()) {
-    if (map_.empty()) return;  // SRAM cannot cover even one entry
-    EvictOne();
+  while (part.map.size() >= PartitionCapacity() && !part.map.empty()) {
+    EvictOne(part);
   }
-  lru_.emplace_front(key, entry);
-  map_.emplace(key, lru_.begin());
-  entries_->Set(static_cast<int64_t>(map_.size()));
+  while (!sram_->Allocate(part.sram_category, kFlowCacheEntryBytes).ok()) {
+    if (part.map.empty()) return;  // SRAM cannot cover even one entry
+    EvictOne(part);
+  }
+  part.lru.emplace_front(key, entry);
+  part.map.emplace(key, part.lru.begin());
+  ++count_;
+  entries_->Set(static_cast<int64_t>(count_));
   sram_gauge_->Set(static_cast<int64_t>(sram_bytes()));
   if (tp_ != nullptr) {
     const telemetry::TraceFlow flow = FlowOf(key);
-    tp_->Emit(telemetry::Probe::kFlowCacheInstall,
-              telemetry::Tracepoints::kCoreNic, /*pid=*/0, epoch_,
-              map_.size(), 0, &flow);
+    tp_->Emit(telemetry::Probe::kFlowCacheInstall, TpCore(part), /*pid=*/0,
+              entry.epoch, count_, 0, &flow);
   }
 }
 
-void FlowCache::EvictOne() {
-  if (lru_.empty()) return;
-  const telemetry::TraceFlow flow = FlowOf(lru_.back().first);
-  map_.erase(lru_.back().first);
-  lru_.pop_back();
-  sram_->Free(kSramCategory, kFlowCacheEntryBytes);
+void FlowCache::EvictOne(Partition& part) {
+  if (part.lru.empty()) return;
+  const telemetry::TraceFlow flow = FlowOf(part.lru.back().first);
+  part.map.erase(part.lru.back().first);
+  part.lru.pop_back();
+  --count_;
+  sram_->Free(part.sram_category, kFlowCacheEntryBytes);
   evictions_->Increment();
-  entries_->Set(static_cast<int64_t>(map_.size()));
+  entries_->Set(static_cast<int64_t>(count_));
   sram_gauge_->Set(static_cast<int64_t>(sram_bytes()));
   if (tp_ != nullptr) {
-    tp_->Emit(telemetry::Probe::kFlowCacheEvict,
-              telemetry::Tracepoints::kCoreNic, /*pid=*/0, map_.size(), 0, 0,
-              &flow);
+    tp_->Emit(telemetry::Probe::kFlowCacheEvict, TpCore(part), /*pid=*/0,
+              count_, 0, 0, &flow);
   }
 }
 
-void FlowCache::Erase(const FlowCacheKey& key) {
-  const auto it = map_.find(key);
-  if (it == map_.end()) return;
-  lru_.erase(it->second);
-  map_.erase(it);
-  sram_->Free(kSramCategory, kFlowCacheEntryBytes);
-  entries_->Set(static_cast<int64_t>(map_.size()));
+void FlowCache::Erase(Partition& part, const FlowCacheKey& key) {
+  const auto it = part.map.find(key);
+  if (it == part.map.end()) return;
+  part.lru.erase(it->second);
+  part.map.erase(it);
+  --count_;
+  sram_->Free(part.sram_category, kFlowCacheEntryBytes);
+  entries_->Set(static_cast<int64_t>(count_));
   sram_gauge_->Set(static_cast<int64_t>(sram_bytes()));
 }
 

@@ -19,13 +19,24 @@
 // SRAM (category "flow_cache") and evicted LRU — insertion order breaks
 // ties deterministically — so cache capacity is a resource-exhaustion axis
 // like the flow table itself (§5 of the paper).
+//
+// Sharded dataplanes partition the cache per RX lane (SetPartitions):
+// each partition owns an LRU segment, a share of the entry budget, its
+// own SRAM category ("flow_cache.q<N>") and a partition-local epoch so a
+// lane migration (RSS indirection rewrite) can invalidate one lane's
+// entries without flushing the others. An entry's staleness check is the
+// *sum* of the global and partition epochs — both only ever increment,
+// so the sum strictly increases on any bump and equality holds iff
+// neither generation moved since mint.
 #ifndef NORMAN_NIC_FLOW_CACHE_H_
 #define NORMAN_NIC_FLOW_CACHE_H_
 
 #include <cstdint>
 #include <list>
+#include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "src/common/drop_reason.h"
 #include "src/common/metrics.h"
@@ -85,6 +96,8 @@ struct FlowCacheEntry {
 
 class FlowCache {
  public:
+  static constexpr uint16_t kMaxPartitions = 8;
+
   FlowCache(SramAllocator* sram, telemetry::MetricsRegistry* registry);
   ~FlowCache();
 
@@ -97,20 +110,42 @@ class FlowCache {
   void Disable();
   bool enabled() const { return enabled_; }
 
-  // Bumps the configuration epoch; live entries become stale and are lazily
-  // discarded on their next lookup.
+  // Repartitions the cache into `n` per-lane segments (clamped to
+  // [1, kMaxPartitions]). Flushes every live entry: entries minted under
+  // the old partition map would otherwise sit in the wrong segment. Each
+  // partition gets max_entries / n of the entry budget (at least one) and
+  // its own SRAM category so on-NIC memory pressure is attributable per
+  // lane.
+  void SetPartitions(uint16_t n);
+  uint16_t partitions() const {
+    return static_cast<uint16_t>(parts_.size());
+  }
+
+  // Bumps the global configuration epoch; all live entries become stale
+  // and are lazily discarded on their next lookup.
   void Invalidate();
 
-  // Hit: touches LRU and returns the entry. Miss (absent, stale, or cache
-  // disabled): returns nullptr. Stale entries are erased on the spot.
-  const FlowCacheEntry* Lookup(const FlowCacheKey& key);
+  // Bumps one partition's epoch: used when an RSS indirection rewrite
+  // migrates flows across lanes — the migrated lane's cached verdicts must
+  // re-walk the chain, the other lanes keep their fast path.
+  void InvalidatePartition(uint16_t partition);
+
+  // Hit: touches the partition LRU and returns the entry. Miss (absent,
+  // stale, or cache disabled): returns nullptr. Stale entries are erased
+  // on the spot.
+  const FlowCacheEntry* Lookup(const FlowCacheKey& key,
+                               uint16_t partition = 0);
 
   // Inserts (or overwrites) under the current epoch, evicting LRU entries
-  // until both the entry bound and SRAM admit it; skipped if SRAM cannot
-  // cover one entry even with the cache emptied.
-  void Insert(const FlowCacheKey& key, FlowCacheEntry entry);
+  // until both the partition's entry bound and SRAM admit it; skipped if
+  // SRAM cannot cover one entry even with the partition emptied.
+  void Insert(const FlowCacheKey& key, FlowCacheEntry entry,
+              uint16_t partition = 0);
 
-  size_t size() const { return map_.size(); }
+  size_t size() const { return count_; }
+  size_t partition_size(uint16_t partition) const {
+    return parts_[partition].map.size();
+  }
   size_t max_entries() const { return max_entries_; }
   uint64_t epoch() const { return epoch_; }
   uint64_t hits() const { return hits_->value(); }
@@ -118,7 +153,7 @@ class FlowCache {
   uint64_t invalidations() const { return invalidations_->value(); }
   uint64_t evictions() const { return evictions_->value(); }
   uint64_t uncacheable() const { return uncacheable_->value(); }
-  uint64_t sram_bytes() const { return map_.size() * kFlowCacheEntryBytes; }
+  uint64_t sram_bytes() const { return count_ * kFlowCacheEntryBytes; }
 
   // A flow whose chain walk could not be summarized (uncacheable stage,
   // unsupported rewrite shape, fallback verdict). Counted by the NIC.
@@ -135,20 +170,37 @@ class FlowCache {
   void CountCoalescedHit() { hits_->Increment(); }
 
  private:
-  void EvictOne();
-  void Erase(const FlowCacheKey& key);
-
-  SramAllocator* sram_;
-  bool enabled_ = false;
-  size_t max_entries_ = 0;
-  uint64_t epoch_ = 0;
-
   // Most-recently-used at the front; eviction takes the back. The list
   // order is a pure function of the lookup/insert sequence, so eviction is
   // deterministic.
   using LruList = std::list<std::pair<FlowCacheKey, FlowCacheEntry>>;
-  LruList lru_;
-  std::unordered_map<FlowCacheKey, LruList::iterator, FlowCacheKeyHash> map_;
+  struct Partition {
+    LruList lru;
+    std::unordered_map<FlowCacheKey, LruList::iterator, FlowCacheKeyHash> map;
+    // Partition-local invalidation generation; an entry is fresh iff it
+    // was minted under the current (epoch_ + epoch) sum.
+    uint64_t epoch = 0;
+    // "flow_cache" unpartitioned, "flow_cache.q<N>" per lane.
+    std::string sram_category;
+  };
+
+  void EvictOne(Partition& part);
+  void Erase(Partition& part, const FlowCacheKey& key);
+  void Flush();
+  size_t PartitionCapacity() const {
+    const size_t per = max_entries_ / parts_.size();
+    return per == 0 ? 1 : per;
+  }
+  // Tracepoint core id for a partition: lanes map onto the per-lane trace
+  // rings when the cache is partitioned, the aggregate NIC ring otherwise.
+  uint32_t TpCore(const Partition& part) const;
+
+  SramAllocator* sram_;
+  bool enabled_ = false;
+  size_t max_entries_ = 0;
+  size_t count_ = 0;  // live entries across all partitions
+  uint64_t epoch_ = 0;
+  std::vector<Partition> parts_;
 
   telemetry::Counter* hits_;           // fastpath.hits
   telemetry::Counter* misses_;         // fastpath.misses

@@ -9,7 +9,10 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
+#include "src/common/metrics.h"
+#include "src/common/status.h"
 #include "src/net/types.h"
 
 namespace norman::nic {
@@ -17,10 +20,25 @@ namespace norman::nic {
 class RssEngine {
  public:
   static constexpr size_t kIndirectionEntries = 128;
+  // Queues with an eagerly registered rss.steered.q<N> counter. Matches
+  // the NIC's maximum shard width; steering to a higher queue id still
+  // works but is only visible through the indirection table.
+  static constexpr uint16_t kCountedQueues = 8;
 
   explicit RssEngine(uint16_t num_queues = 1, uint64_t seed = 0x6d5a6d5a)
       : seed_(seed) {
     SetNumQueues(num_queues);
+  }
+
+  // Registers the per-queue steering counters (rss.steered.q0..q7) and the
+  // table-rewrite counter (rss.rebalance) eagerly, so the metric manifest
+  // is shape-stable whether or not a run ever reconfigures RSS.
+  void AttachMetrics(telemetry::MetricsRegistry* registry) {
+    for (uint16_t q = 0; q < kCountedQueues; ++q) {
+      steered_[q] =
+          registry->GetCounter("rss.steered.q" + std::to_string(q));
+    }
+    rebalance_ = registry->GetCounter("rss.rebalance");
   }
 
   // Rebuilds the indirection table round-robin over `n` queues.
@@ -29,13 +47,39 @@ class RssEngine {
     for (size_t i = 0; i < kIndirectionEntries; ++i) {
       table_[i] = static_cast<uint16_t>(i % num_queues_);
     }
+    if (rebalance_ != nullptr) {
+      rebalance_->Increment();
+    }
   }
 
   uint16_t num_queues() const { return num_queues_; }
 
-  // Custom indirection entry (the "partition the NIC" use case).
-  void SetIndirection(size_t index, uint16_t queue) {
-    table_[index % kIndirectionEntries] = queue % num_queues_;
+  // Custom indirection entry (the "partition the NIC" use case). Rejects
+  // out-of-range slots and queues instead of silently wrapping them — a
+  // typo'd queue id used to remap traffic to queue (q mod N) with no
+  // diagnostic, which is exactly the class of silent misconfiguration the
+  // paper's interposition layer exists to surface.
+  Status SetIndirection(size_t index, uint16_t queue) {
+    if (index >= kIndirectionEntries) {
+      return InvalidArgumentError(
+          "RSS indirection slot " + std::to_string(index) +
+          " out of range (table has " + std::to_string(kIndirectionEntries) +
+          " entries)");
+    }
+    if (queue >= num_queues_) {
+      return InvalidArgumentError(
+          "RSS queue " + std::to_string(queue) + " out of range (NIC has " +
+          std::to_string(num_queues_) + " queues)");
+    }
+    table_[index] = queue;
+    if (rebalance_ != nullptr) {
+      rebalance_->Increment();
+    }
+    return OkStatus();
+  }
+
+  uint16_t indirection(size_t index) const {
+    return table_[index % kIndirectionEntries];
   }
 
   uint32_t Hash(const net::FiveTuple& t) const {
@@ -55,13 +99,21 @@ class RssEngine {
   }
 
   uint16_t Steer(const net::FiveTuple& t) const {
-    return table_[Hash(t) % kIndirectionEntries];
+    const uint16_t q = table_[Hash(t) % kIndirectionEntries];
+    if (q < kCountedQueues && steered_[q] != nullptr) {
+      telemetry::HotIncrement(steered_[q]);
+    }
+    return q;
   }
 
  private:
   uint64_t seed_;
   uint16_t num_queues_ = 1;
   std::array<uint16_t, kIndirectionEntries> table_{};
+  // Steering decisions per queue (hot-tier) and indirection rewrites
+  // (control path); null until AttachMetrics.
+  std::array<telemetry::Counter*, kCountedQueues> steered_{};
+  telemetry::Counter* rebalance_ = nullptr;
 };
 
 }  // namespace norman::nic

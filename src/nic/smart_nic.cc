@@ -1,5 +1,6 @@
 #include "src/nic/smart_nic.h"
 
+#include <span>
 #include <string>
 #include <utility>
 
@@ -95,7 +96,7 @@ std::vector<NicStats::DropRecord> NicStats::DropLedger() const {
 }
 
 void NicStats::RecordDrop(net::Direction dir, DropReason reason,
-                          uint32_t owner_pid) {
+                          uint32_t owner_pid, uint32_t tp_core) {
   const auto r = static_cast<size_t>(reason);
   NORMAN_CHECK(r > 0 && r < kNumDropReasons);
   (dir == net::Direction::kTx ? tx_drop_ : rx_drop_)[r]->Increment();
@@ -118,9 +119,8 @@ void NicStats::RecordDrop(net::Direction dir, DropReason reason,
     const telemetry::TraceFlow flow{
         .dir = dir == net::Direction::kTx ? telemetry::kDirTx
                                           : telemetry::kDirRx};
-    tp_->Emit(probe, telemetry::Tracepoints::kCoreNic, owner_pid,
-              static_cast<uint64_t>(reason), static_cast<uint64_t>(flow.dir),
-              0, &flow);
+    tp_->Emit(probe, tp_core, owner_pid, static_cast<uint64_t>(reason),
+              static_cast<uint64_t>(flow.dir), 0, &flow);
   }
 }
 
@@ -181,6 +181,28 @@ SmartNic::SmartNic(sim::Simulator* sim, Options options)
   stats_.AttachTracepoints(&sim->tracepoints());
   sram_.AttachTracepoints(&sim->tracepoints());
   flow_cache_.AttachTracepoints(&sim->tracepoints());
+  // RSS steering/rebalance counters and the per-queue lane ring gauges are
+  // registered eagerly for every possible lane — like the drop reasons
+  // above, the manifest must not depend on whether a run shards.
+  rss_.AttachMetrics(&sim->metrics());
+  lane_tx_gauges_.reserve(kMaxShardQueues);
+  lane_rx_gauges_.reserve(kMaxShardQueues);
+  for (uint16_t q = 0; q < kMaxShardQueues; ++q) {
+    lane_tx_gauges_.emplace_back(&sim->metrics(),
+                                 "nic.tx_ring.q" + std::to_string(q));
+    lane_rx_gauges_.emplace_back(&sim->metrics(),
+                                 "nic.rx_ring.q" + std::to_string(q));
+  }
+  // The unsharded resource/core set the shared datapath charges by default.
+  default_refs_ = LaneRefs{&pipeline_,
+                           &stages_,
+                           &dma_engine_,
+                           prof_core_pipe_,
+                           prof_core_stages_,
+                           prof_core_dma_,
+                           telemetry::Tracepoints::kCoreNic,
+                           sim::Simulator::kNoLane,
+                           /*cache_part=*/0};
   // NIC-side fault instrumentation, eagerly registered so the metric
   // manifest is shape-stable whether or not a chaos campaign ever runs.
   fault_sram_pressure_gauge_ = sim->metrics().GetGauge(
@@ -371,6 +393,88 @@ void SmartNic::ControlPlane::InvalidateFastPath() {
   nic_->flow_cache_.Invalidate();
 }
 
+Status SmartNic::ControlPlane::EnableSharding(uint16_t num_queues) {
+  return nic_->EnableShardingImpl(num_queues);
+}
+
+Status SmartNic::ControlPlane::SetRssIndirection(size_t index,
+                                                 uint16_t queue) {
+  const uint16_t old_queue = nic_->rss_.indirection(index);
+  NORMAN_RETURN_IF_ERROR(nic_->rss_.SetIndirection(index, queue));
+  if (nic_->flow_cache_.partitions() > 1 && old_queue != queue) {
+    // Flows hashing to this slot migrate lanes mid-flight: cached verdicts
+    // on both sides of the migration must re-walk the chain on their next
+    // packet (each lane's SRAM segment is charged separately, and observer
+    // state replays in per-lane order).
+    if (old_queue < nic_->flow_cache_.partitions()) {
+      nic_->flow_cache_.InvalidatePartition(old_queue);
+    }
+    if (queue < nic_->flow_cache_.partitions()) {
+      nic_->flow_cache_.InvalidatePartition(queue);
+    }
+  }
+  return OkStatus();
+}
+
+Status SmartNic::EnableShardingImpl(uint16_t num_queues) {
+  if (num_queues == 0 || num_queues > kMaxShardQueues) {
+    return InvalidArgumentError(
+        "shard queue count must be in [1, " +
+        std::to_string(kMaxShardQueues) + "], got " +
+        std::to_string(num_queues));
+  }
+  if (!lanes_.empty()) {
+    return FailedPreconditionError(
+        "dataplane already sharded; re-sharding a live dataplane would "
+        "orphan in-flight lane state");
+  }
+  rss_.SetNumQueues(num_queues);
+  flow_cache_.SetPartitions(num_queues);
+  sim_->set_num_lanes(num_queues);
+  using telemetry::Profiler;
+  lanes_.reserve(num_queues);
+  for (uint16_t q = 0; q < num_queues; ++q) {
+    auto lane = std::make_unique<Lane>(q, options_.lane_ring_entries);
+    lane->rings.AttachGauges(&lane_tx_gauges_[q], &lane_rx_gauges_[q]);
+    Lane* raw = lane.get();
+    lane->core_pipe =
+        prof_->RegisterCore(raw->pipeline.name(), Profiler::CoreKind::kNic,
+                            [raw] { return raw->pipeline.busy_ns(); });
+    lane->core_stages =
+        prof_->RegisterCore(raw->stages.name(), Profiler::CoreKind::kNic,
+                            [raw] { return raw->stages.busy_ns(); });
+    lane->core_dma =
+        prof_->RegisterCore(raw->dma.name(), Profiler::CoreKind::kNic,
+                            [raw] { return raw->dma.busy_ns(); });
+    lanes_.push_back(std::move(lane));
+  }
+  // Entries minted pre-sharding sit in partition 0 of a different map
+  // shape; SetPartitions flushed them, and the epoch bump below covers any
+  // caller holding a stale pointer across this call.
+  flow_cache_.Invalidate();
+  return OkStatus();
+}
+
+SmartNic::LaneRefs SmartNic::LaneRefsFor(uint16_t queue) {
+  Lane& lane = *lanes_[queue];
+  return LaneRefs{&lane.pipeline,
+                  &lane.stages,
+                  &lane.dma,
+                  lane.core_pipe,
+                  lane.core_stages,
+                  lane.core_dma,
+                  telemetry::Tracepoints::kCoreLaneBase + queue,
+                  queue,
+                  queue};
+}
+
+uint16_t SmartNic::TxLaneOf(const FlowEntry* entry) const {
+  if (lanes_.empty() || entry == nullptr) {
+    return 0;
+  }
+  return static_cast<uint16_t>(rss_.Hash(entry->tuple) % lanes_.size());
+}
+
 NotificationQueue* SmartNic::ControlPlane::GetNotificationQueue(
     uint32_t pid) {
   const auto it = nic_->notif_queues_.find(pid);
@@ -417,7 +521,8 @@ bool IsDestinationRewrite(const net::FiveTuple& from,
 
 }  // namespace
 
-StageResult SmartNic::RunStages(const std::vector<PipelineStage*>& stages,
+StageResult SmartNic::RunStages(const LaneRefs& lr,
+                                const std::vector<PipelineStage*>& stages,
                                 net::Packet& packet,
                                 overlay::PacketContext& ctx,
                                 Nanos stage_start, uint32_t trace_id,
@@ -493,8 +598,8 @@ StageResult SmartNic::RunStages(const std::vector<PipelineStage*>& stages,
         options_.cost.nic_stage_latency_ns +
         static_cast<Nanos>(r.overlay_instructions) *
             options_.cost.overlay_instr_ns;
-    stages_.AddBusy(stage_cost);
-    prof_->Charge(stage_sites[i], prof_core_stages_, owner_slot, stage_cost);
+    lr.stages->AddBusy(stage_cost);
+    prof_->Charge(stage_sites[i], lr.core_stages, owner_slot, stage_cost);
     if (trace_id != 0) {
       // Spans are laid end to end from `stage_start` so the chain tiles
       // exactly onto the cost model's stage window.
@@ -549,8 +654,13 @@ Status SmartNic::Doorbell(net::ConnectionId conn_id, Nanos now) {
   bool& active = tx_consumer_active_[conn_id];
   if (!active) {
     active = true;
-    sim_->ScheduleAt(std::max(now, sim_->Now()),
-                     [this, conn_id] { ConsumeTxRing(conn_id); });
+    // When sharded, the consumer event carries the flow's TX lane so the
+    // interleave schedule orders same-tick wake-ups across lanes.
+    const uint16_t lane =
+        lanes_.empty() ? sim::Simulator::kNoLane
+                       : TxLaneOf(flow_table_.Lookup(conn_id));
+    sim_->ScheduleAtLane(lane, std::max(now, sim_->Now()),
+                         [this, conn_id] { ConsumeTxRing(conn_id); });
   }
   return OkStatus();
 }
@@ -575,6 +685,10 @@ void SmartNic::ConsumeTxRing(net::ConnectionId conn_id) {
   // walks the old loop did were pure overhead.
   RingPair* ring = it->second.get();
   FlowEntry* entry = flow_table_.Lookup(conn_id);
+  // A burst serves one connection, so its lane — and therefore the
+  // resource set every descriptor charges — is fixed for the whole pass.
+  const LaneRefs refs =
+      lanes_.empty() ? default_refs_ : LaneRefsFor(TxLaneOf(entry));
   TxBurst burst(&stats_);
   FastPathMemo memo;
   for (uint32_t fetched = 0;;) {
@@ -584,7 +698,9 @@ void SmartNic::ConsumeTxRing(net::ConnectionId conn_id) {
       // the connection asked for it (blocking send support, §4.3).
       tx_consumer_active_[conn_id] = false;
       if (entry != nullptr && entry->notify_tx_drain) {
-        PostNotification(*entry, NotificationKind::kTxDrained, now);
+        PostNotification(*entry, NotificationKind::kTxDrained, now,
+                         refs.lane == sim::Simulator::kNoLane ? 0
+                                                              : refs.lane);
       }
       return;
     }
@@ -593,11 +709,13 @@ void SmartNic::ConsumeTxRing(net::ConnectionId conn_id) {
         next_pkt != nullptr && *next_pkt != nullptr) {
       PrefetchRead(next_pkt->get());
     }
-    ProcessTxDescriptor(std::move(*pkt), conn_id, entry, now, burst, &memo);
-    // Next descriptor fetch when the DMA engine frees up.
-    const Nanos next = std::max(dma_engine_.next_free(), now + 1);
+    ProcessTxDescriptor(std::move(*pkt), conn_id, entry, now, burst, &memo,
+                        refs);
+    // Next descriptor fetch when the lane's DMA engine frees up.
+    const Nanos next = std::max(refs.dma->next_free(), now + 1);
     if (++fetched >= batch || sim_->HasEventAtOrBefore(next)) {
-      sim_->ScheduleAt(next, [this, conn_id] { ConsumeTxRing(conn_id); });
+      sim_->ScheduleAtLane(refs.lane, next,
+                           [this, conn_id] { ConsumeTxRing(conn_id); });
       return;
     }
     now = next;
@@ -607,7 +725,7 @@ void SmartNic::ConsumeTxRing(net::ConnectionId conn_id) {
 void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
                                    net::ConnectionId conn_id, FlowEntry* entry,
                                    Nanos now, TxBurst& burst,
-                                   FastPathMemo* memo) {
+                                   FastPathMemo* memo, const LaneRefs& lr) {
   burst.seen.Add();
 
   // Attribution context for the whole descriptor: everything below charges
@@ -633,15 +751,15 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
       entry != nullptr ? entry->tx_ring_bytes : kHotWorkingSetBytes;
   const bool ddio_hit = ddio_.Access(TxRingId(conn_id), ring_ws);
   const Nanos dma_cost = options_.cost.DmaCost(packet->size(), ddio_hit);
-  const Nanos dma_done = dma_engine_.Serve(now, dma_cost);
-  prof_->Charge(prof_tx_dma_site_, prof_core_dma_, owner_slot, dma_cost);
+  const Nanos dma_done = lr.dma->Serve(now, dma_cost);
+  prof_->Charge(prof_tx_dma_site_, lr.core_dma, owner_slot, dma_cost);
   burst.dma.Add();
   sim_->tracer().Record(trace_id, "tx.dma", now, dma_done);
 
   // 2) Pipeline occupancy (line-rate cap) + per-stage latency.
   const Nanos pipe_cost = options_.cost.NicPipelineOccupancy();
-  const Nanos pipe_done = pipeline_.Serve(dma_done, pipe_cost);
-  prof_->Charge(prof_tx_pipe_site_, prof_core_pipe_, owner_slot, pipe_cost);
+  const Nanos pipe_done = lr.pipeline->Serve(dma_done, pipe_cost);
+  prof_->Charge(prof_tx_pipe_site_, lr.core_pipe, owner_slot, pipe_cost);
   sim_->tracer().Record(trace_id, "tx.pipeline", dma_done, pipe_done);
 
   // Single-pass parse: stored on the packet, refreshed only if a stage
@@ -685,7 +803,7 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
       e = memo->entry;
       flow_cache_.CountCoalescedHit();
     } else {
-      e = flow_cache_.Lookup(fp_key);
+      e = flow_cache_.Lookup(fp_key, lr.cache_part);
       if (memo != nullptr) {
         memo->entry = e;  // null on miss: the memo never outlives a miss
         if (e != nullptr) {
@@ -701,8 +819,8 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
       const Nanos fp_cost = options_.cost.flow_cache_hit_ns +
                             static_cast<Nanos>(observer_instructions) *
                                 options_.cost.overlay_instr_ns;
-      stages_.AddBusy(fp_cost);
-      prof_->ChargeCurrent(prof_core_stages_, owner_slot, fp_cost);
+      lr.stages->AddBusy(fp_cost);
+      prof_->ChargeCurrent(lr.core_stages, owner_slot, fp_cost);
       stages_done = pipe_done + fp_cost;
       sim_->tracer().Record(trace_id, "fastpath", pipe_done, stages_done);
       verdict = static_cast<Verdict>(e->verdict);
@@ -713,7 +831,7 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
   if (!fp_hit) {
     telemetry::ProfScope stages_scope(prof_, prof_tx_stages_site_);
     FlowCacheMint mint;
-    StageResult result = RunStages(tx_stages_, *packet, ctx, pipe_done,
+    StageResult result = RunStages(lr, tx_stages_, *packet, ctx, pipe_done,
                                    trace_id, fp_eligible ? &mint : nullptr,
                                    tx_stage_sites_, owner_slot);
     // A packet already diverted once (software path) is not diverted again
@@ -736,7 +854,7 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
       if (mint.cacheable && verdict != Verdict::kSoftwareFallback) {
         mint.entry.verdict = static_cast<uint8_t>(verdict);
         mint.entry.drop_reason = drop_reason;
-        flow_cache_.Insert(fp_key, mint.entry);
+        flow_cache_.Insert(fp_key, mint.entry, lr.cache_part);
       } else {
         flow_cache_.RecordUncacheable();
       }
@@ -751,7 +869,7 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
   switch (verdict) {
     case Verdict::kDrop:
       stats_.RecordDrop(net::Direction::kTx, NormalizeDropReason(drop_reason),
-                        ctx.conn.owner_pid);
+                        ctx.conn.owner_pid, lr.tp_core);
       return;
     case Verdict::kSoftwareFallback: {
       burst.fallback.Add();
@@ -769,10 +887,13 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
   burst.accepted.Add();
 
   // 3) Hand to the queueing discipline at the time the pipeline finishes,
-  // then keep the wire busy.
+  // then keep the wire busy. The event carries the lane so same-tick qdisc
+  // handoffs across lanes follow the interleave schedule.
   const overlay::ConnMetadata conn_meta = ctx.conn;
-  sim_->ScheduleAt(stages_done,
-                   [this, p = std::move(packet), conn_meta]() mutable {
+  sim_->ScheduleAtLane(
+      lr.lane, stages_done,
+      [this, p = std::move(packet), conn_meta,
+       tp_core = lr.tp_core]() mutable {
     // Rebuild a minimal context for the scheduler (classification inputs).
     // The packet's cached parse is already fresh — RunStages re-parsed in
     // place if (and only if) a stage rewrote the frame — so classifying
@@ -785,7 +906,7 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
     p->meta().sched_enqueued_at = sim_->Now();
     if (!scheduler_->Enqueue(std::move(p), sched_ctx)) {
       stats_.RecordDrop(net::Direction::kTx, scheduler_->last_drop_reason(),
-                        conn_meta.owner_pid);
+                        conn_meta.owner_pid, tp_core);
       return;
     }
     telemetry::HotSet(&qdisc_gauges_,
@@ -801,11 +922,51 @@ void SmartNic::InjectHostPacket(net::PacketPtr packet, Nanos now) {
     return;
   }
   const net::ConnectionId conn = packet->meta().connection;
+  if (!lanes_.empty()) {
+    // Sharded: stage the frame in its lane's TX ring and let the lane's
+    // batched drain run it, so host-injected traffic charges the same
+    // per-core resources as doorbell traffic on that lane.
+    const uint16_t q = TxLaneOf(flow_table_.Lookup(conn));
+    const uint32_t owner_pid = packet->meta().owner_pid;
+    Lane& lane = *lanes_[q];
+    if (!lane.rings.PushTx(std::move(packet))) {
+      stats_.RecordDrop(net::Direction::kTx, DropReason::kRingFull, owner_pid,
+                        telemetry::Tracepoints::kCoreLaneBase + q);
+      return;
+    }
+    if (!lane.tx_drain_scheduled) {
+      lane.tx_drain_scheduled = true;
+      sim_->ScheduleAtLane(q, std::max(now, sim_->Now()),
+                           [this, q] { DrainTxLane(q); });
+    }
+    return;
+  }
   // A single-packet burst: the accumulators flush on return. No memo —
   // host-injected packets have no burst neighbor to share a flow with.
   TxBurst burst(&stats_);
   ProcessTxDescriptor(std::move(packet), conn, flow_table_.Lookup(conn), now,
-                      burst, nullptr);
+                      burst, nullptr, default_refs_);
+}
+
+void SmartNic::DrainTxLane(uint16_t queue) {
+  Lane& lane = *lanes_[queue];
+  lane.tx_drain_scheduled = false;
+  const Nanos now = sim_->Now();
+  const uint32_t n = lane.rings.PopTxN(std::span<net::PacketPtr>(lane.burst));
+  const LaneRefs refs = LaneRefsFor(queue);
+  TxBurst burst(&stats_);
+  for (uint32_t i = 0; i < n; ++i) {
+    net::PacketPtr pkt = std::move(lane.burst[i]);
+    const net::ConnectionId conn = pkt->meta().connection;
+    // Per-frame flow lookup (unlike the doorbell consumer's hoist): staged
+    // frames on one lane can belong to different connections.
+    ProcessTxDescriptor(std::move(pkt), conn, flow_table_.Lookup(conn), now,
+                        burst, nullptr, refs);
+  }
+  if (!lane.rings.tx().empty() && !lane.tx_drain_scheduled) {
+    lane.tx_drain_scheduled = true;
+    sim_->ScheduleAtLane(queue, now, [this, queue] { DrainTxLane(queue); });
+  }
 }
 
 void SmartNic::ScheduleDrain(Nanos when) {
@@ -909,10 +1070,10 @@ void SmartNic::ControlPlane::StallNotifications(bool stalled) {
 }
 
 void SmartNic::PostNotification(const FlowEntry& entry, NotificationKind kind,
-                                Nanos now) {
+                                Nanos now, uint16_t queue) {
   if (notify_stalled_) {
-    stalled_notifications_.emplace_back(entry.owner.owner_pid,
-                                        Notification{kind, entry.conn_id, now});
+    stalled_notifications_.emplace_back(
+        entry.owner.owner_pid, Notification{kind, entry.conn_id, now, queue});
     fault_notify_deferred_->Increment();
     sim_->tracepoints().Emit(telemetry::Probe::kNotifyStall,
                              telemetry::Tracepoints::kCoreNic,
@@ -925,27 +1086,90 @@ void SmartNic::PostNotification(const FlowEntry& entry, NotificationKind kind,
   if (it == notif_queues_.end()) {
     return;
   }
-  it->second->Post(Notification{kind, entry.conn_id, now});
+  it->second->Post(Notification{kind, entry.conn_id, now, queue});
 }
 
 void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
-  // RX arrivals are one event each (wire deliveries are serialized by the
-  // peer), so there is no burst scope to accumulate into; the volume
-  // counters go through the hot tier instead. Drop accounting below stays
-  // exact at every stats level.
-  telemetry::ProfScope rx_scope(prof_, prof_rx_site_);
+  // Seen-counting happens at the wire regardless of path, so frames a full
+  // lane ingress ring refuses still count as seen.
   telemetry::HotIncrement(stats_.rx_seen_);
+  if (lanes_.empty()) {
+    ProcessRxFrame(default_refs_, std::move(packet), now,
+                   /*parsed_at_ingress=*/false);
+    return;
+  }
+  // Sharded wire ingress: the MAC parses the frame exactly as received and
+  // steers on those pre-rewrite headers into a lane's ingress ring — unlike
+  // the serial path, which picks a queue only after the stage chain may
+  // have rewritten them (see DESIGN.md "Multi-queue sharding").
+  packet->SetParsed(net::ParseFrame(packet->bytes()));
+  uint16_t queue = 0;
+  uint32_t owner_pid = 0;
+  if (packet->parsed() != nullptr) {
+    if (auto flow = packet->parsed()->flow()) {
+      if (const FlowEntry* e = flow_table_.LookupByInboundTuple(*flow)) {
+        owner_pid = e->owner.owner_pid;
+        queue = e->rx_queue != 0 ? e->rx_queue : rss_.Steer(*flow);
+      } else {
+        queue = rss_.Steer(*flow);
+      }
+      // Explicit per-flow overrides may name a queue beyond the lane count.
+      queue = static_cast<uint16_t>(queue % lanes_.size());
+    }
+  }
+  packet->meta().rx_queue = queue;
+  Lane& lane = *lanes_[queue];
+  if (!lane.rings.PushRx(std::move(packet))) {
+    stats_.RecordDrop(net::Direction::kRx, DropReason::kRingFull, owner_pid,
+                      telemetry::Tracepoints::kCoreLaneBase + queue);
+    return;
+  }
+  if (!lane.rx_drain_scheduled) {
+    lane.rx_drain_scheduled = true;
+    sim_->ScheduleAtLane(queue, now, [this, queue] { DrainRxLane(queue); });
+  }
+}
+
+void SmartNic::DrainRxLane(uint16_t queue) {
+  Lane& lane = *lanes_[queue];
+  lane.rx_drain_scheduled = false;
+  const Nanos now = sim_->Now();
+  const uint32_t n =
+      lane.rings.PopRxN(std::span<net::PacketPtr>(lane.burst));
+  const LaneRefs refs = LaneRefsFor(queue);
+  for (uint32_t i = 0; i < n; ++i) {
+    ProcessRxFrame(refs, std::move(lane.burst[i]), now,
+                   /*parsed_at_ingress=*/true);
+  }
+  if (!lane.rings.rx().empty() && !lane.rx_drain_scheduled) {
+    lane.rx_drain_scheduled = true;
+    sim_->ScheduleAtLane(queue, now, [this, queue] { DrainRxLane(queue); });
+  }
+}
+
+void SmartNic::ProcessRxFrame(const LaneRefs& lr, net::PacketPtr packet,
+                              Nanos now, bool parsed_at_ingress) {
+  // RX frames are processed one event each (the serial path delivers them
+  // straight off the wire; lane drains run a burst inside one event), so
+  // there is no burst scope to accumulate into; the volume counters go
+  // through the hot tier instead. Drop accounting below stays exact at
+  // every stats level.
+  telemetry::ProfScope rx_scope(prof_, prof_rx_site_);
   packet->meta().direction = net::Direction::kRx;
   packet->meta().nic_arrival = now;
   const uint32_t trace_id = sim_->tracer().SampleArrival();
   packet->meta().trace_id = trace_id;
 
   const Nanos pipe_cost = options_.cost.NicPipelineOccupancy();
-  const Nanos pipe_done = pipeline_.Serve(now, pipe_cost);
+  const Nanos pipe_done = lr.pipeline->Serve(now, pipe_cost);
   sim_->tracer().Record(trace_id, "rx.pipeline", now, pipe_done);
 
-  // Single-pass parse, stored on the packet (see ProcessTxDescriptor).
-  packet->SetParsed(net::ParseFrame(packet->bytes()));
+  // Single-pass parse, stored on the packet (see ProcessTxDescriptor). The
+  // sharded steering step already parsed the pristine frame at ingress, and
+  // nothing between the ring and here touches the bytes.
+  if (!parsed_at_ingress) {
+    packet->SetParsed(net::ParseFrame(packet->bytes()));
+  }
   std::optional<net::FiveTuple> flow;
   if (packet->parsed() != nullptr) {
     flow = packet->parsed()->flow();
@@ -965,7 +1189,7 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
     owner_slot = prof_->OwnerSlot(owner_pid);
     prof_->CountPacket(owner_slot, packet->size());
   }
-  prof_->Charge(prof_rx_pipe_site_, prof_core_pipe_, owner_slot, pipe_cost);
+  prof_->Charge(prof_rx_pipe_site_, lr.core_pipe, owner_slot, pipe_cost);
 
   // Graceful degradation under wire faults: frames whose IPv4 or L4
   // checksum no longer verifies were damaged in flight and are dropped here,
@@ -974,7 +1198,8 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
   if (options_.verify_rx_checksums && packet->parsed() != nullptr &&
       !net::FrameChecksumsValid(packet->bytes(), *packet->parsed())) {
     stats_.RecordDrop(net::Direction::kRx, DropReason::kCorrupt,
-                      entry != nullptr ? entry->owner.owner_pid : 0);
+                      entry != nullptr ? entry->owner.owner_pid : 0,
+                      lr.tp_core);
     return;
   }
 
@@ -998,7 +1223,7 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
   bool fp_hit = false;
   if (fp_eligible) {
     fp_key = FlowCacheKey{net::Direction::kRx, *flow, entry->conn_id};
-    if (const FlowCacheEntry* e = flow_cache_.Lookup(fp_key)) {
+    if (const FlowCacheEntry* e = flow_cache_.Lookup(fp_key, lr.cache_part)) {
       telemetry::ProfScope fp_scope(prof_, prof_rx_fastpath_site_);
       const uint32_t observer_instructions =
           ReplayFastPath(*e, rx_stages_, *packet, ctx);
@@ -1007,8 +1232,8 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
       const Nanos fp_cost = options_.cost.flow_cache_hit_ns +
                             static_cast<Nanos>(observer_instructions) *
                                 options_.cost.overlay_instr_ns;
-      stages_.AddBusy(fp_cost);
-      prof_->ChargeCurrent(prof_core_stages_, owner_slot, fp_cost);
+      lr.stages->AddBusy(fp_cost);
+      prof_->ChargeCurrent(lr.core_stages, owner_slot, fp_cost);
       ready = pipe_done + fp_cost;
       sim_->tracer().Record(trace_id, "fastpath", pipe_done, ready);
       verdict = static_cast<Verdict>(e->verdict);
@@ -1019,7 +1244,7 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
   if (!fp_hit) {
     telemetry::ProfScope stages_scope(prof_, prof_rx_stages_site_);
     FlowCacheMint mint;
-    StageResult result = RunStages(rx_stages_, *packet, ctx, pipe_done,
+    StageResult result = RunStages(lr, rx_stages_, *packet, ctx, pipe_done,
                                    trace_id, fp_eligible ? &mint : nullptr,
                                    rx_stage_sites_, owner_slot);
     telemetry::HotIncrement(stats_.overlay_instructions_,
@@ -1035,7 +1260,7 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
       if (mint.cacheable && verdict != Verdict::kSoftwareFallback) {
         mint.entry.verdict = static_cast<uint8_t>(verdict);
         mint.entry.drop_reason = drop_reason;
-        flow_cache_.Insert(fp_key, mint.entry);
+        flow_cache_.Insert(fp_key, mint.entry, lr.cache_part);
       } else {
         flow_cache_.RecordUncacheable();
       }
@@ -1044,7 +1269,7 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
 
   if (verdict == Verdict::kDrop) {
     stats_.RecordDrop(net::Direction::kRx, NormalizeDropReason(drop_reason),
-                      ctx.conn.owner_pid);
+                      ctx.conn.owner_pid, lr.tp_core);
     return;
   }
 
@@ -1064,13 +1289,20 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
     return;
   }
 
-  // Steer: explicit flow-table queue wins; otherwise RSS over the tuple.
-  // The cached parse is post-rewrite here, so steering keys on the headers
-  // actually delivered to the host (a NAT'd frame hashes as rewritten).
-  uint16_t queue = entry->rx_queue;
-  if (packet->parsed() != nullptr) {
-    if (auto q_flow = packet->parsed()->flow(); q_flow && queue == 0) {
-      queue = rss_.Steer(*q_flow);
+  // Steer. Sharded: the lane was chosen at wire ingress (pre-rewrite
+  // headers) and IS the queue. Serial: explicit flow-table queue wins,
+  // otherwise RSS over the cached parse — post-rewrite here, so steering
+  // keys on the headers actually delivered to the host (a NAT'd frame
+  // hashes as rewritten).
+  uint16_t queue;
+  if (lr.lane != sim::Simulator::kNoLane) {
+    queue = lr.lane;
+  } else {
+    queue = entry->rx_queue;
+    if (packet->parsed() != nullptr) {
+      if (auto q_flow = packet->parsed()->flow(); q_flow && queue == 0) {
+        queue = rss_.Steer(*q_flow);
+      }
     }
   }
   // Steering is combinational (zero cost-model time); the zero-width span
@@ -1087,14 +1319,16 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
                                          ? entry->rx_ring_bytes
                                          : kHotWorkingSetBytes);
   const Nanos dma_cost = options_.cost.DmaCost(packet->size(), ddio_hit);
-  const Nanos dma_done = dma_engine_.Serve(ready, dma_cost);
-  prof_->Charge(prof_rx_dma_site_, prof_core_dma_, owner_slot, dma_cost);
+  const Nanos dma_done = lr.dma->Serve(ready, dma_cost);
+  prof_->Charge(prof_rx_dma_site_, lr.core_dma, owner_slot, dma_cost);
   telemetry::HotIncrement(stats_.dma_transfers_);
   sim_->tracer().Record(trace_id, "rx.dma", ready, dma_done);
 
   const net::ConnectionId conn_id = entry->conn_id;
-  sim_->ScheduleAt(dma_done,
-                   [this, p = std::move(packet), conn_id]() mutable {
+  sim_->ScheduleAtLane(
+      lr.lane, dma_done,
+      [this, p = std::move(packet), conn_id, queue,
+       tp_core = lr.tp_core]() mutable {
     const auto it = rings_.find(conn_id);
     FlowEntry* e = flow_table_.Lookup(conn_id);
     if (it == rings_.end() || e == nullptr) {
@@ -1105,7 +1339,7 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
     const Nanos ring_at = p->meta().completed_at;
     if (!it->second->PushRx(std::move(p))) {
       stats_.RecordDrop(net::Direction::kRx, DropReason::kRingFull,
-                        e->owner.owner_pid);
+                        e->owner.owner_pid, tp_core);
       return;
     }
     // Delivery into the app-visible ring (zero-width: the push itself is
@@ -1113,7 +1347,7 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
     sim_->tracer().Record(tid, "rx.ring", ring_at, ring_at);
     telemetry::HotIncrement(stats_.rx_accepted_);
     if (e->notify_rx) {
-      PostNotification(*e, NotificationKind::kRxData, sim_->Now());
+      PostNotification(*e, NotificationKind::kRxData, sim_->Now(), queue);
     }
   });
 }

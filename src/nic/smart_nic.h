@@ -117,8 +117,11 @@ class NicStats {
 
   // The single accounting point: bumps the per-reason counter and the
   // owner ledger. `reason` must not be kNone. When a profiler is attached
-  // the drop also lands in the owner's attr.* resource ledger.
-  void RecordDrop(net::Direction dir, DropReason reason, uint32_t owner_pid);
+  // the drop also lands in the owner's attr.* resource ledger. `tp_core`
+  // selects the tracepoint ring the drop probe lands in — sharded lanes
+  // pass their own core so per-lane decision sequences stay separable.
+  void RecordDrop(net::Direction dir, DropReason reason, uint32_t owner_pid,
+                  uint32_t tp_core = telemetry::Tracepoints::kCoreNic);
 
   // Mirror drops into the cycle-attribution owner ledger (attr.*.drops).
   void AttachProfiler(telemetry::Profiler* prof) { prof_ = prof; }
@@ -172,7 +175,16 @@ class SmartNic {
     // DropReason::kCorrupt (graceful degradation under wire faults). Costs
     // zero virtual time — real NICs verify in the MAC at line rate.
     bool verify_rx_checksums = true;
+    // Entries per sharded lane's ingress/staging ring pair (power of two).
+    // Only used once EnableSharding carves lanes.
+    uint32_t lane_ring_entries = 1024;
   };
+
+  // Upper bound on sharded dataplane lanes (matches the default RX queue
+  // count and the tracepoint layer's per-lane ring allowance).
+  static constexpr uint16_t kMaxShardQueues = 8;
+  // Frames a lane drain pops per event through the span APIs.
+  static constexpr uint32_t kLaneDrainBatch = 16;
 
   SmartNic(sim::Simulator* sim, Options options);
   ~SmartNic();
@@ -217,6 +229,24 @@ class SmartNic {
 
     // RSS configuration (the "partition the NIC" debugging scenario).
     RssEngine& rss() { return nic_->rss_; }
+
+    // Shards the dataplane into `num_queues` per-core lanes (§ DESIGN.md
+    // "Multi-queue sharding"): per-queue RX/TX ring pairs, per-lane
+    // pipeline/stage/DMA resources, a partitioned flow cache, and the
+    // simulator's deterministic lane-interleave schedule. Off by default —
+    // pinned golden trajectories predate it. One-shot: re-sharding a live
+    // dataplane would orphan in-flight lane state.
+    Status EnableSharding(uint16_t num_queues);
+    bool sharded() const { return !nic_->lanes_.empty(); }
+    uint16_t shard_queues() const {
+      return static_cast<uint16_t>(nic_->lanes_.size());
+    }
+
+    // Validated indirection-table rewrite: rejects out-of-range slots and
+    // queues (see RssEngine::SetIndirection) and, when the dataplane is
+    // sharded, invalidates the flow-cache partitions on both sides of the
+    // migration so re-steered flows re-walk the chain on their new lane.
+    Status SetRssIndirection(size_t index, uint16_t queue);
 
     // Per-flow accounting for norman-top (§3's continuous interposition).
     // Off by default: recording is pure observation, but the kernel decides
@@ -313,6 +343,11 @@ class SmartNic {
   const sim::CostModel& cost() const { return options_.cost; }
   uint64_t mmio_writes() const { return regs_.write_count(); }
   sim::Simulator* simulator() { return sim_; }
+  // Sharding introspection (0 lanes = the historical serial dataplane).
+  bool sharded() const { return !lanes_.empty(); }
+  uint16_t shard_queues() const {
+    return static_cast<uint16_t>(lanes_.size());
+  }
 
   void ResetStats() { stats_.Reset(); }
 
@@ -352,11 +387,56 @@ class SmartNic {
   // starting at `stage_start`, each charged stage latency + its overlay
   // instructions, so the spans tile exactly onto the pipeline's cost-model
   // time.
+  // One dataplane shard (EnableSharding): per-core virtual-time resources
+  // that serve in parallel across lanes, the per-queue ingress/staging
+  // ring pair, profiler core ids and drain state. Resources own their
+  // per-queue names ("nic.pipeline.q<N>", ...).
+  struct Lane {
+    Lane(uint16_t idx, uint32_t ring_entries)
+        : index(idx),
+          pipeline("nic.pipeline.q" + std::to_string(idx)),
+          stages("nic.stages.q" + std::to_string(idx)),
+          dma("nic.dma.q" + std::to_string(idx)),
+          rings(ring_entries) {}
+    uint16_t index;
+    sim::Resource pipeline;
+    sim::Resource stages;
+    sim::Resource dma;
+    // RX side: wire-ingress frames awaiting this lane's batched drain.
+    // TX side: host-injected frames staged for this lane's TX path.
+    // Depth flows into the per-queue gauges (queue.nic.*_ring.q<N>).
+    RingPair rings;
+    bool rx_drain_scheduled = false;
+    bool tx_drain_scheduled = false;
+    uint32_t core_pipe = 0;
+    uint32_t core_stages = 0;
+    uint32_t core_dma = 0;
+    // Per-core burst scratch (the lane's packet-pool staging): drains pop
+    // span bursts into this array instead of allocating per pass.
+    std::array<net::PacketPtr, kLaneDrainBatch> burst;
+  };
+
+  // Which resources/cores a packet charges: the shared (unsharded) set or
+  // one lane's. Threading this through the datapath keeps the sharded and
+  // historical paths one body of code.
+  struct LaneRefs {
+    sim::Resource* pipeline;
+    sim::Resource* stages;
+    sim::Resource* dma;
+    uint32_t core_pipe;
+    uint32_t core_stages;
+    uint32_t core_dma;
+    uint32_t tp_core;     // tracepoint ring for this context
+    uint16_t lane;        // sim::Simulator::kNoLane when unsharded
+    uint16_t cache_part;  // flow-cache partition (0 unsharded)
+  };
+
   // `stage_sites` is the per-stage attribution-site vector parallel to
   // `stages` (tx_stage_sites_/rx_stage_sites_); each executed stage's cost
-  // is charged to the stage engine and, when profiling, to the stage's own
-  // node under the enclosing scope for `owner_slot`.
-  StageResult RunStages(const std::vector<PipelineStage*>& stages,
+  // is charged to `lr`'s stage engine and, when profiling, to the stage's
+  // own node under the enclosing scope for `owner_slot`.
+  StageResult RunStages(const LaneRefs& lr,
+                        const std::vector<PipelineStage*>& stages,
                         net::Packet& packet, overlay::PacketContext& ctx,
                         Nanos stage_start, uint32_t trace_id,
                         FlowCacheMint* mint,
@@ -407,13 +487,29 @@ class SmartNic {
   // `memo` may be null (host-injected packets bypass burst memoization).
   void ProcessTxDescriptor(net::PacketPtr packet, net::ConnectionId conn_id,
                            FlowEntry* entry, Nanos now, TxBurst& burst,
-                           FastPathMemo* memo);
+                           FastPathMemo* memo, const LaneRefs& lr);
   void ConsumeTxRing(net::ConnectionId conn_id);
+  // The RX datapath body (pipeline → stages/fast path → flow match → DMA →
+  // ring push → notify) for one frame, charging `lr`'s resources. When
+  // `parsed_at_ingress` the sharded steering step already parsed the frame
+  // at wire arrival, so the single-pass parse is not repeated.
+  void ProcessRxFrame(const LaneRefs& lr, net::PacketPtr packet, Nanos now,
+                      bool parsed_at_ingress);
+  // Batched lane drains: pop up to kLaneDrainBatch frames through the span
+  // APIs and run them through the lane's resources; re-arm via the
+  // simulator's lane-interleave schedule while frames remain.
+  void DrainRxLane(uint16_t queue);
+  void DrainTxLane(uint16_t queue);
+  Status EnableShardingImpl(uint16_t num_queues);
+  LaneRefs LaneRefsFor(uint16_t queue);
+  // TX lane for a flow: the seeded RSS hash of its TX tuple, so a flow's
+  // two directions land on deterministic (generally matching) lanes.
+  uint16_t TxLaneOf(const FlowEntry* entry) const;
   void DrainWire();
   void ScheduleDrain(Nanos when);
   void EmitToWire(net::PacketPtr packet);
   void PostNotification(const FlowEntry& entry, NotificationKind kind,
-                        Nanos now);
+                        Nanos now, uint16_t queue = 0);
 
   sim::Simulator* sim_;
   Options options_;
@@ -433,6 +529,13 @@ class SmartNic {
   telemetry::QueueDepthGauges notify_gauges_;
   telemetry::QueueDepthGauges qdisc_gauges_;
   telemetry::QueueDepthGauges sram_gauges_;
+  // Per-queue lane ring gauges ("queue.nic.{tx,rx}_ring.q<N>"), registered
+  // eagerly for every possible lane in the ctor so the metric manifest is
+  // shape-stable whether or not a run shards — and so watchdog queue-stall
+  // rules can bind per lane. Declared before lanes_ (ring destructors
+  // settle into these).
+  std::vector<telemetry::QueueDepthGauges> lane_tx_gauges_;
+  std::vector<telemetry::QueueDepthGauges> lane_rx_gauges_;
   // Declared after sram_ so their destructors (which refund SRAM) run
   // first.
   FlowCache flow_cache_;
@@ -463,6 +566,12 @@ class SmartNic {
   sim::Resource pipeline_{"nic.pipeline"};
   sim::Resource wire_{"nic.wire"};
   sim::Resource stages_{"nic.stages"};
+
+  // Sharded lanes (empty until EnableSharding). unique_ptr: Lane owns
+  // resources whose registered busy-callbacks capture their address.
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  // The unsharded resource/core set, threaded through the shared datapath.
+  LaneRefs default_refs_{};
 
   // ---- Cycle attribution (telemetry::Profiler, owned by the simulator) --
   telemetry::Profiler* prof_;

@@ -48,9 +48,26 @@ void Simulator::ScheduleAt(Nanos when, Callback fn) {
   EventNode* node = AcquireNode();
   node->when = when;
   node->seq = next_seq_++;
+  node->rank = 0;  // nodes recycle: clear any stale lane rank
   node->fn = std::move(fn);
   heap_.push_back(node);
   std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
+}
+
+void Simulator::ScheduleAtLane(uint16_t lane, Nanos when, Callback fn) {
+  NORMAN_CHECK(when >= now_) << "cannot schedule into the past: " << when
+                             << " < " << now_;
+  EventNode* node = AcquireNode();
+  node->when = when;
+  node->seq = next_seq_++;
+  node->rank = LaneRank(lane, when);
+  node->fn = std::move(fn);
+  heap_.push_back(node);
+  std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
+}
+
+void Simulator::set_num_lanes(uint16_t n) {
+  num_lanes_ = std::clamp<uint16_t>(n, 1, kMaxLanes);
 }
 
 bool Simulator::Step() { return StepBatch(1) != 0; }

@@ -151,6 +151,31 @@ class Simulator {
     ScheduleAt(now_ + delay, std::move(fn));
   }
 
+  // ---- deterministic core interleaving ------------------------------------
+  //
+  // A sharded dataplane services N per-core lanes. Events tagged with a
+  // lane are ordered *within a ready horizon* by a rotating round-robin
+  // rank keyed on (virtual time, core index): at horizon t, lane (t mod N)
+  // is serviced first, then (t+1 mod N), and so on. The rotation makes the
+  // schedule fair across lanes while staying a pure function of (t, lane),
+  // so runs are bit-reproducible at any core count and at any dispatch
+  // batch size. Untagged events (kNoLane) keep rank 0 and therefore fire
+  // before any lane service at the same horizon, exactly as they always
+  // have; with num_lanes() <= 1 every event has rank 0 and the schedule is
+  // bit-identical to the historical (when, seq) order.
+  static constexpr uint16_t kNoLane = 0xffff;
+  static constexpr uint16_t kMaxLanes = 64;
+
+  // Number of lanes the interleave schedule rotates over. Setting it does
+  // not reorder already-queued events (their ranks were stamped at
+  // schedule time); configure it before traffic starts.
+  void set_num_lanes(uint16_t n);
+  uint16_t num_lanes() const { return num_lanes_; }
+
+  // Schedule `fn` at `when` on behalf of `lane`. With lanes configured the
+  // event carries the rotating lane rank; otherwise this is ScheduleAt.
+  void ScheduleAtLane(uint16_t lane, Nanos when, Callback fn);
+
   // Run events until the queue is empty. Drains in StepBatch() passes of
   // dispatch_batch() events.
   void Run();
@@ -233,17 +258,37 @@ class Simulator {
   struct EventNode {
     Nanos when = 0;
     uint64_t seq = 0;
+    // Lane-interleave rank within the ready horizon. 0 for untagged events
+    // and for every event while num_lanes() <= 1, so the historical
+    // (when, seq) order is preserved by construction in unsharded worlds.
+    uint16_t rank = 0;
     InlineCallback fn;
   };
-  // Min-heap on (when, seq): comparator says "a fires later than b".
+  // Min-heap on (when, rank, seq): comparator says "a fires later than b".
   struct FiresLater {
     bool operator()(const EventNode* a, const EventNode* b) const {
       if (a->when != b->when) {
         return a->when > b->when;
       }
+      if (a->rank != b->rank) {
+        return a->rank > b->rank;
+      }
       return a->seq > b->seq;
     }
   };
+
+  // Rotating round-robin rank for a lane-tagged event at horizon `when`:
+  // 1 + (lane - when) mod N, so lane (when mod N) ranks first. Strictly
+  // positive so untagged (rank 0) work always precedes lane service.
+  uint16_t LaneRank(uint16_t lane, Nanos when) const {
+    if (num_lanes_ <= 1 || lane == kNoLane) {
+      return 0;
+    }
+    const uint16_t n = num_lanes_;
+    const uint16_t phase = static_cast<uint16_t>(
+        static_cast<uint64_t>(when) % n);
+    return static_cast<uint16_t>(1 + (lane % n + n - phase) % n);
+  }
 
   static constexpr size_t kSlabNodes = 256;
 
@@ -257,6 +302,7 @@ class Simulator {
   Nanos now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
+  uint16_t num_lanes_ = 1;
   std::vector<EventNode*> heap_;
   std::vector<EventNode*> free_nodes_;
   std::vector<std::unique_ptr<EventNode[]>> slabs_;

@@ -17,8 +17,13 @@
 // component through degraded -> stalled -> recovered and the alert log
 // keeps every transition.
 //
-// Usage: norman_top [--json] [--text] [--by-pid] [--alerts] [--chaos]
-//                   [--series-out FILE] [--flows N]
+// With --by-core the dataplane is sharded across 4 lanes before traffic
+// flows, and the dashboard renders the per-core attribution table plus
+// every lane ring's depth — the view that makes one wedged or hot lane
+// stand out against its siblings.
+//
+// Usage: norman_top [--json] [--text] [--by-pid] [--by-core] [--alerts]
+//                   [--chaos] [--series-out FILE] [--flows N]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -126,6 +131,7 @@ int Main(int argc, char** argv) {
   bool show_json = false;
   bool show_text = false;
   bool by_pid = false;
+  bool by_core = false;
   bool alerts = false;
   bool chaos = false;
   std::string series_path;
@@ -139,6 +145,8 @@ int Main(int argc, char** argv) {
       show_text = true;
     } else if (arg == "--by-pid") {
       by_pid = true;
+    } else if (arg == "--by-core") {
+      by_core = true;
     } else if (arg == "--alerts") {
       alerts = true;
     } else if (arg == "--chaos") {
@@ -149,8 +157,8 @@ int Main(int argc, char** argv) {
       max_flows = std::strtoul(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json] [--text] [--by-pid] [--alerts] "
-                   "[--chaos] [--series-out FILE] [--flows N]\n",
+                   "usage: %s [--json] [--text] [--by-pid] [--by-core] "
+                   "[--alerts] [--chaos] [--series-out FILE] [--flows N]\n",
                    argv[0]);
       return 2;
     }
@@ -165,6 +173,15 @@ int Main(int argc, char** argv) {
   // Attribution is pure observation (no events, no virtual-time cost), so
   // it can stay on for every view without perturbing the goldens.
   bed.sim().profiler().set_enabled(true);
+  if (by_core) {
+    // Shard before any traffic flows so every lane resource exists from the
+    // first packet and the per-core table covers the whole run.
+    const Status s = bed.kernel().nic_control().EnableSharding(4);
+    if (!s.ok()) {
+      std::fprintf(stderr, "sharding: %s\n", std::string(s.message()).c_str());
+      return 1;
+    }
+  }
   if (chaos) {
     RunChaosScenario(bed);
   } else {
@@ -186,6 +203,10 @@ int Main(int argc, char** argv) {
 
   if (by_pid) {
     std::printf("%s", tools::TopByPid(bed.kernel()).c_str());
+    return 0;
+  }
+  if (by_core) {
+    std::printf("%s", tools::TopByCore(bed.kernel(), bed.nic()).c_str());
     return 0;
   }
   if (alerts) {

@@ -968,6 +968,48 @@ std::string TopByPid(const kernel::Kernel& k) {
   return out.str();
 }
 
+std::string TopByCore(const kernel::Kernel& k, const nic::SmartNic& nic) {
+  auto& mutable_k = const_cast<kernel::Kernel&>(k);
+  sim::Simulator* sim = mutable_k.simulator();
+  const telemetry::Profiler& prof = sim->profiler();
+  std::ostringstream out;
+  char line[200];
+  out << "norman-top --by-core (virtual time " << FormatNanos(sim->Now())
+      << ", " << nic.shard_queues() << " lanes)\n";
+  if (!prof.enabled()) {
+    out << "profiler: disabled (no attribution recorded)\n";
+  }
+  out << "cores (busy == attributed + unaccounted):\n";
+  std::snprintf(line, sizeof(line), "  %-18s %-5s %14s %14s %14s\n", "core",
+                "kind", "busy-ns", "attributed-ns", "unaccounted-ns");
+  out << line;
+  for (const auto& c : prof.CoreReports()) {
+    std::snprintf(
+        line, sizeof(line), "  %-18s %-5s %14llu %14llu %14llu\n",
+        c.name.c_str(),
+        c.kind == telemetry::Profiler::CoreKind::kNic ? "nic" : "host",
+        static_cast<unsigned long long>(c.busy_ns),
+        static_cast<unsigned long long>(c.attributed_ns),
+        static_cast<unsigned long long>(c.unaccounted_ns));
+    out << line;
+  }
+  out << "per-queue rings:\n";
+  std::snprintf(line, sizeof(line), "  %-22s %10s %12s\n", "queue", "depth",
+                "high-water");
+  out << line;
+  for (const auto& row : QueueRows(sim->metrics())) {
+    // Only the sharded lanes' ring pairs ("nic.{tx,rx}_ring.q<N>").
+    if (row.name.find("_ring.q") == std::string::npos) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line), "  %-22s %10lld %12lld\n",
+                  row.name.c_str(), static_cast<long long>(row.depth),
+                  static_cast<long long>(row.high_water));
+    out << line;
+  }
+  return out.str();
+}
+
 // ---- netstat ------------------------------------------------------------------
 
 std::string Netstat(const kernel::Kernel& k) {

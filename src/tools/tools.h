@@ -103,6 +103,13 @@ std::string ProfByOwner(const kernel::Kernel& k);
 // process dashboard.
 std::string TopByPid(const kernel::Kernel& k);
 
+// The `norman-top --by-core` view for the sharded dataplane: one row per
+// profiler core (busy / attributed / unaccounted — the conservation triple)
+// followed by every per-queue lane ring's depth and high watermark, so a
+// stuck or hot lane stands out against its siblings. Byte-stable for a
+// deterministic run.
+std::string TopByCore(const kernel::Kernel& k, const nic::SmartNic& nic);
+
 // ---- norman-netstat --------------------------------------------------------
 // Connection table with owner annotations, like `netstat -tupn`.
 std::string Netstat(const kernel::Kernel& k);

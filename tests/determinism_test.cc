@@ -27,7 +27,7 @@ struct RunTrace {
 RunTrace RunWorld(uint64_t seed, uint32_t trace_sample = 0,
                   bool monitor = false, bool fastpath = false,
                   uint32_t dispatch_batch = 0, bool profiler = false,
-                  bool tracepoints = false) {
+                  bool tracepoints = false, uint32_t shard_queues = 0) {
   workload::TestBedOptions opts;
   opts.echo = true;
   if (monitor) {
@@ -55,6 +55,10 @@ RunTrace RunWorld(uint64_t seed, uint32_t trace_sample = 0,
   }
   if (fastpath) {
     k.nic_control().EnableFlowCache(1024);
+  }
+  if (shard_queues != 0) {
+    // Must precede the connects: sharding is one-shot and re-steers flows.
+    EXPECT_TRUE(k.nic_control().EnableSharding(shard_queues).ok());
   }
   const auto peer = net::Ipv4Address::FromOctets(10, 0, 0, 2);
 
@@ -277,6 +281,50 @@ TEST(DeterminismTest, TracepointsJournalIsByteStable) {
     EXPECT_GT(a.journal_json.size(), 2u);  // more than "[]"
   }
   EXPECT_EQ(a.journal_json, b.journal_json);
+}
+
+// Sharding at num_queues=1 exercises the whole lane machinery — ingress
+// steering, the lane ring hop, the batched drain, lane-tagged continuations
+// — but with one lane the interleave schedule degenerates to the historical
+// (when, seq) order and every packet serializes through lane 0's resources
+// exactly as it did through the shared ones. The pre-pooling golden must
+// hold bit-for-bit: that is the proof the sharded code path costs nothing
+// it didn't cost before.
+TEST(DeterminismTest, ShardedSingleLaneMatchesGoldenTrace) {
+  ExpectMatchesGolden(RunWorld(42, /*trace_sample=*/0, /*monitor=*/false,
+                               /*fastpath=*/false, /*dispatch_batch=*/0,
+                               /*profiler=*/false, /*tracepoints=*/false,
+                               /*shard_queues=*/1));
+}
+
+// The multi-queue trajectory is pinned separately: RSS steering at wire
+// ingress legitimately reorders which lane's resources serve each packet,
+// so completion timestamps shift vs. the serial golden — once. Captured
+// when sharding landed; any drift after that is a real sharding bug
+// (nondeterministic steering, lane-interleave instability, or a lost or
+// duplicated frame). Also pinned across dispatch batch sizes: the lane
+// round-robin must be invariant to how many same-horizon events the
+// simulator dispatches per step.
+TEST(DeterminismTest, MulticoreInterleaveGolden) {
+  for (const uint32_t batch : {1u, 8u, 64u}) {
+    SCOPED_TRACE("dispatch_batch=" + std::to_string(batch));
+    const RunTrace t = RunWorld(42, /*trace_sample=*/0, /*monitor=*/false,
+                                /*fastpath=*/false, batch,
+                                /*profiler=*/false, /*tracepoints=*/false,
+                                /*shard_queues=*/4);
+    EXPECT_EQ(t.egress_frames, 413u);
+    EXPECT_EQ(t.egress_bytes, 202446u);
+    ASSERT_EQ(t.completions.size(), 413u);
+    EXPECT_EQ(Fnv1aHash(t.completions), 15723838227408439630ULL);
+    EXPECT_EQ(t.final_time, 5052014);
+  }
+  // Rerunning must be bit-identical at any queue count.
+  const RunTrace a = RunWorld(42, 0, false, false, 0, false, false, 4);
+  const RunTrace b = RunWorld(42, 0, false, false, 0, false, false, 4);
+  EXPECT_EQ(a.completions, b.completions);
+  const RunTrace e8a = RunWorld(42, 0, false, false, 0, false, false, 8);
+  const RunTrace e8b = RunWorld(42, 0, false, false, 0, false, false, 8);
+  EXPECT_EQ(e8a.completions, e8b.completions);
 }
 
 TEST(DeterminismTest, DifferentSeedsDifferentTraces) {

@@ -174,11 +174,24 @@ TEST(RssTest, CustomIndirectionOverrides) {
   RssEngine rss(4);
   // Pin every indirection slot to queue 3 — "virtual interface" carve-out.
   for (size_t i = 0; i < RssEngine::kIndirectionEntries; ++i) {
-    rss.SetIndirection(i, 3);
+    ASSERT_TRUE(rss.SetIndirection(i, 3).ok());
   }
   FiveTuple t{Ipv4Address::FromOctets(1, 1, 1, 1),
               Ipv4Address::FromOctets(2, 2, 2, 2), 5, 6, IpProto::kUdp};
   EXPECT_EQ(rss.Steer(t), 3);
+}
+
+TEST(RssTest, SetIndirectionRejectsOutOfRange) {
+  RssEngine rss(4);
+  // A queue the device doesn't have: must be an explicit error, not a
+  // silent queue%num_queues remap that steers traffic somewhere unintended.
+  const Status bad_queue = rss.SetIndirection(0, 4);
+  EXPECT_EQ(bad_queue.code(), StatusCode::kInvalidArgument);
+  const Status bad_index =
+      rss.SetIndirection(RssEngine::kIndirectionEntries, 0);
+  EXPECT_EQ(bad_index.code(), StatusCode::kInvalidArgument);
+  // The failed writes left the table untouched.
+  EXPECT_EQ(rss.indirection(0), 0);
 }
 
 TEST(RssTest, ZeroQueuesClampsToOne) {
