@@ -48,6 +48,17 @@ prints after the google-benchmark table) against the checked-in baseline:
      These rows live in a separate report file (bench_multicore's stdout);
      pass it as the report when gating that binary.
 
+  8. tenant isolation: bench_noisy_neighbor emits "noisy_neighbor" rows,
+     one per {scenario} x {solo, open, guarded} cell; for every scenario
+     (arp_flood, conntrack_churn, overlay_hog) the guarded run's
+     "retention" (victim deliveries over its solo reference) must be at
+     least NOISY_MIN_RETENTION (default 0.9) — quotas plus WFQ cycle
+     shares have to actually rescue the victim from each aggressor. A
+     missing scenario or a missing guarded row is itself a failure, so
+     the matrix cannot silently shrink. These rows live in a separate
+     report file (bench_noisy_neighbor's stdout); pass it as the report
+     when gating that binary.
+
 Override: set ALLOW_BENCH_REGRESSION=1 to turn failures into warnings —
 for landing a change that knowingly trades speed for capability. Record
 the new baseline in the same commit:
@@ -70,6 +81,8 @@ BATCH_MIN_SPEEDUP = 0.90     # batch=1 / batch=N paired cpu clocks
 PROFILER_TOLERANCE = 0.05    # profiler-on vs paired profiler-off run
 PROBES_TOLERANCE = 0.05      # probes-armed vs paired probes-disarmed run
 MULTICORE_MIN_SCALING = 1.8  # 4-queue vs paired 1-queue virtual throughput
+NOISY_MIN_RETENTION = 0.9    # guarded victim vs its solo reference
+NOISY_SCENARIOS = ("arp_flood", "conntrack_churn", "overlay_hog")
 DEFAULT_BATCH = 64           # rows without a "batch" field predate the sweep
 
 
@@ -226,18 +239,47 @@ def check_multicore(report, failures):
             f"(< {MULTICORE_MIN_SCALING:.1f}x floor)")
 
 
+def check_noisy_neighbor(report, failures):
+    cells = {}
+    for r in report:
+        if r.get("bench") != "noisy_neighbor":
+            continue
+        cells[(r.get("scenario"), r.get("mode"))] = r
+    for scenario in NOISY_SCENARIOS:
+        guarded = cells.get((scenario, "guarded"))
+        if guarded is None or "retention" not in guarded:
+            failures.append(f"missing noisy_neighbor guarded row for "
+                            f"{scenario}")
+            continue
+        retention = guarded["retention"]
+        open_row = cells.get((scenario, "open"), {})
+        open_note = (f" (open mode: {open_row['retention']:.2f})"
+                     if "retention" in open_row else "")
+        print(f"noisy_neighbor {scenario}: guarded retention "
+              f"{retention:.2f}{open_note}")
+        if retention < NOISY_MIN_RETENTION:
+            failures.append(
+                f"noisy_neighbor {scenario} guarded retention "
+                f"{retention:.2f} (< {NOISY_MIN_RETENTION:.1f} floor)")
+
+
 def main():
     if len(sys.argv) < 2:
         print(__doc__)
         return 2
     report = load_lines(sys.argv[1])
 
-    # A bench_multicore report gates only the scaling floor: the
-    # forwarding-loop pools don't exist in that file and vice versa.
-    if any(r.get("bench") == "multicore_scaling" for r in report):
+    # A bench_multicore or bench_noisy_neighbor report gates only its own
+    # floor: the forwarding-loop pools don't exist in those files and vice
+    # versa.
+    if any(r.get("bench") in ("multicore_scaling", "noisy_neighbor")
+           for r in report):
         allow = os.environ.get("ALLOW_BENCH_REGRESSION") == "1"
         failures = []
-        check_multicore(report, failures)
+        if any(r.get("bench") == "multicore_scaling" for r in report):
+            check_multicore(report, failures)
+        else:
+            check_noisy_neighbor(report, failures)
         if failures:
             for f in failures:
                 print(f"{'WARNING' if allow else 'FAIL'}: {f}")

@@ -45,8 +45,9 @@ enum class Probe : uint8_t {
   kFlowCacheInstall,     // a0 = epoch, a1 = entries after
   kFlowCacheEvict,       // a0 = entries after
   kFlowCacheInvalidate,  // a0 = epoch after the bump
-  kSramAlloc,            // a0 = bytes, a1 = used after
-  kSramExhausted,        // a0 = bytes requested, a1 = bytes available
+  kSramAlloc,            // a0 = bytes, a1 = used after, a2 = tenant
+  kSramExhausted,        // a0 = bytes requested, a1 = available, a2 = tenant
+                         // (pid = requesting owner; 0 = anonymous/wire)
   kRingFull,             // a0 = DropReason, a1 = direction tag
   kNotifyStall,          // a0 = notifications deferred so far
   kFaultInject,          // a0 = FaultActivation, a1 = link index

@@ -74,13 +74,19 @@ nic::StageResult Conntrack::Process(net::Packet& packet,
     }
   }
   if (it == table_.end()) {
-    if (!sram_->Allocate("conntrack", kConntrackEntryBytes).ok()) {
+    // Charge the owning tenant's quota when the flow has a kernel-attached
+    // owner; anonymous wire flows charge the shared (tenant-0) pool, which
+    // the bounded-table defense already protects.
+    if (!sram_->Allocate("conntrack", kConntrackEntryBytes,
+                         ctx.conn.owner_pid, ctx.conn.owner_tenant)
+             .ok()) {
       ++untracked_;
       return result;
     }
     ConntrackEntry entry;
     entry.tuple = *flow;
     entry.first_seen = now;
+    entry.tenant = ctx.conn.owner_tenant;
     it = table_.emplace(*flow, entry).first;
   }
   ConntrackEntry& entry = it->second;
@@ -116,8 +122,10 @@ size_t Conntrack::Sweep(Nanos now) {
     }
   }
   for (const auto& tuple : dead) {
+    const auto it = table_.find(tuple);
+    const uint32_t tenant = it != table_.end() ? it->second.tenant : 0;
     table_.erase(tuple);
-    sram_->Free("conntrack", kConntrackEntryBytes);
+    sram_->Free("conntrack", kConntrackEntryBytes, tenant);
   }
   return dead.size();
 }

@@ -36,6 +36,10 @@ struct ConntrackEntry {
   uint64_t bytes = 0;
   Nanos first_seen = 0;
   Nanos last_seen = 0;
+  // Tenant whose quota the entry's SRAM is charged against (0 = system:
+  // anonymous wire traffic with no installed flow). Recorded so Sweep
+  // refunds the same budget it charged.
+  uint32_t tenant = 0;
 };
 
 class Conntrack : public nic::PipelineStage {

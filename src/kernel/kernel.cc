@@ -1,5 +1,6 @@
 #include "src/kernel/kernel.h"
 
+#include <algorithm>
 #include <span>
 
 #include "src/common/logging.h"
@@ -47,6 +48,10 @@ Kernel::Kernel(sim::Simulator* sim, nic::SmartNic* nic, Options options)
       std::make_unique<dataplane::OverlayStage>(nic_cp_.get(), kCustomTxSlot);
   custom_rx_ =
       std::make_unique<dataplane::OverlayStage>(nic_cp_.get(), kCustomRxSlot);
+  tenant_tx_ =
+      std::make_unique<dataplane::OverlayStage>(nic_cp_.get(), kTenantTxSlot);
+  tenant_rx_ =
+      std::make_unique<dataplane::OverlayStage>(nic_cp_.get(), kTenantRxSlot);
   // Probe hookup: the kernel owns the interposition stages, so it is the
   // one place every decision site can be armed from.
   filter_input_->AttachTracepoints(&sim_->tracepoints());
@@ -84,6 +89,9 @@ void Kernel::InstallPipeline() {
   nic_cp_->AddTxStage(conntrack_.get());
   nic_cp_->AddTxStage(filter_output_.get());
   nic_cp_->AddTxStage(custom_tx_.get());
+  if (tenant_tx_holder_ != kSystemTenant) {
+    nic_cp_->AddTxStage(tenant_tx_.get());
+  }
   if (nat_ != nullptr) {
     nic_cp_->AddTxStage(nat_.get());
   }
@@ -100,6 +108,9 @@ void Kernel::InstallPipeline() {
   nic_cp_->AddRxStage(conntrack_.get());
   nic_cp_->AddRxStage(filter_input_.get());
   nic_cp_->AddRxStage(custom_rx_.get());
+  if (tenant_rx_holder_ != kSystemTenant) {
+    nic_cp_->AddRxStage(tenant_rx_.get());
+  }
 }
 
 void Kernel::Housekeeping() {
@@ -219,11 +230,28 @@ StatusOr<AppPort> Kernel::Connect(Pid pid, net::Ipv4Address remote_ip,
                                remote_port, opts.proto};
   entry.owner = overlay::ConnMetadata{conn_id, proc->uid, proc->pid,
                                       proc->cgroup, proc->comm_id};
+  entry.owner.owner_tenant = TenantOf(proc->uid);
   entry.comm = proc->comm;
   entry.tx_ring_bytes = nic::kHotWorkingSetBytes;
   entry.rx_ring_bytes = nic::kHotWorkingSetBytes;
   entry.notify_rx = opts.notify_rx;
   entry.notify_tx_drain = opts.notify_tx_drain;
+
+  // Tenant ring-memory admission: each NIC connection pins a TX and an RX
+  // ring working set. A tenant whose ring budget is spent is refused before
+  // any NIC state is touched (kResourceExhausted — release a connection and
+  // retry). Fallback connections have no NIC rings and are never charged.
+  const uint64_t ring_cost = entry.tx_ring_bytes + entry.rx_ring_bytes;
+  if (const auto t = tenants_.find(entry.owner.owner_tenant);
+      t != tenants_.end() && t->second.spec.ring_bytes != 0 &&
+      t->second.ring_bytes_used + ring_cost > t->second.spec.ring_bytes) {
+    nic_cp_->tenants().CountDenied(entry.owner.owner_tenant);
+    return ResourceExhaustedError(
+        "connect: tenant " + std::to_string(entry.owner.owner_tenant) +
+        " ring budget exhausted (" +
+        std::to_string(t->second.ring_bytes_used) + " of " +
+        std::to_string(t->second.spec.ring_bytes) + " bytes in use)");
+  }
 
   const Status install = nic_cp_->InstallFlow(entry);
   if (!install.ok()) {
@@ -248,6 +276,11 @@ StatusOr<AppPort> Kernel::Connect(Pid pid, net::Ipv4Address remote_ip,
     nic_cp_->RegisterNotificationQueue(pid);
   }
   conn_owner_pid_.emplace(conn_id, pid);
+  if (const auto t = tenants_.find(entry.owner.owner_tenant);
+      t != tenants_.end()) {
+    t->second.ring_bytes_used += ring_cost;
+    conn_tenant_.emplace(conn_id, entry.owner.owner_tenant);
+  }
 
   return AppPort(conn_id, entry.tuple, options_.host_mac,
                  options_.gateway_mac, nic_cp_->GetRings(conn_id),
@@ -263,6 +296,15 @@ Status Kernel::Close(net::ConnectionId conn_id) {
       static_cast<uint64_t>(conn_id));
   waiters_.erase(conn_id);
   conn_owner_pid_.erase(conn_id);
+  if (const auto ct = conn_tenant_.find(conn_id); ct != conn_tenant_.end()) {
+    // Refund the connection's ring working sets to its tenant's budget.
+    if (const auto t = tenants_.find(ct->second); t != tenants_.end()) {
+      const uint64_t ring_cost = 2 * nic::kHotWorkingSetBytes;
+      t->second.ring_bytes_used -= std::min(t->second.ring_bytes_used,
+                                            ring_cost);
+    }
+    conn_tenant_.erase(ct);
+  }
   if (rate_limits_.erase(conn_id) > 0) {
     pacer_->ClearRate(conn_id);  // releases any paced backlog for the wire
   }
@@ -378,11 +420,23 @@ void Kernel::HandleHostPacket(net::PacketPtr packet, net::Direction dir) {
   entry.tuple = inbound.Reversed();
   entry.owner = overlay::ConnMetadata{conn_id, proc->uid, proc->pid,
                                       proc->cgroup, proc->comm_id};
+  entry.owner.owner_tenant = TenantOf(proc->uid);
   entry.comm = proc->comm;
   entry.tx_ring_bytes = nic::kHotWorkingSetBytes;
   entry.rx_ring_bytes = nic::kHotWorkingSetBytes;
   entry.notify_rx = listener.accept_opts.notify_rx;
   entry.notify_tx_drain = listener.accept_opts.notify_tx_drain;
+  // Same ring-memory admission as Connect: an accepted connection charges
+  // the *listener's* tenant, so a flood of new peers cannot grow a tenant's
+  // ring footprint past its envelope (the trigger packet is dropped).
+  const uint64_t ring_cost = entry.tx_ring_bytes + entry.rx_ring_bytes;
+  if (const auto t = tenants_.find(entry.owner.owner_tenant);
+      t != tenants_.end() && t->second.spec.ring_bytes != 0 &&
+      t->second.ring_bytes_used + ring_cost > t->second.spec.ring_bytes) {
+    nic_cp_->tenants().CountDenied(entry.owner.owner_tenant);
+    drop_sram_exhausted_->Increment();
+    return;
+  }
   const Status install = nic_cp_->InstallFlow(entry);
   if (!install.ok()) {
     drop_sram_exhausted_->Increment();  // NIC full, no server fallback (yet)
@@ -392,6 +446,11 @@ void Kernel::HandleHostPacket(net::PacketPtr packet, net::Direction dir) {
     nic_cp_->RegisterNotificationQueue(listener.pid);
   }
   conn_owner_pid_.emplace(conn_id, listener.pid);
+  if (const auto t = tenants_.find(entry.owner.owner_tenant);
+      t != tenants_.end()) {
+    t->second.ring_bytes_used += ring_cost;
+    conn_tenant_.emplace(conn_id, entry.owner.owner_tenant);
+  }
 
   // Deliver the trigger packet into the new connection's RX ring so the
   // first request is not lost, then queue the accept event.
@@ -679,6 +738,276 @@ Status Kernel::EnableNat(Uid caller, net::Ipv4Address private_prefix,
   return OkStatus();
 }
 
+// ---- Declarative configuration & tenancy ------------------------------------
+
+Status Kernel::Configure(Uid caller, const NicConfig& config) {
+  NORMAN_RETURN_IF_ERROR(RequireRoot(caller));
+  // ---- Validate the whole config first: a rejected config applies
+  // nothing, so the dataplane never ends up half-way between two states.
+  if (config.flow_cache && config.flow_cache_entries == 0) {
+    return InvalidArgumentError("config: flow_cache_entries must be > 0");
+  }
+  if (config.top_talkers && config.top_talker_entries == 0) {
+    return InvalidArgumentError("config: top_talker_entries must be > 0");
+  }
+  if (config.shard_queues > nic::SmartNic::kMaxShardQueues) {
+    return InvalidArgumentError(
+        "config: shard_queues must be <= " +
+        std::to_string(nic::SmartNic::kMaxShardQueues) + ", got " +
+        std::to_string(config.shard_queues));
+  }
+  const uint16_t live_queues = nic_cp_->shard_queues();
+  if (live_queues > 0 && config.shard_queues != live_queues) {
+    return FailedPreconditionError(
+        "config: sharding is one-shot; the live dataplane has " +
+        std::to_string(live_queues) + " lanes and cannot be re-carved to " +
+        std::to_string(config.shard_queues));
+  }
+  if (config.nat &&
+      (config.nat_prefix_len == 0 || config.nat_prefix_len > 32)) {
+    return InvalidArgumentError(
+        "config: nat_prefix_len must be in [1, 32], got " +
+        std::to_string(config.nat_prefix_len));
+  }
+  if (!config.nat && nat_ != nullptr) {
+    return FailedPreconditionError(
+        "config: NAT cannot be removed once enabled (live translations "
+        "would strand)");
+  }
+  if (config.tenant_isolation != active_config_.tenant_isolation &&
+      nic_cp_->scheduler()->backlog_packets() > 0) {
+    return FailedPreconditionError(
+        "config: cannot swap the TX discipline with packets in flight");
+  }
+
+  // ---- Apply. No step below can fail: every precondition the individual
+  // operations check was validated above, so the CHECKs are invariants.
+  if (live_queues == 0 && config.shard_queues > 0) {
+    NORMAN_CHECK(nic_cp_->EnableSharding(config.shard_queues).ok());
+  }
+  if (config.flow_cache) {
+    nic_cp_->EnableFlowCache(config.flow_cache_entries);
+  } else if (nic_cp_->flow_cache().enabled()) {
+    nic_cp_->DisableFlowCache();
+  }
+  if (config.top_talkers) {
+    nic::TopTalkers* tt = nic_cp_->top_talkers();
+    if (tt == nullptr || tt->max_entries() != config.top_talker_entries) {
+      nic_cp_->EnableTopTalkers(config.top_talker_entries);
+    }
+  } else if (nic_cp_->top_talkers() != nullptr) {
+    nic_cp_->DisableTopTalkers();
+  }
+  if (config.nat && nat_ == nullptr) {
+    nat_ = std::make_unique<dataplane::NatEngine>(
+        &nic_cp_->sram(), net::Ipv4Address{config.nat_private_prefix},
+        config.nat_prefix_len, net::Ipv4Address{config.nat_public_ip});
+    InstallPipeline();
+  }
+  nic_cp_->SetTenantIsolation(config.tenant_isolation);
+  if (config.tenant_isolation != active_config_.tenant_isolation) {
+    if (config.tenant_isolation) {
+      InstallTenantQdisc();
+    } else {
+      // Back to the boot discipline: FIFO behind the transparent pacer.
+      auto paced = std::make_unique<dataplane::PacedScheduler>();
+      dataplane::PacedScheduler* raw = paced.get();
+      NORMAN_CHECK(nic_cp_->SetScheduler(std::move(paced)).ok());
+      pacer_ = raw;
+      for (const auto& [conn, limit] : rate_limits_) {
+        pacer_->SetRate(conn, limit.first, limit.second);
+      }
+    }
+  }
+  if (config.maintenance) {
+    StartMaintenance();
+  } else {
+    StopMaintenance();
+  }
+  active_config_ = config;
+  return OkStatus();
+}
+
+void Kernel::InstallTenantQdisc() {
+  // The wire-side half of tenant isolation: the shared TX wire is FIFO
+  // inside any one discipline, so without this an aggressor's backlog sits
+  // in front of the victim even when the pipeline shares are enforced. A
+  // WFQ discipline classified on owner uid gives each tenant the same
+  // weighted share of the wire as of the pipeline; unregistered uids fall
+  // into class 0 (the system share).
+  std::map<uint32_t, uint32_t> uid_to_class;
+  for (const auto& [id, state] : tenants_) {
+    uid_to_class[id] = id;
+  }
+  auto wfq = std::make_unique<dataplane::WfqQdisc>(
+      dataplane::ClassifyByUid(std::move(uid_to_class)));
+  for (const auto& [id, state] : tenants_) {
+    wfq->SetWeight(id, static_cast<double>(state.spec.cycle_weight));
+  }
+  // Same wrap-and-swap path as SetQdisc: rate limits survive the swap.
+  // Callers validated the empty-backlog precondition, so the swap holds.
+  auto paced = std::make_unique<dataplane::PacedScheduler>(std::move(wfq));
+  dataplane::PacedScheduler* raw = paced.get();
+  NORMAN_CHECK(nic_cp_->SetScheduler(std::move(paced)).ok());
+  pacer_ = raw;
+  for (const auto& [conn, limit] : rate_limits_) {
+    pacer_->SetRate(conn, limit.first, limit.second);
+  }
+}
+
+StatusOr<Tenant> Kernel::CreateTenant(Uid caller, Uid tenant_uid,
+                                      const TenantSpec& spec) {
+  NORMAN_RETURN_IF_ERROR(RequireRoot(caller));
+  if (tenant_uid == kRootUid) {
+    return InvalidArgumentError(
+        "tenant: uid 0 is the system tenant and cannot be quota'd");
+  }
+  if (spec.cycle_weight == 0) {
+    return InvalidArgumentError("tenant: cycle_weight must be >= 1");
+  }
+  const TenantId id = tenant_uid;
+  if (tenants_.contains(id)) {
+    return AlreadyExistsError("tenant " + std::to_string(id) +
+                              " already registered");
+  }
+  if (active_config_.tenant_isolation &&
+      nic_cp_->scheduler()->backlog_packets() > 0) {
+    return UnavailableError(
+        "tenant: cannot re-weight the TX discipline with packets in flight");
+  }
+  tenants_.emplace(id, TenantState{spec});
+  nic_cp_->ConfigureTenant(id, spec.cycle_weight, spec.sram_bytes);
+  if (tenant_rules_installed_.insert(id).second) {
+    // A tenant spending more than half of wall time throttled is starved —
+    // either its weight is too small for its offered load or an aggressor
+    // is saturating the shares. The rule reads healthy while the tenant is
+    // absent or idle.
+    const std::string ts = std::to_string(id);
+    watchdog_->AddRateSpikeRule("tenant." + ts + ".starved",
+                                "tenant." + ts + ".throttled_ns.rate",
+                                "tenant." + ts, 0.5e9);
+  }
+  if (active_config_.tenant_isolation) {
+    InstallTenantQdisc();
+  }
+  return Tenant(this, id, spec);
+}
+
+Status Kernel::ReleaseTenant(TenantId tenant) {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return NotFoundError("tenant " + std::to_string(tenant) +
+                         " not registered");
+  }
+  // Close every connection charged to the tenant (collect ids first: Close
+  // mutates conn_tenant_ as it refunds the ring budget).
+  std::vector<net::ConnectionId> owned;
+  for (const auto& [conn, t] : conn_tenant_) {
+    if (t == tenant) {
+      owned.push_back(conn);
+    }
+  }
+  for (const net::ConnectionId conn : owned) {
+    (void)Close(conn);
+  }
+  // Free any chain slots the tenant's policies hold.
+  if (tenant_tx_holder_ == tenant || tenant_rx_holder_ == tenant) {
+    if (tenant_tx_holder_ == tenant) {
+      tenant_tx_holder_ = kSystemTenant;
+    }
+    if (tenant_rx_holder_ == tenant) {
+      tenant_rx_holder_ = kSystemTenant;
+    }
+    InstallPipeline();
+    nic_cp_->InvalidateFastPath();
+  }
+  nic_cp_->RemoveTenant(tenant);
+  tenants_.erase(it);
+  if (active_config_.tenant_isolation &&
+      nic_cp_->scheduler()->backlog_packets() == 0) {
+    InstallTenantQdisc();
+  }
+  return OkStatus();
+}
+
+TenantId Kernel::TenantOf(Uid uid) const {
+  return tenants_.contains(uid) ? uid : kSystemTenant;
+}
+
+const TenantSpec* Kernel::FindTenantSpec(TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : &it->second.spec;
+}
+
+StatusOr<Nanos> Kernel::LoadTenantPolicy(TenantId tenant, Chain chain,
+                                         const overlay::Program& program) {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return NotFoundError("tenant " + std::to_string(tenant) +
+                         " not registered");
+  }
+  TenantId& holder =
+      chain == Chain::kOutput ? tenant_tx_holder_ : tenant_rx_holder_;
+  const size_t slot = chain == Chain::kOutput ? kTenantTxSlot : kTenantRxSlot;
+  if (program.empty()) {
+    if (holder != tenant) {
+      return NotFoundError("tenant policy: slot not held by this tenant");
+    }
+    holder = kSystemTenant;
+    if (it->second.overlay_slots_used > 0) {
+      --it->second.overlay_slots_used;
+    }
+    InstallPipeline();
+    nic_cp_->InvalidateFastPath();
+    return static_cast<Nanos>(0);
+  }
+  if (holder != kSystemTenant && holder != tenant) {
+    // Would-block, not a quota failure: nothing of the caller's is spent,
+    // the slot is simply busy (see the convention in tenant.h).
+    return UnavailableError("tenant policy: chain slot held by tenant " +
+                            std::to_string(holder));
+  }
+  const bool newly_held = holder != tenant;
+  if (newly_held &&
+      it->second.overlay_slots_used >= it->second.spec.overlay_slots) {
+    nic_cp_->tenants().CountDenied(tenant);
+    return ResourceExhaustedError(
+        "tenant " + std::to_string(tenant) +
+        " overlay slot quota exhausted (" +
+        std::to_string(it->second.spec.overlay_slots) + " admitted)");
+  }
+  auto load = nic_cp_->LoadOverlay(slot, program);
+  if (!load.ok()) {
+    return load;
+  }
+  if (newly_held) {
+    holder = tenant;
+    ++it->second.overlay_slots_used;
+    InstallPipeline();
+  }
+  nic_cp_->InvalidateFastPath();
+  return load;
+}
+
+// ---- Tenant (RAII handle) ---------------------------------------------------
+
+Tenant::~Tenant() { Release(); }
+
+Tenant& Tenant::operator=(Tenant&& other) noexcept {
+  if (this != &other) {
+    Release();
+    MoveFrom(other);
+  }
+  return *this;
+}
+
+void Tenant::Release() {
+  if (kernel_ != nullptr) {
+    (void)kernel_->ReleaseTenant(id_);
+    kernel_ = nullptr;
+  }
+}
+
 Status Kernel::SoftwareTransmit(net::ConnectionId conn_id,
                                 net::PacketPtr packet) {
   const auto it = fallback_conns_.find(conn_id);
@@ -692,6 +1021,7 @@ Status Kernel::SoftwareTransmit(net::ConnectionId conn_id,
   telemetry::ProfScope slow_scope(prof_, prof_slow_site_);
   const uint32_t owner_pid = it->second.owner.owner_pid;
   packet->meta().owner_pid = owner_pid;
+  packet->meta().tenant = it->second.owner.owner_tenant;
   sim_->tracepoints().Emit(
       telemetry::Probe::kSlowPath, telemetry::Tracepoints::kCoreHost,
       owner_pid, static_cast<uint64_t>(telemetry::SlowPathOp::kSoftTransmit),

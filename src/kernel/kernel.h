@@ -16,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,7 @@
 #include "src/dataplane/spoof_guard.h"
 #include "src/kernel/app_port.h"
 #include "src/kernel/process.h"
+#include "src/kernel/tenant.h"
 #include "src/net/types.h"
 #include "src/nic/smart_nic.h"
 #include "src/sim/resource.h"
@@ -44,8 +46,11 @@ namespace norman::kernel {
 // Which filter chain a rule goes to (iptables INPUT/OUTPUT equivalents).
 enum class Chain { kInput, kOutput };
 
-// NIC overlay slot allocation: 0/1 are free for administrators and
-// experiments; 2/3 back the kernel's custom-policy stages.
+// NIC overlay slot allocation: 0/1 carry tenant-loaded policies (charged
+// against TenantSpec::overlay_slots); 2/3 back the kernel's custom-policy
+// stages.
+inline constexpr size_t kTenantTxSlot = 0;
+inline constexpr size_t kTenantRxSlot = 1;
 inline constexpr size_t kCustomTxSlot = 2;
 inline constexpr size_t kCustomRxSlot = 3;
 
@@ -126,6 +131,40 @@ class Kernel {
   // Kernel CPU time spent on wakeups (context switches) — E5's metric.
   const sim::Resource& kernel_core() const { return kernel_core_; }
 
+  // ---- Declarative NIC configuration (root-only) --------------------------
+  // Applies a whole NicConfig atomically: every field is validated before
+  // any of them takes effect, so a rejected config leaves the dataplane
+  // exactly as it was (the error names the offending field). The accreted
+  // per-feature calls (EnableNat, StartMaintenance, and the control plane's
+  // EnableFlowCache/EnableSharding/EnableTopTalkers) remain as thin
+  // deprecated shims over the same state.
+  Status Configure(Uid caller, const NicConfig& config);
+  const NicConfig& active_config() const { return active_config_; }
+
+  // ---- Multi-tenant isolation (root-only) ---------------------------------
+  // Registers `tenant_uid`'s resource envelope and returns the RAII handle
+  // that owns it; the handle's destruction (or Release) unwinds everything:
+  // quotas cleared, WFQ share removed, the tenant's connections closed, any
+  // held overlay slots freed. Tenant identity is the uid itself; every
+  // connection a process of that uid opens is stamped and charged to it.
+  // Fails kAlreadyExists if the uid is already a tenant.
+  StatusOr<Tenant> CreateTenant(Uid caller, Uid tenant_uid,
+                                const TenantSpec& spec);
+  // Unwinds a tenant by id (the Tenant handle calls this).
+  Status ReleaseTenant(TenantId tenant);
+  // Tenant a uid's traffic is charged to; kSystemTenant when unregistered.
+  TenantId TenantOf(Uid uid) const;
+  const TenantSpec* FindTenantSpec(TenantId tenant) const;
+  size_t tenant_count() const { return tenants_.size(); }
+
+  // Loads a tenant-owned overlay program into the chain's tenant slot,
+  // charged against TenantSpec::overlay_slots. kResourceExhausted when the
+  // tenant's slot quota is spent; kUnavailable when another tenant holds
+  // the chain's slot (retry later — nothing of the caller's is consumed).
+  // An empty program releases the slot.
+  StatusOr<Nanos> LoadTenantPolicy(TenantId tenant, Chain chain,
+                                   const overlay::Program& program);
+
   // ---- Administrative configuration (root-only syscalls) -----------------
   // iptables: first-match rule chains compiled to the NIC overlay.
   StatusOr<size_t> AppendFilterRule(Uid caller, Chain chain,
@@ -175,6 +214,8 @@ class Kernel {
   const dataplane::Conntrack& conntrack() const { return *conntrack_; }
 
   // Enable source NAT for a private prefix (root only).
+  // Deprecated shim: prefer Configure() with NicConfig::nat, which
+  // validates the whole configuration before applying any of it.
   Status EnableNat(Uid caller, net::Ipv4Address private_prefix,
                    uint32_t prefix_len, net::Ipv4Address public_ip);
   const dataplane::NatEngine* nat() const { return nat_.get(); }
@@ -203,6 +244,7 @@ class Kernel {
   // Opt-in and self-limiting: the tick re-arms only while other events are
   // pending, so an idle world still terminates (a free-running timer would
   // keep the DES alive forever) and default goldens are unaffected.
+  // Deprecated shim: prefer Configure() with NicConfig::maintenance.
   void StartMaintenance();
   void StopMaintenance() { maintenance_on_ = false; }
   bool maintenance_running() const { return maintenance_on_; }
@@ -231,6 +273,10 @@ class Kernel {
   void PumpNotifications(Pid pid);
   void MaintenanceTick();
   void InstallDefaultHealthRules();
+  // (Re)installs the per-tenant WFQ TX discipline classifying on owner uid
+  // with the registered cycle weights — the wire-side half of tenant
+  // isolation (the pipeline half lives in the NIC's TenantTable).
+  void InstallTenantQdisc();
 
   sim::Simulator* sim_;
   nic::SmartNic* nic_;
@@ -256,6 +302,28 @@ class Kernel {
   std::unique_ptr<dataplane::SpoofGuard> spoof_guard_;
   std::unique_ptr<dataplane::OverlayStage> custom_tx_;
   std::unique_ptr<dataplane::OverlayStage> custom_rx_;
+  // Tenant overlay stages (slots kTenantTxSlot/kTenantRxSlot). They join
+  // the chains only while a tenant program is loaded, so default pipelines
+  // keep their stage count (and their pinned golden timings).
+  std::unique_ptr<dataplane::OverlayStage> tenant_tx_;
+  std::unique_ptr<dataplane::OverlayStage> tenant_rx_;
+  TenantId tenant_tx_holder_ = kSystemTenant;  // kSystemTenant = slot free
+  TenantId tenant_rx_holder_ = kSystemTenant;
+
+  // ---- Tenancy registry ----------------------------------------------------
+  struct TenantState {
+    TenantSpec spec;
+    uint64_t ring_bytes_used = 0;     // TX+RX ring working sets charged
+    uint32_t overlay_slots_used = 0;  // chain slots currently held
+  };
+  std::map<TenantId, TenantState> tenants_;
+  // Tenants that already have a "tenant.<id>.starved" watchdog rule; rules
+  // outlive releases (an absent series reads healthy) and must not stack.
+  std::set<TenantId> tenant_rules_installed_;
+  // Connections whose ring memory is charged to a tenant (refunded on
+  // Close; fallback connections have no rings and are never charged).
+  std::map<net::ConnectionId, TenantId> conn_tenant_;
+  NicConfig active_config_;
   // Owned by the NIC once installed; kernel keeps the typed handle.
   dataplane::PacedScheduler* pacer_ = nullptr;
   std::map<net::ConnectionId, std::pair<BitsPerSecond, uint64_t>>

@@ -43,6 +43,10 @@ struct PacketMeta {
   // frames). Carried so later charge points (wire drain) can attribute
   // cycles without re-walking the flow table. 0 = no registered owner.
   uint32_t owner_pid = 0;
+  // Owning tenant (kernel-assigned; 0 = untenanted), stamped alongside
+  // owner_pid from the flow entry so per-tenant cycle shares and drop
+  // attribution work anywhere in the pipeline.
+  uint32_t tenant = 0;
   // Lifecycle tracing (telemetry::PacketTracer): nonzero when this packet
   // was sampled at NIC arrival; spans are recorded under this id.
   uint32_t trace_id = 0;

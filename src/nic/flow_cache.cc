@@ -34,7 +34,9 @@ FlowCache::FlowCache(SramAllocator* sram, telemetry::MetricsRegistry* registry)
 
 FlowCache::~FlowCache() {
   for (Partition& part : parts_) {
-    sram_->Free(part.sram_category, part.map.size() * kFlowCacheEntryBytes);
+    for (const auto& [key, entry] : part.lru) {
+      sram_->Free(part.sram_category, kFlowCacheEntryBytes, entry.tenant);
+    }
   }
 }
 
@@ -62,7 +64,9 @@ void FlowCache::Disable() {
 
 void FlowCache::Flush() {
   for (Partition& part : parts_) {
-    sram_->Free(part.sram_category, part.map.size() * kFlowCacheEntryBytes);
+    for (const auto& [key, entry] : part.lru) {
+      sram_->Free(part.sram_category, kFlowCacheEntryBytes, entry.tenant);
+    }
     part.map.clear();
     part.lru.clear();
   }
@@ -145,7 +149,19 @@ void FlowCache::Insert(const FlowCacheKey& key, FlowCacheEntry entry,
   while (part.map.size() >= PartitionCapacity() && !part.map.empty()) {
     EvictOne(part);
   }
-  while (!sram_->Allocate(part.sram_category, kFlowCacheEntryBytes).ok()) {
+  // A tenant-attributed charge: when the owning tenant's quota is spent,
+  // evicting the shared LRU tail cannot help, so the mint is just skipped
+  // (a cache miss costs correctness nothing).
+  while (!sram_
+              ->Allocate(part.sram_category, kFlowCacheEntryBytes,
+                         /*pid=*/0, entry.tenant)
+              .ok()) {
+    if (entry.tenant != 0 &&
+        sram_->TenantQuota(entry.tenant) != 0 &&
+        sram_->TenantUsed(entry.tenant) + kFlowCacheEntryBytes >
+            sram_->TenantQuota(entry.tenant)) {
+      return;
+    }
     if (part.map.empty()) return;  // SRAM cannot cover even one entry
     EvictOne(part);
   }
@@ -164,10 +180,11 @@ void FlowCache::Insert(const FlowCacheKey& key, FlowCacheEntry entry,
 void FlowCache::EvictOne(Partition& part) {
   if (part.lru.empty()) return;
   const telemetry::TraceFlow flow = FlowOf(part.lru.back().first);
+  const uint32_t tenant = part.lru.back().second.tenant;
   part.map.erase(part.lru.back().first);
   part.lru.pop_back();
   --count_;
-  sram_->Free(part.sram_category, kFlowCacheEntryBytes);
+  sram_->Free(part.sram_category, kFlowCacheEntryBytes, tenant);
   evictions_->Increment();
   entries_->Set(static_cast<int64_t>(count_));
   sram_gauge_->Set(static_cast<int64_t>(sram_bytes()));
@@ -180,10 +197,11 @@ void FlowCache::EvictOne(Partition& part) {
 void FlowCache::Erase(Partition& part, const FlowCacheKey& key) {
   const auto it = part.map.find(key);
   if (it == part.map.end()) return;
+  const uint32_t tenant = it->second->second.tenant;
   part.lru.erase(it->second);
   part.map.erase(it);
   --count_;
-  sram_->Free(part.sram_category, kFlowCacheEntryBytes);
+  sram_->Free(part.sram_category, kFlowCacheEntryBytes, tenant);
   entries_->Set(static_cast<int64_t>(count_));
   sram_gauge_->Set(static_cast<int64_t>(sram_bytes()));
 }

@@ -92,6 +92,10 @@ struct FlowCacheEntry {
   uint16_t rewrite_port = 0;
   // Control-plane generation this entry was minted under; stale => miss.
   uint64_t epoch = 0;
+  // Tenant whose SRAM quota holds the entry (0 = system). Set by the NIC
+  // from the matched flow's owner when the entry is minted so eviction
+  // refunds the right budget.
+  uint32_t tenant = 0;
 };
 
 class FlowCache {

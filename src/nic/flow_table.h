@@ -60,7 +60,9 @@ class FlowTable {
     if (by_tuple_.contains(entry.tuple)) {
       return AlreadyExistsError("flow table: 5-tuple already installed");
     }
-    NORMAN_RETURN_IF_ERROR(sram_->Allocate("flow_table", kFlowEntryBytes));
+    NORMAN_RETURN_IF_ERROR(sram_->Allocate("flow_table", kFlowEntryBytes,
+                                           entry.owner.owner_pid,
+                                           entry.owner.owner_tenant));
     by_conn_.emplace(entry.conn_id, entry);
     by_tuple_.emplace(entry.tuple, entry.conn_id);
     return OkStatus();
@@ -71,9 +73,10 @@ class FlowTable {
     if (it == by_conn_.end()) {
       return NotFoundError("flow table: no such connection");
     }
+    const uint32_t tenant = it->second.owner.owner_tenant;
     by_tuple_.erase(it->second.tuple);
     by_conn_.erase(it);
-    sram_->Free("flow_table", kFlowEntryBytes);
+    sram_->Free("flow_table", kFlowEntryBytes, tenant);
     return OkStatus();
   }
 

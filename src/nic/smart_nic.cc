@@ -24,6 +24,10 @@ DropReason NormalizeDropReason(DropReason reason) {
 
 }  // namespace
 
+// The tenant table sizes its per-lane horizons to the NIC's lane bound.
+static_assert(TenantTable::kMaxLanes == SmartNic::kMaxShardQueues,
+              "TenantTable lane bound must match the NIC's");
+
 NicStats::NicStats(telemetry::MetricsRegistry* registry) {
   registry_ = registry;
   tx_seen_ = registry->GetCounter("nic.tx.seen");
@@ -96,7 +100,8 @@ std::vector<NicStats::DropRecord> NicStats::DropLedger() const {
 }
 
 void NicStats::RecordDrop(net::Direction dir, DropReason reason,
-                          uint32_t owner_pid, uint32_t tp_core) {
+                          uint32_t owner_pid, uint32_t tp_core,
+                          uint32_t tenant) {
   const auto r = static_cast<size_t>(reason);
   NORMAN_CHECK(r > 0 && r < kNumDropReasons);
   (dir == net::Direction::kTx ? tx_drop_ : rx_drop_)[r]->Increment();
@@ -104,6 +109,9 @@ void NicStats::RecordDrop(net::Direction dir, DropReason reason,
              owner_pid}];
   if (prof_ != nullptr && prof_->enabled()) {
     prof_->CountDrop(prof_->OwnerSlot(owner_pid));
+  }
+  if (tenants_ != nullptr && tenant != 0) {
+    tenants_->CountDrop(tenant);
   }
   if (tp_ != nullptr) {
     // Every drop class routes through here (single choke point), so this
@@ -156,6 +164,7 @@ SmartNic::SmartNic(sim::Simulator* sim, Options options)
       // Constructed even when never enabled so the "fastpath.*" metric
       // inventory is shape-stable (the manifest CI diffs does not depend on
       // which features a run turned on).
+      tenant_table_(&sim->metrics()),
       flow_cache_(&sram_, &sim->metrics()),
       scheduler_(std::make_unique<FifoScheduler>()),
       prof_(&sim->profiler()),
@@ -176,6 +185,12 @@ SmartNic::SmartNic(sim::Simulator* sim, Options options)
   prof_core_wire_ = prof_->RegisterCore(
       "nic.wire", Profiler::CoreKind::kNic, [this] { return wire_.busy_ns(); });
   stats_.AttachProfiler(prof_);
+  stats_.AttachTenants(&tenant_table_);
+  // Tenant-attributed SRAM usage flows into tenant.<id>.sram_bytes as it
+  // changes, so the sampler and quota dashboards track it continuously.
+  sram_.SetTenantObserver([this](uint32_t tenant, uint64_t used) {
+    tenant_table_.SetSramBytes(tenant, used);
+  });
   // Probe-point hookup mirrors the profiler's: attachment is unconditional
   // and cold; disarmed probes stay a single branch on the emit path.
   stats_.AttachTracepoints(&sim->tracepoints());
@@ -231,7 +246,9 @@ Status SmartNic::ControlPlane::InstallFlow(const FlowEntry& entry) {
   ring->AttachGauges(&nic_->tx_ring_gauges_, &nic_->rx_ring_gauges_);
   // Ring descriptor state also lives in NIC SRAM (head/tail, base addrs,
   // completion state): 64B per ring pair.
-  const Status s = nic_->sram_.Allocate("ring_state", 64);
+  const Status s = nic_->sram_.Allocate("ring_state", 64,
+                                        entry.owner.owner_pid,
+                                        entry.owner.owner_tenant);
   if (!s.ok()) {
     (void)nic_->flow_table_.Remove(entry.conn_id);
     return s;
@@ -250,14 +267,16 @@ Status SmartNic::ControlPlane::InstallFlow(const FlowEntry& entry) {
 
 Status SmartNic::ControlPlane::RemoveFlow(net::ConnectionId conn_id) {
   uint32_t owner_pid = 0;
+  uint32_t owner_tenant = 0;
   if (const FlowEntry* e = nic_->flow_table_.Lookup(conn_id); e != nullptr) {
     owner_pid = e->owner.owner_pid;
+    owner_tenant = e->owner.owner_tenant;
   }
   NORMAN_RETURN_IF_ERROR(nic_->flow_table_.Remove(conn_id));
   nic_->prof_->ChargeSram(nic_->prof_->OwnerSlot(owner_pid),
                           -static_cast<int64_t>(kFlowEntryBytes + 64));
   nic_->rings_.erase(conn_id);
-  nic_->sram_.Free("ring_state", 64);
+  nic_->sram_.Free("ring_state", 64, owner_tenant);
   nic_->ddio_.Invalidate(TxRingId(conn_id));
   nic_->ddio_.Invalidate(RxRingId(conn_id));
   InvalidateFastPath();
@@ -484,6 +503,26 @@ NotificationQueue* SmartNic::ControlPlane::GetNotificationQueue(
 void SmartNic::ControlPlane::SetFallbackSink(
     std::function<void(net::PacketPtr, net::Direction)> sink) {
   nic_->fallback_sink_ = std::move(sink);
+}
+
+void SmartNic::ControlPlane::ConfigureTenant(uint32_t tenant,
+                                             uint32_t cycle_weight,
+                                             uint64_t sram_quota_bytes) {
+  nic_->tenant_table_.Configure(tenant, cycle_weight);
+  if (sram_quota_bytes > 0) {
+    nic_->sram_.SetTenantQuota(tenant, sram_quota_bytes);
+  } else {
+    nic_->sram_.ClearTenantQuota(tenant);
+  }
+}
+
+void SmartNic::ControlPlane::RemoveTenant(uint32_t tenant) {
+  nic_->tenant_table_.Remove(tenant);
+  nic_->sram_.ClearTenantQuota(tenant);
+}
+
+void SmartNic::ControlPlane::SetTenantIsolation(bool on) {
+  nic_->tenant_table_.SetEnabled(on);
 }
 
 // ---- Datapath ---------------------------------------------------------------
@@ -735,7 +774,10 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
   telemetry::ProfScope tx_scope(prof_, prof_tx_site_);
   const uint32_t owner_pid = entry != nullptr ? entry->owner.owner_pid
                                               : packet->meta().owner_pid;
+  const uint32_t tenant = entry != nullptr ? entry->owner.owner_tenant
+                                           : packet->meta().tenant;
   packet->meta().owner_pid = owner_pid;  // for downstream charge points
+  packet->meta().tenant = tenant;
   uint32_t owner_slot = 0;
   if (prof_->enabled()) {
     owner_slot = prof_->OwnerSlot(owner_pid);
@@ -756,9 +798,22 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
   burst.dma.Add();
   sim_->tracer().Record(trace_id, "tx.dma", now, dma_done);
 
-  // 2) Pipeline occupancy (line-rate cap) + per-stage latency.
+  // 2) Pipeline occupancy (line-rate cap) + per-stage latency. Tenants with
+  // a configured cycle share are gated through their own WFQ virtual server
+  // instead of the shared FIFO cursor: a quota'd aggressor queues behind its
+  // *own* stretched horizon, never in front of the victim. The shared
+  // resource still accrues the busy time so utilization accounting
+  // (profiler attributed + unaccounted == busy) is unchanged.
   const Nanos pipe_cost = options_.cost.NicPipelineOccupancy();
-  const Nanos pipe_done = lr.pipeline->Serve(dma_done, pipe_cost);
+  Nanos pipe_done;
+  if (tenant_table_.Gated(tenant)) {
+    const Nanos start = tenant_table_.Admit(tenant, lr.lane, dma_done,
+                                            pipe_cost);
+    lr.pipeline->AddBusy(pipe_cost);
+    pipe_done = start + pipe_cost;
+  } else {
+    pipe_done = lr.pipeline->Serve(dma_done, pipe_cost);
+  }
   prof_->Charge(prof_tx_pipe_site_, lr.core_pipe, owner_slot, pipe_cost);
   sim_->tracer().Record(trace_id, "tx.pipeline", dma_done, pipe_done);
 
@@ -776,7 +831,8 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
   }
   if (top_talkers_ != nullptr && flow) {
     top_talkers_->Record(*flow, ctx.conn.owner_pid,
-                         static_cast<uint32_t>(packet->size()), now);
+                         static_cast<uint32_t>(packet->size()), now,
+                         ctx.conn.owner_tenant);
   }
   packet->meta().direction = net::Direction::kTx;
   packet->meta().connection = conn_id;
@@ -854,6 +910,7 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
       if (mint.cacheable && verdict != Verdict::kSoftwareFallback) {
         mint.entry.verdict = static_cast<uint8_t>(verdict);
         mint.entry.drop_reason = drop_reason;
+        mint.entry.tenant = ctx.conn.owner_tenant;
         flow_cache_.Insert(fp_key, mint.entry, lr.cache_part);
       } else {
         flow_cache_.RecordUncacheable();
@@ -869,7 +926,8 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
   switch (verdict) {
     case Verdict::kDrop:
       stats_.RecordDrop(net::Direction::kTx, NormalizeDropReason(drop_reason),
-                        ctx.conn.owner_pid, lr.tp_core);
+                        ctx.conn.owner_pid, lr.tp_core,
+                        ctx.conn.owner_tenant);
       return;
     case Verdict::kSoftwareFallback: {
       burst.fallback.Add();
@@ -906,7 +964,8 @@ void SmartNic::ProcessTxDescriptor(net::PacketPtr packet,
     p->meta().sched_enqueued_at = sim_->Now();
     if (!scheduler_->Enqueue(std::move(p), sched_ctx)) {
       stats_.RecordDrop(net::Direction::kTx, scheduler_->last_drop_reason(),
-                        conn_meta.owner_pid, tp_core);
+                        conn_meta.owner_pid, tp_core,
+                        conn_meta.owner_tenant);
       return;
     }
     telemetry::HotSet(&qdisc_gauges_,
@@ -928,10 +987,12 @@ void SmartNic::InjectHostPacket(net::PacketPtr packet, Nanos now) {
     // per-core resources as doorbell traffic on that lane.
     const uint16_t q = TxLaneOf(flow_table_.Lookup(conn));
     const uint32_t owner_pid = packet->meta().owner_pid;
+    const uint32_t owner_tenant = packet->meta().tenant;
     Lane& lane = *lanes_[q];
     if (!lane.rings.PushTx(std::move(packet))) {
       stats_.RecordDrop(net::Direction::kTx, DropReason::kRingFull, owner_pid,
-                        telemetry::Tracepoints::kCoreLaneBase + q);
+                        telemetry::Tracepoints::kCoreLaneBase + q,
+                        owner_tenant);
       return;
     }
     if (!lane.tx_drain_scheduled) {
@@ -1105,10 +1166,12 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
   packet->SetParsed(net::ParseFrame(packet->bytes()));
   uint16_t queue = 0;
   uint32_t owner_pid = 0;
+  uint32_t owner_tenant = 0;
   if (packet->parsed() != nullptr) {
     if (auto flow = packet->parsed()->flow()) {
       if (const FlowEntry* e = flow_table_.LookupByInboundTuple(*flow)) {
         owner_pid = e->owner.owner_pid;
+        owner_tenant = e->owner.owner_tenant;
         queue = e->rx_queue != 0 ? e->rx_queue : rss_.Steer(*flow);
       } else {
         queue = rss_.Steer(*flow);
@@ -1121,7 +1184,8 @@ void SmartNic::DeliverFromWire(net::PacketPtr packet, Nanos now) {
   Lane& lane = *lanes_[queue];
   if (!lane.rings.PushRx(std::move(packet))) {
     stats_.RecordDrop(net::Direction::kRx, DropReason::kRingFull, owner_pid,
-                      telemetry::Tracepoints::kCoreLaneBase + queue);
+                      telemetry::Tracepoints::kCoreLaneBase + queue,
+                      owner_tenant);
     return;
   }
   if (!lane.rx_drain_scheduled) {
@@ -1160,13 +1224,12 @@ void SmartNic::ProcessRxFrame(const LaneRefs& lr, net::PacketPtr packet,
   const uint32_t trace_id = sim_->tracer().SampleArrival();
   packet->meta().trace_id = trace_id;
 
-  const Nanos pipe_cost = options_.cost.NicPipelineOccupancy();
-  const Nanos pipe_done = lr.pipeline->Serve(now, pipe_cost);
-  sim_->tracer().Record(trace_id, "rx.pipeline", now, pipe_done);
-
   // Single-pass parse, stored on the packet (see ProcessTxDescriptor). The
   // sharded steering step already parsed the pristine frame at ingress, and
-  // nothing between the ring and here touches the bytes.
+  // nothing between the ring and here touches the bytes. Parse and flow
+  // match happen before the pipeline serve — both are pure (no virtual
+  // time, no counters), and the match result names the owning tenant whose
+  // cycle share gates the pipeline below.
   if (!parsed_at_ingress) {
     packet->SetParsed(net::ParseFrame(packet->bytes()));
   }
@@ -1178,12 +1241,28 @@ void SmartNic::ProcessRxFrame(const LaneRefs& lr, net::PacketPtr packet,
   if (flow) {
     entry = flow_table_.LookupByInboundTuple(*flow);
   }
+  const uint32_t tenant = entry != nullptr ? entry->owner.owner_tenant : 0;
+
+  // Pipeline occupancy. Unmatched wire frames belong to tenant 0 (the
+  // system share, never gated); quota'd tenants go through their WFQ
+  // virtual server — see the TX-side comment in ProcessTxDescriptor.
+  const Nanos pipe_cost = options_.cost.NicPipelineOccupancy();
+  Nanos pipe_done;
+  if (tenant_table_.Gated(tenant)) {
+    const Nanos start = tenant_table_.Admit(tenant, lr.lane, now, pipe_cost);
+    lr.pipeline->AddBusy(pipe_cost);
+    pipe_done = start + pipe_cost;
+  } else {
+    pipe_done = lr.pipeline->Serve(now, pipe_cost);
+  }
+  sim_->tracer().Record(trace_id, "rx.pipeline", now, pipe_done);
 
   // RX ownership: the receiving connection's pid (flow-table owner), or
   // "unowned" for unmatched frames bound for the host slow path. Restamp the
   // metadata — the TX-side pid from the sending NIC is not this side's owner.
   const uint32_t owner_pid = entry != nullptr ? entry->owner.owner_pid : 0;
   packet->meta().owner_pid = owner_pid;
+  packet->meta().tenant = tenant;
   uint32_t owner_slot = 0;
   if (prof_->enabled()) {
     owner_slot = prof_->OwnerSlot(owner_pid);
@@ -1199,7 +1278,7 @@ void SmartNic::ProcessRxFrame(const LaneRefs& lr, net::PacketPtr packet,
       !net::FrameChecksumsValid(packet->bytes(), *packet->parsed())) {
     stats_.RecordDrop(net::Direction::kRx, DropReason::kCorrupt,
                       entry != nullptr ? entry->owner.owner_pid : 0,
-                      lr.tp_core);
+                      lr.tp_core, tenant);
     return;
   }
 
@@ -1207,7 +1286,8 @@ void SmartNic::ProcessRxFrame(const LaneRefs& lr, net::PacketPtr packet,
                                            net::Direction::kRx);
   if (top_talkers_ != nullptr && flow) {
     top_talkers_->Record(*flow, ctx.conn.owner_pid,
-                         static_cast<uint32_t>(packet->size()), now);
+                         static_cast<uint32_t>(packet->size()), now,
+                         ctx.conn.owner_tenant);
   }
 
   // Flow fast path (RX). Keyed on the wire tuple as seen *before* any
@@ -1260,6 +1340,7 @@ void SmartNic::ProcessRxFrame(const LaneRefs& lr, net::PacketPtr packet,
       if (mint.cacheable && verdict != Verdict::kSoftwareFallback) {
         mint.entry.verdict = static_cast<uint8_t>(verdict);
         mint.entry.drop_reason = drop_reason;
+        mint.entry.tenant = ctx.conn.owner_tenant;
         flow_cache_.Insert(fp_key, mint.entry, lr.cache_part);
       } else {
         flow_cache_.RecordUncacheable();
@@ -1269,7 +1350,7 @@ void SmartNic::ProcessRxFrame(const LaneRefs& lr, net::PacketPtr packet,
 
   if (verdict == Verdict::kDrop) {
     stats_.RecordDrop(net::Direction::kRx, NormalizeDropReason(drop_reason),
-                      ctx.conn.owner_pid, lr.tp_core);
+                      ctx.conn.owner_pid, lr.tp_core, ctx.conn.owner_tenant);
     return;
   }
 
@@ -1339,7 +1420,7 @@ void SmartNic::ProcessRxFrame(const LaneRefs& lr, net::PacketPtr packet,
     const Nanos ring_at = p->meta().completed_at;
     if (!it->second->PushRx(std::move(p))) {
       stats_.RecordDrop(net::Direction::kRx, DropReason::kRingFull,
-                        e->owner.owner_pid, tp_core);
+                        e->owner.owner_pid, tp_core, e->owner.owner_tenant);
       return;
     }
     // Delivery into the app-visible ring (zero-width: the push itself is

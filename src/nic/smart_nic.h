@@ -45,6 +45,7 @@
 #include "src/nic/ring.h"
 #include "src/nic/rss.h"
 #include "src/nic/sram.h"
+#include "src/nic/tenant_table.h"
 #include "src/nic/top_talkers.h"
 #include "src/overlay/isa.h"
 #include "src/sim/cost_model.h"
@@ -120,11 +121,17 @@ class NicStats {
   // the drop also lands in the owner's attr.* resource ledger. `tp_core`
   // selects the tracepoint ring the drop probe lands in — sharded lanes
   // pass their own core so per-lane decision sequences stay separable.
+  // `tenant` attributes the drop to a tenant's tenant.<id>.drops counter
+  // (0 = untenanted; the ledger and tracepoint carry the pid either way).
   void RecordDrop(net::Direction dir, DropReason reason, uint32_t owner_pid,
-                  uint32_t tp_core = telemetry::Tracepoints::kCoreNic);
+                  uint32_t tp_core = telemetry::Tracepoints::kCoreNic,
+                  uint32_t tenant = 0);
 
   // Mirror drops into the cycle-attribution owner ledger (attr.*.drops).
   void AttachProfiler(telemetry::Profiler* prof) { prof_ = prof; }
+
+  // Mirror tenant-attributed drops into tenant.<id>.drops.
+  void AttachTenants(TenantTable* tenants) { tenants_ = tenants; }
 
   // Mirror drops into the tracepoint stream: qdisc/rate-limit drops emit
   // "qdisc.drop", ring-full drops "ring.full", everything else "nic.drop".
@@ -154,6 +161,7 @@ class NicStats {
   std::map<std::tuple<uint8_t, uint8_t, uint32_t>, uint64_t> ledger_;
   telemetry::Profiler* prof_ = nullptr;
   telemetry::Tracepoints* tp_ = nullptr;
+  TenantTable* tenants_ = nullptr;
   // Backing registry, kept so TxBurst accumulators register as pending
   // (reports and simulator teardown flush them; see MetricsRegistry).
   telemetry::MetricsRegistry* registry_ = nullptr;
@@ -288,6 +296,21 @@ class SmartNic {
     void StallNotifications(bool stalled);
     bool notifications_stalled() const { return nic_->notify_stalled_; }
 
+    // ---- Multi-tenant isolation (OSMOSIS-style quotas + cycle shares) ----
+    // Registers (or re-weights) a tenant: an SRAM byte quota (0 =
+    // unlimited) and an integer WFQ weight over NIC pipeline cycles per
+    // lane. Enforcement of the cycle share additionally requires
+    // SetTenantIsolation(true); the SRAM quota binds as soon as it is set.
+    void ConfigureTenant(uint32_t tenant, uint32_t cycle_weight,
+                         uint64_t sram_quota_bytes);
+    // Releases the tenant's share and quota. NIC state already charged to
+    // the tenant keeps draining against its (now unlimited) usage ledger.
+    void RemoveTenant(uint32_t tenant);
+    // Arms/disarms WFQ cycle-share enforcement. Off (the default) keeps
+    // every trajectory bit-identical to the pre-tenancy dataplane.
+    void SetTenantIsolation(bool on);
+    TenantTable& tenants() { return nic_->tenant_table_; }
+
     // Host software fallback sink for packets the NIC diverts (E7).
     void SetFallbackSink(
         std::function<void(net::PacketPtr, net::Direction)> sink);
@@ -340,6 +363,7 @@ class SmartNic {
   // other core.
   const sim::Resource& stage_engine() const { return stages_; }
   const DdioModel& ddio() const { return ddio_; }
+  const TenantTable& tenants() const { return tenant_table_; }
   const sim::CostModel& cost() const { return options_.cost; }
   uint64_t mmio_writes() const { return regs_.write_count(); }
   sim::Simulator* simulator() { return sim_; }
@@ -536,6 +560,10 @@ class SmartNic {
   // settle into these).
   std::vector<telemetry::QueueDepthGauges> lane_tx_gauges_;
   std::vector<telemetry::QueueDepthGauges> lane_rx_gauges_;
+  // Tenant cycle shares + per-tenant metric bundles. Declared before
+  // flow_cache_/top_talkers_: their destructors refund tenant-attributed
+  // SRAM, which reports back into this table's gauges.
+  TenantTable tenant_table_;
   // Declared after sram_ so their destructors (which refund SRAM) run
   // first.
   FlowCache flow_cache_;

@@ -10,6 +10,7 @@
 #define NORMAN_NIC_SRAM_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -29,35 +30,105 @@ class SramAllocator {
   uint64_t available() const { return capacity_ - used_; }
 
   // Charges `bytes` to the named category (e.g. "flow_table", "qdisc").
+  // Anonymous form: no owning pid/tenant (wire traffic, shared state).
   Status Allocate(const std::string& category, uint64_t bytes) {
+    return Allocate(category, bytes, /*pid=*/0, /*tenant=*/0);
+  }
+
+  // Owner-attributed charge. `tenant` 0 is the unquota'd system share;
+  // a nonzero tenant is additionally checked against its byte quota (if
+  // one is set), so one tenant's blow-up exhausts its own budget, not the
+  // device. Both exhaustion paths name the culprit: the tracepoint carries
+  // the requesting pid and a2 = tenant so postmortem bundles can attribute
+  // the pressure instead of reporting a bare category.
+  Status Allocate(const std::string& category, uint64_t bytes, uint32_t pid,
+                  uint32_t tenant) {
+    if (tenant != 0) {
+      const auto quota = tenant_quota_.find(tenant);
+      if (quota != tenant_quota_.end() &&
+          tenant_used_[tenant] + bytes > quota->second) {
+        if (tp_ != nullptr) {
+          tp_->Emit(telemetry::Probe::kSramExhausted,
+                    telemetry::Tracepoints::kCoreNic, pid, bytes,
+                    quota->second - tenant_used_[tenant], tenant);
+        }
+        return ResourceExhaustedError(
+            "tenant " + std::to_string(tenant) + " SRAM quota exhausted: need " +
+            std::to_string(bytes) + "B, have " +
+            std::to_string(quota->second - tenant_used_[tenant]) +
+            "B of quota (category " + category + ", pid " +
+            std::to_string(pid) + ")");
+      }
+    }
     if (bytes > available()) {
       if (tp_ != nullptr) {
         tp_->Emit(telemetry::Probe::kSramExhausted,
-                  telemetry::Tracepoints::kCoreNic, /*pid=*/0, bytes,
-                  available());
+                  telemetry::Tracepoints::kCoreNic, pid, bytes, available(),
+                  tenant);
       }
       return ResourceExhaustedError(
           "NIC SRAM exhausted: need " + std::to_string(bytes) + "B, have " +
-          std::to_string(available()) + "B (category " + category + ")");
+          std::to_string(available()) + "B (category " + category + ", pid " +
+          std::to_string(pid) + ")");
     }
     used_ += bytes;
     by_category_[category] += bytes;
+    if (tenant != 0) {
+      tenant_used_[tenant] += bytes;
+      if (tenant_observer_) tenant_observer_(tenant, tenant_used_[tenant]);
+    }
     if (gauges_ != nullptr) gauges_->Set(static_cast<int64_t>(used_));
     if (tp_ != nullptr) {
       tp_->Emit(telemetry::Probe::kSramAlloc, telemetry::Tracepoints::kCoreNic,
-                /*pid=*/0, bytes, used_);
+                pid, bytes, used_, tenant);
     }
     return OkStatus();
   }
 
-  void Free(const std::string& category, uint64_t bytes) {
+  void Free(const std::string& category, uint64_t bytes,
+            uint32_t tenant = 0) {
     const auto it = by_category_.find(category);
     if (it == by_category_.end() || it->second < bytes || used_ < bytes) {
       return;  // tolerate sloppy callers; accounting stays non-negative
     }
     it->second -= bytes;
     used_ -= bytes;
+    if (tenant != 0) {
+      auto tu = tenant_used_.find(tenant);
+      if (tu != tenant_used_.end()) {
+        tu->second -= tu->second < bytes ? tu->second : bytes;
+        if (tenant_observer_) tenant_observer_(tenant, tu->second);
+      }
+    }
     if (gauges_ != nullptr) gauges_->Set(static_cast<int64_t>(used_));
+  }
+
+  // ---- per-tenant quota dimension ----------------------------------------
+
+  // Caps `tenant`'s total SRAM footprint at `bytes`. Existing usage is not
+  // reclaimed; new charges over the cap fail with ResourceExhausted.
+  void SetTenantQuota(uint32_t tenant, uint64_t bytes) {
+    if (tenant != 0) tenant_quota_[tenant] = bytes;
+  }
+
+  // Removes the cap (usage tracking continues while entries remain).
+  void ClearTenantQuota(uint32_t tenant) { tenant_quota_.erase(tenant); }
+
+  uint64_t TenantUsed(uint32_t tenant) const {
+    const auto it = tenant_used_.find(tenant);
+    return it == tenant_used_.end() ? 0 : it->second;
+  }
+
+  // 0 = no quota configured (unlimited).
+  uint64_t TenantQuota(uint32_t tenant) const {
+    const auto it = tenant_quota_.find(tenant);
+    return it == tenant_quota_.end() ? 0 : it->second;
+  }
+
+  // Observer invoked with (tenant, used_bytes) after every attributed
+  // charge/free; the NIC wires this to the tenant.<id>.sram_bytes gauge.
+  void SetTenantObserver(std::function<void(uint32_t, uint64_t)> fn) {
+    tenant_observer_ = std::move(fn);
   }
 
   // Occupancy in *bytes* (not packets) under "queue.nic.sram.depth" /
@@ -85,6 +156,9 @@ class SramAllocator {
   uint64_t capacity_;
   uint64_t used_ = 0;
   std::map<std::string, uint64_t> by_category_;
+  std::map<uint32_t, uint64_t> tenant_used_;
+  std::map<uint32_t, uint64_t> tenant_quota_;
+  std::function<void(uint32_t, uint64_t)> tenant_observer_;
   telemetry::QueueDepthGauges* gauges_ = nullptr;
   telemetry::Tracepoints* tp_ = nullptr;
 };

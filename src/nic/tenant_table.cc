@@ -1,0 +1,113 @@
+#include "src/nic/tenant_table.h"
+
+#include <algorithm>
+
+namespace norman::nic {
+
+namespace {
+std::string MetricName(uint32_t tenant, const char* leaf) {
+  return "tenant." + std::to_string(tenant) + "." + leaf;
+}
+}  // namespace
+
+void TenantTable::Configure(uint32_t tenant, uint32_t weight) {
+  if (tenant == 0) {
+    return;  // tenant 0 is the unowned/system share; never gated
+  }
+  Share& s = shares_[tenant];
+  s.weight = weight == 0 ? 1 : weight;
+  if (s.pkts == nullptr) {
+    s.pkts = registry_->GetCounter(MetricName(tenant, "pkts"));
+    s.cycles_ns = registry_->GetCounter(MetricName(tenant, "cycles_ns"));
+    s.throttled_ns = registry_->GetCounter(MetricName(tenant, "throttled_ns"));
+    s.drops = registry_->GetCounter(MetricName(tenant, "drops"));
+    s.sram_bytes = registry_->GetGauge(MetricName(tenant, "sram_bytes"));
+  }
+  tenants_->Set(static_cast<int64_t>(shares_.size()));
+}
+
+void TenantTable::Remove(uint32_t tenant) {
+  shares_.erase(tenant);
+  tenants_->Set(static_cast<int64_t>(shares_.size()));
+}
+
+Nanos TenantTable::Admit(uint32_t tenant, uint16_t lane, Nanos now,
+                         Nanos cost) {
+  auto it = shares_.find(tenant);
+  if (it == shares_.end()) {
+    return now;  // caller should have checked Gated(); fail open
+  }
+  Share& share = it->second;
+  const uint16_t l = lane < kMaxLanes ? lane : 0;
+  const Nanos start = std::max(now, share.busy_until[l]);
+
+  // Weighted stretch: the sum of weights of tenants with backlog on this
+  // lane (this tenant always counts). With one active tenant the stretch
+  // is exactly `cost`; under contention each tenant's horizon advances at
+  // weight / active_weight of real time, which is the WFQ share.
+  uint64_t active_weight = 0;
+  for (const auto& [id, s] : shares_) {
+    if (id == tenant || s.busy_until[l] > now) {
+      active_weight += s.weight;
+    }
+  }
+  const Nanos stretched = static_cast<Nanos>(
+      static_cast<uint64_t>(cost) * active_weight / share.weight);
+  share.busy_until[l] = start + (stretched > cost ? stretched : cost);
+
+  const Nanos throttled = start - now;
+  share.pkts->Increment();
+  share.cycles_ns->Increment(static_cast<uint64_t>(cost));
+  if (throttled > 0) {
+    share.throttled_ns->Increment(static_cast<uint64_t>(throttled));
+    total_throttled_->Increment(static_cast<uint64_t>(throttled));
+  }
+  return start;
+}
+
+void TenantTable::CountDrop(uint32_t tenant) {
+  auto it = shares_.find(tenant);
+  if (it != shares_.end() && it->second.drops != nullptr) {
+    it->second.drops->Increment();
+  }
+}
+
+void TenantTable::CountDenied(uint32_t tenant) {
+  denied_->Increment();
+  auto it = shares_.find(tenant);
+  if (it != shares_.end()) {
+    ++it->second.denied;
+  }
+}
+
+void TenantTable::SetSramBytes(uint32_t tenant, uint64_t bytes) {
+  auto it = shares_.find(tenant);
+  if (it != shares_.end() && it->second.sram_bytes != nullptr) {
+    it->second.sram_bytes->Set(static_cast<int64_t>(bytes));
+  }
+}
+
+std::vector<TenantTable::ShareReport> TenantTable::Reports() const {
+  std::vector<ShareReport> out;
+  out.reserve(shares_.size());
+  for (const auto& [id, s] : shares_) {
+    ShareReport r;
+    r.tenant = id;
+    r.weight = s.weight;
+    r.pkts = s.pkts->value();
+    r.cycles_ns = s.cycles_ns->value();
+    r.throttled_ns = s.throttled_ns->value();
+    r.drops = s.drops->value();
+    r.sram_bytes = s.sram_bytes->value();
+    r.denied = s.denied;
+    out.push_back(r);
+  }
+  return out;
+}
+
+uint64_t TenantTable::throttled_ns(uint32_t tenant) const {
+  const auto it = shares_.find(tenant);
+  return it == shares_.end() ? 0 : it->second.throttled_ns->value();
+}
+
+}  // namespace norman::nic

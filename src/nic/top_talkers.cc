@@ -19,11 +19,14 @@ TopTalkers::TopTalkers(SramAllocator* sram,
       entries_(registry->GetGauge("flow.entries")) {}
 
 TopTalkers::~TopTalkers() {
-  sram_->Free(kSramCategory, table_.size() * kTopTalkerEntryBytes);
+  // Per-entry so each owning tenant's quota usage is refunded.
+  for (const auto& [tuple, entry] : table_) {
+    sram_->Free(kSramCategory, kTopTalkerEntryBytes, entry.tenant);
+  }
 }
 
 void TopTalkers::Record(const net::FiveTuple& tuple, uint32_t owner_pid,
-                        uint32_t bytes, Nanos now) {
+                        uint32_t bytes, Nanos now, uint32_t tenant) {
   // Hot-flow cache: trains of back-to-back packets from one flow skip the
   // tree walk. std::map nodes are pointer-stable, so the cached entry stays
   // valid until an eviction (which clears it).
@@ -56,12 +59,14 @@ void TopTalkers::Record(const net::FiveTuple& tuple, uint32_t owner_pid,
     // nodes are pointer-stable across the erase, so an unrelated eviction
     // must not cost the active flow its fast lookup.
     if (hot_ == &victim->second) hot_ = nullptr;
+    const uint32_t victim_tenant = victim->second.tenant;
     table_.erase(victim);
-    sram_->Free(kSramCategory, kTopTalkerEntryBytes);
+    sram_->Free(kSramCategory, kTopTalkerEntryBytes, victim_tenant);
     evicted_->Increment();
   }
 
-  if (!sram_->Allocate(kSramCategory, kTopTalkerEntryBytes).ok()) {
+  if (!sram_->Allocate(kSramCategory, kTopTalkerEntryBytes, owner_pid, tenant)
+           .ok()) {
     // Nothing to evict and no SRAM left: the flow goes unaccounted.
     untracked_->Increment();
     entries_->Set(static_cast<int64_t>(table_.size()));
@@ -71,6 +76,7 @@ void TopTalkers::Record(const net::FiveTuple& tuple, uint32_t owner_pid,
   TopTalkerEntry entry;
   entry.tuple = tuple;
   entry.owner_pid = owner_pid;
+  entry.tenant = tenant;
   entry.packets = 1;
   entry.bytes = bytes;
   entry.first_seen = now;

@@ -31,6 +31,7 @@ inline constexpr uint64_t kTopTalkerEntryBytes = 48;
 struct TopTalkerEntry {
   net::FiveTuple tuple;
   uint32_t owner_pid = 0;  // process the flow belongs to; 0 = unowned
+  uint32_t tenant = 0;     // tenant whose SRAM quota holds the entry
   uint64_t packets = 0;
   uint64_t bytes = 0;
   Nanos first_seen = 0;
@@ -51,7 +52,7 @@ class TopTalkers {
   // smallest-bytes entry is evicted to make room. A flow that cannot be
   // admitted at all (empty table and no SRAM) counts as untracked.
   void Record(const net::FiveTuple& tuple, uint32_t owner_pid, uint32_t bytes,
-              Nanos now);
+              Nanos now, uint32_t tenant = 0);
 
   size_t size() const { return table_.size(); }
   size_t max_entries() const { return max_entries_; }

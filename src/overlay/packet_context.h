@@ -25,6 +25,10 @@ struct ConnMetadata {
   // Interned process-name id (kernel-assigned; 0 = unknown). Lets overlay
   // programs implement iptables' cmd-owner match in hardware registers.
   uint32_t owner_comm = 0;
+  // Kernel-assigned tenant (0 = untenanted/system). Resolved from the
+  // owning uid/cgroup at flow-install time; every NIC-side quota charge and
+  // cycle-share decision keys off this field.
+  uint32_t owner_tenant = 0;
 };
 
 struct PacketContext {

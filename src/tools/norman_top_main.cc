@@ -127,11 +127,78 @@ void RunChaosScenario(workload::TestBed& bed) {
   }
 }
 
+// With --by-tenant two users are registered as quota'd tenants (the webapp
+// gets 3x the batch job's WFQ cycle weight plus a larger SRAM envelope),
+// isolation is armed through the declarative Configure call, and the
+// dashboard renders the per-tenant share table (packets, cycles, throttled
+// time, drops, denials, SRAM held) over the owner ledger grouped by tenant.
+void RunTenantScenario(workload::TestBed& bed,
+                       std::vector<kernel::Tenant>& tenants) {
+  auto& k = bed.kernel();
+  k.processes().AddUser(1001, "alice");
+  k.processes().AddUser(1002, "bob");
+  const auto web_pid = *k.processes().Spawn(1001, "webapp");
+  const auto batch_pid = *k.processes().Spawn(1002, "batch");
+
+  kernel::TenantSpec web_spec;
+  web_spec.cycle_weight = 3;
+  web_spec.sram_bytes = 16 * 1024;
+  web_spec.ring_bytes = 64 * 1024;
+  kernel::TenantSpec batch_spec;
+  batch_spec.cycle_weight = 1;
+  batch_spec.sram_bytes = 4 * 1024;
+  batch_spec.ring_bytes = 64 * 1024;
+  auto web_tenant = k.CreateTenant(kernel::kRootUid, 1001, web_spec);
+  auto batch_tenant = k.CreateTenant(kernel::kRootUid, 1002, batch_spec);
+  if (!web_tenant.ok() || !batch_tenant.ok()) {
+    std::fprintf(stderr, "tenant registration failed\n");
+    return;
+  }
+  tenants.push_back(std::move(*web_tenant));
+  tenants.push_back(std::move(*batch_tenant));
+
+  kernel::NicConfig cfg;
+  cfg.top_talkers = true;
+  cfg.top_talker_entries = 8;
+  cfg.maintenance = true;
+  cfg.tenant_isolation = true;
+  if (const Status s = k.Configure(kernel::kRootUid, cfg); !s.ok()) {
+    std::fprintf(stderr, "configure: %s\n", std::string(s.message()).c_str());
+    return;
+  }
+
+  auto heavy = Socket::Connect(&k, web_pid, kPeerIp, 7777, {});
+  auto light = Socket::Connect(&k, batch_pid, kPeerIp, 8888, {});
+  if (!heavy.ok() || !light.ok()) {
+    std::fprintf(stderr, "connect failed\n");
+    return;
+  }
+
+  const std::vector<uint8_t> big(1200, 0xaa);
+  const std::vector<uint8_t> small(128, 0xbb);
+  uint8_t scratch[2048];
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 24; ++i) {
+      (void)heavy->Send(big);
+    }
+    for (int i = 0; i < 8; ++i) {
+      (void)light->Send(small);
+    }
+    k.StartMaintenance();
+    bed.sim().Run();
+    while (heavy->RecvInto(scratch).ok()) {
+    }
+    while (light->RecvInto(scratch).ok()) {
+    }
+  }
+}
+
 int Main(int argc, char** argv) {
   bool show_json = false;
   bool show_text = false;
   bool by_pid = false;
   bool by_core = false;
+  bool by_tenant = false;
   bool alerts = false;
   bool chaos = false;
   std::string series_path;
@@ -147,6 +214,8 @@ int Main(int argc, char** argv) {
       by_pid = true;
     } else if (arg == "--by-core") {
       by_core = true;
+    } else if (arg == "--by-tenant") {
+      by_tenant = true;
     } else if (arg == "--alerts") {
       alerts = true;
     } else if (arg == "--chaos") {
@@ -158,7 +227,8 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json] [--text] [--by-pid] [--by-core] "
-                   "[--alerts] [--chaos] [--series-out FILE] [--flows N]\n",
+                   "[--by-tenant] [--alerts] [--chaos] [--series-out FILE] "
+                   "[--flows N]\n",
                    argv[0]);
       return 2;
     }
@@ -182,8 +252,13 @@ int Main(int argc, char** argv) {
       return 1;
     }
   }
+  // Tenant handles are RAII: keep them alive until after rendering so the
+  // share table reflects the live registrations.
+  std::vector<kernel::Tenant> tenant_handles;
   if (chaos) {
     RunChaosScenario(bed);
+  } else if (by_tenant) {
+    RunTenantScenario(bed, tenant_handles);
   } else {
     RunScenario(bed);
   }
@@ -207,6 +282,10 @@ int Main(int argc, char** argv) {
   }
   if (by_core) {
     std::printf("%s", tools::TopByCore(bed.kernel(), bed.nic()).c_str());
+    return 0;
+  }
+  if (by_tenant) {
+    std::printf("%s", tools::TopByTenant(bed.kernel(), bed.nic()).c_str());
     return 0;
   }
   if (alerts) {

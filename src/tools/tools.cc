@@ -1010,6 +1010,61 @@ std::string TopByCore(const kernel::Kernel& k, const nic::SmartNic& nic) {
   return out.str();
 }
 
+std::string TopByTenant(const kernel::Kernel& k, const nic::SmartNic& nic) {
+  auto& mutable_k = const_cast<kernel::Kernel&>(k);
+  sim::Simulator* sim = mutable_k.simulator();
+  const telemetry::Profiler& prof = sim->profiler();
+  const nic::TenantTable& tenants = nic.tenants();
+  std::ostringstream out;
+  char line[200];
+  out << "norman-top --by-tenant (virtual time " << FormatNanos(sim->Now())
+      << ", " << tenants.size() << " tenants, isolation "
+      << (tenants.enabled() ? "on" : "off") << ")\n";
+  out << "tenants (WFQ cycle shares & quotas):\n";
+  std::snprintf(line, sizeof(line),
+                "  %-8s %7s %10s %14s %14s %7s %7s %10s\n", "tenant",
+                "weight", "pkts", "cycles-ns", "throttled-ns", "drops",
+                "denied", "sram-B");
+  out << line;
+  for (const auto& s : tenants.Reports()) {
+    std::snprintf(line, sizeof(line),
+                  "  %-8u %7llu %10llu %14llu %14llu %7llu %7llu %10lld\n",
+                  s.tenant, static_cast<unsigned long long>(s.weight),
+                  static_cast<unsigned long long>(s.pkts),
+                  static_cast<unsigned long long>(s.cycles_ns),
+                  static_cast<unsigned long long>(s.throttled_ns),
+                  static_cast<unsigned long long>(s.drops),
+                  static_cast<unsigned long long>(s.denied),
+                  static_cast<long long>(s.sram_bytes));
+    out << line;
+  }
+  // The profiler's owner ledger, with each pid resolved to its owning
+  // tenant (pid -> uid -> tenant; unregistered uids read as tenant 0).
+  if (!prof.enabled()) {
+    out << "profiler: disabled (no attribution recorded)\n";
+  }
+  out << "owners by tenant (cycle & resource attribution):\n";
+  std::snprintf(line, sizeof(line), "  %-8s %-20s %12s %12s %9s %12s %7s\n",
+                "tenant", "owner", "nic-ns", "host-ns", "pkts", "bytes",
+                "drops");
+  out << line;
+  for (const auto& o : prof.OwnerReports()) {
+    const kernel::Process* p = k.processes().Lookup(o.pid);
+    const kernel::TenantId tenant =
+        p == nullptr ? kernel::kSystemTenant : k.TenantOf(p->uid);
+    std::snprintf(line, sizeof(line),
+                  "  %-8u %-20s %12llu %12llu %9llu %12llu %7llu\n", tenant,
+                  ProfOwnerName(k, o.pid).c_str(),
+                  static_cast<unsigned long long>(o.nic_ns),
+                  static_cast<unsigned long long>(o.host_ns),
+                  static_cast<unsigned long long>(o.pkts),
+                  static_cast<unsigned long long>(o.bytes),
+                  static_cast<unsigned long long>(o.drops));
+    out << line;
+  }
+  return out.str();
+}
+
 // ---- netstat ------------------------------------------------------------------
 
 std::string Netstat(const kernel::Kernel& k) {

@@ -110,6 +110,13 @@ std::string TopByPid(const kernel::Kernel& k);
 // deterministic run.
 std::string TopByCore(const kernel::Kernel& k, const nic::SmartNic& nic);
 
+// The `norman-top --by-tenant` view for the multi-tenant dataplane: one row
+// per registered tenant (WFQ weight, packets, cycles consumed, time spent
+// throttled behind its own share, drops, denied admissions, SRAM held),
+// followed by the profiler's owner ledger grouped under each owning tenant
+// (pid -> uid -> tenant). Byte-stable for a deterministic run.
+std::string TopByTenant(const kernel::Kernel& k, const nic::SmartNic& nic);
+
 // ---- norman-netstat --------------------------------------------------------
 // Connection table with owner annotations, like `netstat -tupn`.
 std::string Netstat(const kernel::Kernel& k);
